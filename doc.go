@@ -1,0 +1,28 @@
+// Package gpulat reproduces "On Latency in GPU Throughput
+// Microarchitectures" (Andersch, Lucas, Álvarez-Mesa, Juurlink; ISPASS
+// 2015) as a self-contained Go library.
+//
+// The paper studies memory latency in NVIDIA GPUs two ways: statically,
+// by pointer-chase microbenchmarking four GPU generations to obtain the
+// per-level latencies of the global memory pipeline (Table I); and
+// dynamically, by instrumenting the GPGPU-Sim timing simulator to break
+// every memory request's lifetime into pipeline-stage components
+// (Figure 1) and to classify load latency as hidden or exposed
+// (Figure 2). Because both methodologies need hardware or a C++
+// simulator, this module implements the whole substrate in Go: a
+// cycle-level GPU timing simulator (SIMT cores, caches with MSHRs, a
+// crossbar interconnect, memory partitions, and a banked DRAM model with
+// FR-FCFS/FCFS scheduling), architecture presets calibrated to the
+// paper's Table I, the microbenchmarks and workloads, and the latency
+// analyses themselves.
+//
+// # Quick start
+//
+//	cfg, _ := gpulat.Preset("GF100")
+//	res, _ := gpulat.RunBFS(cfg, gpulat.BFSOptions{Vertices: 1 << 13})
+//	res.Breakdown(48).Render(os.Stdout) // Figure 1
+//	res.Exposure(24).Render(os.Stdout)  // Figure 2
+//
+// The cmd/gpulat command regenerates every table and figure of the
+// paper; see README.md and EXPERIMENTS.md for the experiment index.
+package gpulat

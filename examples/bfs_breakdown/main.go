@@ -1,0 +1,47 @@
+// BFS breakdown reproduces the paper's dynamic latency analysis
+// (Figures 1 and 2): breadth-first search over a scale-free graph on the
+// GF100 (Fermi) configuration, with every memory request's lifetime
+// broken into pipeline-stage components and every load classified as
+// hidden or exposed.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"gpulat"
+)
+
+func main() {
+	cfg, err := gpulat.Preset("GF100")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Fprintln(os.Stderr, "running BFS on GF100 (this takes a few seconds)...")
+	res, err := gpulat.RunBFS(cfg, gpulat.BFSOptions{Vertices: 1 << 13})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("BFS completed in %d cycles over %d kernel launches\n\n",
+		res.Cycles, res.Launches)
+
+	// Figure 1: where do memory requests spend their lifetime?
+	bd := res.Breakdown(48)
+	bd.Render(os.Stdout)
+	fmt.Println()
+	bd.RenderChart(os.Stdout, 25)
+
+	fmt.Printf("\nPaper's finding: queueing (L1toICNT) dominates the long-"+
+		"latency buckets and DRAM arbitration (QtoSch) peaks on the right;\n"+
+		"overall shares here: L1toICNT %.1f%%, DRAM(QtoSch) %.1f%%\n\n",
+		bd.TotalPct(gpulat.StageL1ToICNT), bd.TotalPct(gpulat.StageDRAMQueue))
+
+	// Figure 2: how much of that latency hurts?
+	ex := res.Exposure(24)
+	ex.Render(os.Stdout)
+	fmt.Println()
+	ex.RenderChart(os.Stdout, 20)
+}

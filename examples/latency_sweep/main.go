@@ -1,0 +1,41 @@
+// Latency sweep emits the full stride×footprint pointer-chase surface
+// for one architecture as CSV — the raw data behind the paper's static
+// analysis, from which the Table I plateaus are read. Pipe the output
+// into a plotting tool to see the cache-capacity cliffs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"gpulat"
+)
+
+func main() {
+	arch := flag.String("arch", "GF106", "architecture preset")
+	flag.Parse()
+
+	cfg, err := gpulat.Preset(*arch)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	strides := []uint32{128, 256, 512}
+	footprints := []uint32{
+		8 << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10,
+		256 << 10, 512 << 10, 1 << 20, 4 << 20,
+	}
+	fmt.Fprintf(os.Stderr, "sweeping %d points on %s...\n",
+		len(strides)*len(footprints), cfg.Name)
+
+	points, err := gpulat.Sweep(cfg, strides, footprints)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("arch,stride,footprint,mean_latency_cycles")
+	for _, p := range points {
+		fmt.Printf("%s,%d,%d,%.1f\n", cfg.Name, p.Stride, p.Footprint, p.MeanLat)
+	}
+}

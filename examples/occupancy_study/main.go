@@ -1,0 +1,26 @@
+// Occupancy study sweeps the per-SM resident-warp limit while running
+// BFS, measuring how much latency the extra thread-level parallelism
+// actually hides — the mechanism behind the paper's conclusion that
+// throughput architectures still feel latency: for memory-bound
+// workloads, hiding saturates long before the latency is covered.
+package main
+
+import (
+	"log"
+	"os"
+
+	"gpulat"
+)
+
+func main() {
+	cfg, err := gpulat.Preset("GF100")
+	if err != nil {
+		log.Fatal(err)
+	}
+	points, err := gpulat.OccupancySweep(cfg, []int{4, 8, 16, 32, 48},
+		gpulat.BFSOptions{Vertices: 1 << 12})
+	if err != nil {
+		log.Fatal(err)
+	}
+	gpulat.RenderOccupancy(os.Stdout, "bfs", "GF100", points)
+}

@@ -1,0 +1,52 @@
+// Pointerchase reproduces the paper's static latency analysis (Table I):
+// it runs the single-thread pointer-chase microbenchmark against every
+// architecture preset and prints the measured L1/L2/DRAM latencies next
+// to the published values.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"gpulat"
+)
+
+func main() {
+	published := map[string][3]string{
+		"GT200": {"x", "x", "440"},
+		"GF106": {"45", "310", "685"},
+		"GK104": {"30*", "175", "300"},
+		"GM107": {"x", "194", "350"},
+	}
+
+	var rows []gpulat.StaticResult
+	for _, arch := range []string{"GT200", "GF106", "GK104", "GM107"} {
+		cfg, err := gpulat.Preset(arch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "chasing pointers on %s...\n", arch)
+		res, err := gpulat.MeasureStatic(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, res)
+	}
+
+	fmt.Println("Measured (this reproduction):")
+	gpulat.RenderTableI(os.Stdout, rows)
+	fmt.Println()
+	fmt.Println("Published (Andersch et al., Table I):")
+	fmt.Println("Unit   GT200  GF106  GK104  GM107")
+	fmt.Println("-----  -----  -----  -----  -----")
+	for _, unit := range []string{"L1 D$", "L2 D$", "DRAM"} {
+		idx := map[string]int{"L1 D$": 0, "L2 D$": 1, "DRAM": 2}[unit]
+		fmt.Printf("%-5s", unit)
+		for _, arch := range []string{"GT200", "GF106", "GK104", "GM107"} {
+			fmt.Printf("  %5s", published[arch][idx])
+		}
+		fmt.Println()
+	}
+	fmt.Println("(* Kepler L1 serves local accesses only)")
+}

@@ -1,0 +1,220 @@
+package gpulat
+
+import (
+	"fmt"
+	"io"
+
+	"gpulat/internal/config"
+	"gpulat/internal/core"
+	"gpulat/internal/gpu"
+	"gpulat/internal/kernels"
+	"gpulat/internal/sim"
+)
+
+// Re-exported core types. These aliases form the stable public surface;
+// the implementation lives in internal packages.
+type (
+	// Config is a full device configuration (SMs, caches, networks,
+	// DRAM). Obtain one from Preset and adjust fields as needed.
+	Config = gpu.Config
+	// GPU is a simulated device instance.
+	GPU = gpu.GPU
+	// Cycle is simulated time in core clock cycles.
+	Cycle = sim.Cycle
+	// Workload couples a kernel with input setup and verification.
+	Workload = kernels.Workload
+	// MultiKernel is a host-loop workload such as BFS.
+	MultiKernel = kernels.MultiKernel
+	// StaticResult is one architecture's Table I row.
+	StaticResult = core.StaticResult
+	// StaticOptions tunes the pointer-chase harness.
+	StaticOptions = core.StaticOptions
+	// Breakdown is the Figure 1 per-bucket stage breakdown.
+	Breakdown = core.BreakdownReport
+	// Exposure is the Figure 2 exposed/hidden analysis.
+	Exposure = core.ExposureReport
+	// DynamicResult is an instrumented workload run.
+	DynamicResult = core.DynamicResult
+	// Tracker is the latency instrumentation observer.
+	Tracker = core.Tracker
+	// SweepPoint is one cell of the stride×footprint latency surface.
+	SweepPoint = core.SweepPoint
+	// Graph is a CSR graph for the BFS workload.
+	Graph = kernels.Graph
+	// Stage is one of the eight Figure 1 latency components.
+	Stage = core.Stage
+	// LoadedPoint is one step of the loaded-latency curve.
+	LoadedPoint = core.LoadedPoint
+	// OccupancyPoint is one step of the latency-hiding sweep.
+	OccupancyPoint = core.OccupancyPoint
+	// Level is a latency plateau detected in a chase sweep.
+	Level = core.Level
+)
+
+// The eight latency components of the paper's Figure 1.
+const (
+	StageSMBase     = core.StageSMBase
+	StageL1ToICNT   = core.StageL1ToICNT
+	StageICNTToROP  = core.StageICNTToROP
+	StageROPToL2Q   = core.StageROPToL2Q
+	StageL2QToDRAMQ = core.StageL2QToDRAMQ
+	StageDRAMQueue  = core.StageDRAMQueue
+	StageDRAMAccess = core.StageDRAMAccess
+	StageFetch2SM   = core.StageFetch2SM
+)
+
+// LoadedLatency measures the memory system's latency under synthetic
+// load (the idle→saturated curve bridging the paper's static and dynamic
+// analyses).
+func LoadedLatency(cfg Config, offered []float64) ([]LoadedPoint, error) {
+	return core.LoadedLatency(cfg, offered, core.LoadedOptions{})
+}
+
+// DetectLevels reads the memory-hierarchy plateaus out of a sweep.
+func DetectLevels(points []SweepPoint, stride uint32) []Level {
+	return core.DetectLevels(points, stride, 0.08)
+}
+
+// OccupancySweep reruns the BFS experiment while limiting resident warps
+// per SM — the latency-hiding saturation study.
+func OccupancySweep(cfg Config, warpLimits []int, opt BFSOptions) ([]OccupancyPoint, error) {
+	return core.OccupancySweep(cfg, warpLimits, func() (*MultiKernel, error) {
+		return NewBFS(opt)
+	})
+}
+
+// RenderOccupancy writes an occupancy sweep as a table.
+func RenderOccupancy(w io.Writer, workload, arch string, points []OccupancyPoint) {
+	core.RenderOccupancy(w, workload, arch, points)
+}
+
+// RenderLoadedCurve writes a loaded-latency curve as a table.
+func RenderLoadedCurve(w io.Writer, arch string, points []LoadedPoint) {
+	core.RenderLoadedCurve(w, arch, points)
+}
+
+// Architectures lists the available presets in generation order:
+// GT200 (Tesla), GF106/GF100 (Fermi), GK104 (Kepler), GM107 (Maxwell).
+func Architectures() []string { return config.Names() }
+
+// Preset returns the named architecture configuration.
+func Preset(name string) (Config, error) {
+	cfg, ok := config.ByName(name)
+	if !ok {
+		return Config{}, fmt.Errorf("gpulat: unknown architecture %q (have %v)", name, config.Names())
+	}
+	return cfg, nil
+}
+
+// NewGPU builds a device without instrumentation.
+func NewGPU(cfg Config) *GPU { return gpu.New(cfg) }
+
+// MeasureStatic reproduces one Table I row: the unloaded per-level
+// latencies of the architecture's global memory pipeline, measured with
+// the pointer-chase microbenchmark.
+func MeasureStatic(cfg Config) (StaticResult, error) {
+	return core.MeasureStatic(cfg, core.DefaultStaticOptions())
+}
+
+// MeasureStaticWithOptions is MeasureStatic with a custom harness setup.
+func MeasureStaticWithOptions(cfg Config, opt StaticOptions) (StaticResult, error) {
+	return core.MeasureStatic(cfg, opt)
+}
+
+// RenderTableI writes the Table I reproduction for a set of results.
+func RenderTableI(w io.Writer, rows []StaticResult) { core.TableI(w, rows) }
+
+// Sweep measures the full stride×footprint pointer-chase surface.
+func Sweep(cfg Config, strides, footprints []uint32) ([]SweepPoint, error) {
+	return core.Sweep(cfg, strides, footprints, core.DefaultStaticOptions())
+}
+
+// BFSOptions parameterizes the paper's dynamic-analysis workload.
+type BFSOptions struct {
+	// Vertices is the graph size (default 1<<13).
+	Vertices int
+	// AttachEdges is the scale-free attachment count (default 4).
+	AttachEdges int
+	// Seed fixes the input graph.
+	Seed uint64
+	// BlockDim is threads per block (default 128).
+	BlockDim int
+	// Uniform selects a uniform random graph instead of scale-free.
+	Uniform bool
+}
+
+func (o *BFSOptions) fill() {
+	if o.Vertices == 0 {
+		o.Vertices = 1 << 13
+	}
+	if o.AttachEdges == 0 {
+		o.AttachEdges = 4
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	if o.BlockDim == 0 {
+		o.BlockDim = 128
+	}
+}
+
+// NewBFS builds the BFS workload used by Figures 1 and 2.
+func NewBFS(opt BFSOptions) (*MultiKernel, error) {
+	opt.fill()
+	var g *kernels.Graph
+	if opt.Uniform {
+		g = kernels.GenUniformRandom(opt.Vertices, opt.AttachEdges*2, opt.Seed)
+	} else {
+		g = kernels.GenScaleFree(opt.Vertices, opt.AttachEdges, opt.Seed)
+	}
+	return kernels.BFS(kernels.BFSConfig{Graph: g, Source: 0, BlockDim: opt.BlockDim})
+}
+
+// RunBFS executes the instrumented BFS experiment on cfg.
+func RunBFS(cfg Config, opt BFSOptions) (*DynamicResult, error) {
+	mk, err := NewBFS(opt)
+	if err != nil {
+		return nil, err
+	}
+	return core.RunDynamicMulti(cfg, mk)
+}
+
+// Workloads lists the catalog of single-kernel workloads usable with
+// RunWorkload (the paper's "other workloads").
+func Workloads() []string { return kernels.CatalogNames() }
+
+// Scale selects workload input sizes.
+type Scale = kernels.Scale
+
+// Workload scales: ScaleTest for quick runs, ScaleExperiment for the
+// paper's figure-sized inputs.
+const (
+	ScaleTest       = kernels.ScaleTest
+	ScaleExperiment = kernels.ScaleExperiment
+)
+
+// NewWorkload builds a catalog workload at the given scale.
+func NewWorkload(name string, scale Scale, seed uint64) (*Workload, error) {
+	if seed == 0 {
+		seed = 7
+	}
+	return kernels.NewByName(name, scale, seed)
+}
+
+// RunWorkload executes an instrumented catalog workload at experiment
+// scale. Seed 0 selects the default input.
+func RunWorkload(cfg Config, name string, seed uint64) (*DynamicResult, error) {
+	if seed == 0 {
+		seed = 7
+	}
+	wl, err := kernels.NewByName(name, kernels.ScaleExperiment, seed)
+	if err != nil {
+		return nil, err
+	}
+	return core.RunDynamic(cfg, wl)
+}
+
+// RunWorkloadOn executes a caller-built workload with instrumentation.
+func RunWorkloadOn(cfg Config, wl *Workload) (*DynamicResult, error) {
+	return core.RunDynamic(cfg, wl)
+}

@@ -1,0 +1,74 @@
+package gpulat
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPresets(t *testing.T) {
+	names := Architectures()
+	if len(names) != 5 {
+		t.Fatalf("architectures = %v", names)
+	}
+	for _, n := range names {
+		cfg, err := Preset(n)
+		if err != nil {
+			t.Fatalf("Preset(%s): %v", n, err)
+		}
+		if cfg.NumSMs <= 0 {
+			t.Fatalf("Preset(%s) has no SMs", n)
+		}
+	}
+	if _, err := Preset("RTX9090"); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+}
+
+func TestWorkloadCatalog(t *testing.T) {
+	if len(Workloads()) < 8 {
+		t.Fatalf("workloads = %v", Workloads())
+	}
+	if _, err := NewWorkload("vecadd", ScaleTest, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewWorkload("bogus", ScaleTest, 0); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestRunWorkloadOnSmallDevice(t *testing.T) {
+	cfg, err := Preset("GF106")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := NewWorkload("copy", ScaleTest, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunWorkloadOn(cfg, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles == 0 || len(res.Tracker.Records()) == 0 {
+		t.Fatal("instrumentation produced nothing")
+	}
+	var sb strings.Builder
+	res.Breakdown(16).Render(&sb)
+	if !strings.Contains(sb.String(), "SMBase") {
+		t.Fatal("breakdown render missing stages")
+	}
+}
+
+func TestNewBFSBuilds(t *testing.T) {
+	mk, err := NewBFS(BFSOptions{Vertices: 256, AttachEdges: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mk.Name == "" {
+		t.Fatal("unnamed workload")
+	}
+	// Uniform variant too.
+	if _, err := NewBFS(BFSOptions{Vertices: 256, Uniform: true}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,410 @@
+// Package cache implements the set-associative cache model used for both
+// the per-SM L1 data caches and the per-partition L2 slices. It models tag
+// state (invalid / reserved / valid), LRU and FIFO replacement, write-
+// through and write-back policies, and an MSHR table that merges redundant
+// misses to the same line — the structure whose queueing behavior the
+// paper identifies as a key dynamic latency contributor.
+package cache
+
+import (
+	"fmt"
+
+	"gpulat/internal/mem"
+	"gpulat/internal/sim"
+)
+
+// ReplPolicy selects the victim-choice policy.
+type ReplPolicy uint8
+
+const (
+	// LRU evicts the least recently used valid line.
+	LRU ReplPolicy = iota
+	// FIFO evicts the line allocated earliest.
+	FIFO
+)
+
+// String names the policy.
+func (p ReplPolicy) String() string {
+	if p == LRU {
+		return "LRU"
+	}
+	return "FIFO"
+}
+
+// WritePolicy selects store handling.
+type WritePolicy uint8
+
+const (
+	// WriteThroughNoAlloc forwards every store downstream and never
+	// allocates on a store miss (the Fermi L1 global-store policy).
+	// Store hits update the line in place so subsequent loads hit.
+	WriteThroughNoAlloc WritePolicy = iota
+	// WriteBackAlloc allocates on store misses (fetch-on-write) and
+	// marks lines dirty; dirty victims generate writeback traffic
+	// (the L2 policy).
+	WriteBackAlloc
+)
+
+// String names the policy.
+func (p WritePolicy) String() string {
+	if p == WriteThroughNoAlloc {
+		return "write-through/no-allocate"
+	}
+	return "write-back/write-allocate"
+}
+
+// Config describes one cache instance.
+type Config struct {
+	Name        string
+	Sets        int
+	Ways        int
+	LineSize    uint32
+	Replacement ReplPolicy
+	Write       WritePolicy
+	// MSHREntries is the number of distinct outstanding miss lines;
+	// MSHRMaxMerge is the maximum number of requests merged per entry
+	// (including the primary miss).
+	MSHREntries  int
+	MSHRMaxMerge int
+	// HitLatency is the lookup pipeline depth; the owner applies it to
+	// hit responses. It is carried here so configuration stays in one
+	// place.
+	HitLatency sim.Cycle
+}
+
+// SizeBytes returns the cache capacity.
+func (c Config) SizeBytes() uint64 {
+	return uint64(c.Sets) * uint64(c.Ways) * uint64(c.LineSize)
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.Sets <= 0 || c.Sets&(c.Sets-1) != 0:
+		return fmt.Errorf("cache %s: sets must be a positive power of two, got %d", c.Name, c.Sets)
+	case c.Ways <= 0:
+		return fmt.Errorf("cache %s: ways must be positive, got %d", c.Name, c.Ways)
+	case c.LineSize == 0 || c.LineSize&(c.LineSize-1) != 0:
+		return fmt.Errorf("cache %s: line size must be a power of two, got %d", c.Name, c.LineSize)
+	case c.MSHREntries <= 0:
+		return fmt.Errorf("cache %s: MSHR entries must be positive, got %d", c.Name, c.MSHREntries)
+	case c.MSHRMaxMerge <= 0:
+		return fmt.Errorf("cache %s: MSHR max merge must be positive, got %d", c.Name, c.MSHRMaxMerge)
+	}
+	return nil
+}
+
+// Status is the outcome of a cache access.
+type Status uint8
+
+const (
+	// Hit: data present; the request completes after HitLatency.
+	Hit Status = iota
+	// HitReserved: the line is already being fetched; the request was
+	// merged into the existing MSHR entry and completes on fill.
+	HitReserved
+	// Miss: an MSHR entry and a line were reserved; the caller must
+	// forward the request toward the next level.
+	Miss
+	// ReservationFail: no MSHR entry, merge slot, or evictable line was
+	// available; the caller must retry later. This is the cache-side
+	// source of the queueing delays the paper measures.
+	ReservationFail
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Hit:
+		return "hit"
+	case HitReserved:
+		return "hit-reserved"
+	case Miss:
+		return "miss"
+	case ReservationFail:
+		return "reservation-fail"
+	}
+	return fmt.Sprintf("status(%d)", uint8(s))
+}
+
+// AccessResult describes the outcome of an access, including any dirty
+// line evicted to make room (write-back caches only).
+type AccessResult struct {
+	Status Status
+	// Writeback, when non-nil, is the dirty victim line that must be
+	// written downstream (untracked traffic per the paper's rule).
+	Writeback *Eviction
+}
+
+// Eviction describes a dirty line displaced by an allocation.
+type Eviction struct {
+	Addr uint64
+	Size uint32
+}
+
+type lineState uint8
+
+const (
+	lineInvalid lineState = iota
+	lineReserved
+	lineValid
+)
+
+type line struct {
+	tag     uint64
+	state   lineState
+	dirty   bool
+	lastUse uint64 // LRU stamp
+	allocAt uint64 // FIFO stamp
+}
+
+type mshrEntry struct {
+	blockAddr uint64
+	requests  []*mem.Request
+	// storeFill marks that the fill must leave the line dirty (a merged
+	// or primary store under write-allocate).
+	storeFill bool
+}
+
+// Cache is one set-associative cache instance. It is purely a tag/state
+// model: data contents live in the functional mem.Memory, so the cache
+// tracks presence, not bytes.
+type Cache struct {
+	cfg     Config
+	sets    [][]line
+	mshrs   map[uint64]*mshrEntry
+	stampSq uint64
+
+	stats Stats
+}
+
+// Stats counts cache activity.
+type Stats struct {
+	Hits             uint64
+	Misses           uint64
+	MSHRMerges       uint64
+	ReservationFails uint64
+	Evictions        uint64
+	Writebacks       uint64
+	Fills            uint64
+}
+
+// New constructs a cache; it panics on invalid configuration (configs are
+// static program data, so misconfiguration is a programming error).
+func New(cfg Config) *Cache {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	sets := make([][]line, cfg.Sets)
+	for i := range sets {
+		sets[i] = make([]line, cfg.Ways)
+	}
+	return &Cache{
+		cfg:   cfg,
+		sets:  sets,
+		mshrs: make(map[uint64]*mshrEntry, cfg.MSHREntries),
+	}
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a copy of the activity counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+func (c *Cache) index(blockAddr uint64) int {
+	return int((blockAddr / uint64(c.cfg.LineSize)) % uint64(c.cfg.Sets))
+}
+
+// BlockAddr truncates addr to the cache's line granularity.
+func (c *Cache) BlockAddr(addr uint64) uint64 {
+	return mem.LineAddr(addr, c.cfg.LineSize)
+}
+
+func (c *Cache) lookup(blockAddr uint64) *line {
+	set := c.sets[c.index(blockAddr)]
+	for i := range set {
+		if set[i].state != lineInvalid && set[i].tag == blockAddr {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// victim selects an evictable way in the set for blockAddr, or nil if all
+// ways are reserved (fetch in flight) and nothing may be displaced.
+func (c *Cache) victim(blockAddr uint64) *line {
+	set := c.sets[c.index(blockAddr)]
+	var best *line
+	for i := range set {
+		ln := &set[i]
+		switch ln.state {
+		case lineInvalid:
+			return ln
+		case lineReserved:
+			continue
+		case lineValid:
+			if best == nil {
+				best = ln
+				continue
+			}
+			switch c.cfg.Replacement {
+			case LRU:
+				if ln.lastUse < best.lastUse {
+					best = ln
+				}
+			case FIFO:
+				if ln.allocAt < best.allocAt {
+					best = ln
+				}
+			}
+		}
+	}
+	return best
+}
+
+// Access performs a timing-model access for req at cycle cy. For loads,
+// a Miss reserves a line and an MSHR entry and the caller forwards the
+// request downstream; HitReserved parks the request on the existing MSHR
+// entry. Store behavior depends on the write policy; see WritePolicy.
+func (c *Cache) Access(cy sim.Cycle, req *mem.Request) AccessResult {
+	blockAddr := c.BlockAddr(req.Addr)
+	c.stampSq++
+
+	if ln := c.lookup(blockAddr); ln != nil {
+		switch ln.state {
+		case lineValid:
+			ln.lastUse = c.stampSq
+			if req.Kind == mem.KindStore {
+				if c.cfg.Write == WriteBackAlloc {
+					ln.dirty = true
+				}
+				// Write-through stores also "hit" but the caller
+				// forwards them downstream regardless.
+			}
+			c.stats.Hits++
+			return AccessResult{Status: Hit}
+		case lineReserved:
+			// Merge into the in-flight fetch.
+			entry := c.mshrs[blockAddr]
+			if entry == nil {
+				panic(fmt.Sprintf("cache %s: reserved line %#x without MSHR", c.cfg.Name, blockAddr))
+			}
+			if len(entry.requests) >= c.cfg.MSHRMaxMerge {
+				c.stats.ReservationFails++
+				return AccessResult{Status: ReservationFail}
+			}
+			if req.Kind == mem.KindStore && c.cfg.Write == WriteThroughNoAlloc {
+				// Write-through stores do not wait on the fill; the
+				// caller forwards them. Report a plain miss-like pass-
+				// through without consuming a merge slot.
+				c.stats.Hits++
+				return AccessResult{Status: Hit}
+			}
+			entry.requests = append(entry.requests, req)
+			if req.Kind == mem.KindStore {
+				entry.storeFill = true
+			}
+			c.stats.MSHRMerges++
+			return AccessResult{Status: HitReserved}
+		}
+	}
+
+	// Miss path.
+	if req.Kind == mem.KindStore && c.cfg.Write == WriteThroughNoAlloc {
+		// No allocation on store miss; the store simply passes through.
+		c.stats.Misses++
+		return AccessResult{Status: Miss}
+	}
+
+	if len(c.mshrs) >= c.cfg.MSHREntries {
+		c.stats.ReservationFails++
+		return AccessResult{Status: ReservationFail}
+	}
+	vic := c.victim(blockAddr)
+	if vic == nil {
+		c.stats.ReservationFails++
+		return AccessResult{Status: ReservationFail}
+	}
+
+	var wb *Eviction
+	if vic.state == lineValid {
+		c.stats.Evictions++
+		if vic.dirty {
+			wb = &Eviction{Addr: vic.tag, Size: c.cfg.LineSize}
+			c.stats.Writebacks++
+		}
+	}
+	vic.tag = blockAddr
+	vic.state = lineReserved
+	vic.dirty = false
+	vic.lastUse = c.stampSq
+	vic.allocAt = c.stampSq
+
+	entry := &mshrEntry{blockAddr: blockAddr, requests: []*mem.Request{req}}
+	if req.Kind == mem.KindStore {
+		entry.storeFill = true
+	}
+	c.mshrs[blockAddr] = entry
+	c.stats.Misses++
+	return AccessResult{Status: Miss, Writeback: wb}
+}
+
+// Fill completes the in-flight fetch of blockAddr: the reserved line
+// becomes valid and all merged requests are returned so the owner can
+// complete them. Fill panics if no fetch is in flight for blockAddr —
+// that would mean the memory system delivered an unrequested fill.
+func (c *Cache) Fill(cy sim.Cycle, blockAddr uint64) []*mem.Request {
+	entry := c.mshrs[blockAddr]
+	if entry == nil {
+		panic(fmt.Sprintf("cache %s: fill for unknown block %#x", c.cfg.Name, blockAddr))
+	}
+	delete(c.mshrs, blockAddr)
+
+	ln := c.lookup(blockAddr)
+	if ln == nil || ln.state != lineReserved {
+		panic(fmt.Sprintf("cache %s: fill for non-reserved block %#x", c.cfg.Name, blockAddr))
+	}
+	ln.state = lineValid
+	ln.dirty = entry.storeFill && c.cfg.Write == WriteBackAlloc
+	c.stampSq++
+	ln.lastUse = c.stampSq
+	c.stats.Fills++
+	return entry.requests
+}
+
+// Probe reports, without side effects, how an access to addr would
+// resolve: a valid line (hit), a reserved line (in-flight fetch), or
+// neither (miss). Owners use it to decide whether downstream resources
+// must be available before committing to an Access.
+func (c *Cache) Probe(addr uint64) Status {
+	ln := c.lookup(c.BlockAddr(addr))
+	switch {
+	case ln == nil:
+		return Miss
+	case ln.state == lineValid:
+		return Hit
+	default:
+		return HitReserved
+	}
+}
+
+// MSHRsInUse returns the number of outstanding miss entries.
+func (c *Cache) MSHRsInUse() int { return len(c.mshrs) }
+
+// Contains reports whether blockAddr is present and valid (test helper
+// and warmup verification).
+func (c *Cache) Contains(addr uint64) bool {
+	ln := c.lookup(c.BlockAddr(addr))
+	return ln != nil && ln.state == lineValid
+}
+
+// Reset invalidates all lines and clears MSHRs (between-kernel reuse).
+// Dirty data is discarded; callers that need writeback must drain first.
+func (c *Cache) Reset() {
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			c.sets[s][w] = line{}
+		}
+	}
+	c.mshrs = make(map[uint64]*mshrEntry, c.cfg.MSHREntries)
+}

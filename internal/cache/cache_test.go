@@ -1,0 +1,337 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gpulat/internal/mem"
+)
+
+func testConfig() Config {
+	return Config{
+		Name:         "test",
+		Sets:         4,
+		Ways:         2,
+		LineSize:     128,
+		Replacement:  LRU,
+		Write:        WriteBackAlloc,
+		MSHREntries:  8,
+		MSHRMaxMerge: 4,
+	}
+}
+
+func loadReq(id uint64, addr uint64) *mem.Request {
+	return &mem.Request{ID: id, Addr: addr, Size: 32, Kind: mem.KindLoad, Log: &mem.StageLog{}}
+}
+
+func storeReq(id uint64, addr uint64) *mem.Request {
+	return &mem.Request{ID: id, Addr: addr, Size: 32, Kind: mem.KindStore, Log: &mem.StageLog{}}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c := New(testConfig())
+	r := c.Access(0, loadReq(1, 0x1000))
+	if r.Status != Miss {
+		t.Fatalf("cold access = %v, want miss", r.Status)
+	}
+	merged := c.Fill(10, c.BlockAddr(0x1000))
+	if len(merged) != 1 || merged[0].ID != 1 {
+		t.Fatalf("fill returned %d requests", len(merged))
+	}
+	if got := c.Access(11, loadReq(2, 0x1010)); got.Status != Hit {
+		t.Fatalf("post-fill access = %v, want hit", got.Status)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Fills != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestMSHRMergeAndLimit(t *testing.T) {
+	cfg := testConfig()
+	cfg.MSHRMaxMerge = 3
+	c := New(cfg)
+	if r := c.Access(0, loadReq(1, 0x2000)); r.Status != Miss {
+		t.Fatalf("first = %v", r.Status)
+	}
+	if r := c.Access(1, loadReq(2, 0x2020)); r.Status != HitReserved {
+		t.Fatalf("second = %v, want hit-reserved", r.Status)
+	}
+	if r := c.Access(2, loadReq(3, 0x2040)); r.Status != HitReserved {
+		t.Fatalf("third = %v", r.Status)
+	}
+	// Entry now holds 3 requests (max merge); the next must fail.
+	if r := c.Access(3, loadReq(4, 0x2060)); r.Status != ReservationFail {
+		t.Fatalf("fourth = %v, want reservation-fail", r.Status)
+	}
+	merged := c.Fill(20, c.BlockAddr(0x2000))
+	if len(merged) != 3 {
+		t.Fatalf("fill returned %d requests, want 3", len(merged))
+	}
+}
+
+func TestMSHRExhaustion(t *testing.T) {
+	cfg := testConfig()
+	cfg.MSHREntries = 2
+	c := New(cfg)
+	// Distinct lines in distinct sets so line capacity isn't the limit.
+	if r := c.Access(0, loadReq(1, 0)); r.Status != Miss {
+		t.Fatal("miss 1")
+	}
+	if r := c.Access(0, loadReq(2, 128)); r.Status != Miss {
+		t.Fatal("miss 2")
+	}
+	if r := c.Access(0, loadReq(3, 256)); r.Status != ReservationFail {
+		t.Fatalf("third distinct miss = %v, want reservation-fail", r.Status)
+	}
+	c.Fill(5, 0)
+	if r := c.Access(6, loadReq(4, 256)); r.Status != Miss {
+		t.Fatalf("post-fill miss = %v", r.Status)
+	}
+}
+
+func TestAllWaysReservedFails(t *testing.T) {
+	cfg := testConfig() // 2 ways
+	c := New(cfg)
+	setStride := uint64(cfg.LineSize) * uint64(cfg.Sets)
+	// Two misses mapping to set 0 reserve both ways.
+	c.Access(0, loadReq(1, 0))
+	c.Access(0, loadReq(2, setStride))
+	if r := c.Access(0, loadReq(3, 2*setStride)); r.Status != ReservationFail {
+		t.Fatalf("access with all ways reserved = %v", r.Status)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	cfg := testConfig()
+	c := New(cfg)
+	setStride := uint64(cfg.LineSize) * uint64(cfg.Sets)
+	addrs := []uint64{0, setStride, 2 * setStride}
+	for i, a := range addrs[:2] {
+		c.Access(0, loadReq(uint64(i), a))
+		c.Fill(1, a)
+	}
+	// Touch addr 0 to make setStride the LRU victim.
+	c.Access(2, loadReq(10, 0))
+	c.Access(3, loadReq(11, addrs[2]))
+	c.Fill(4, addrs[2])
+	if !c.Contains(0) {
+		t.Fatal("recently used line evicted under LRU")
+	}
+	if c.Contains(setStride) {
+		t.Fatal("LRU victim still present")
+	}
+}
+
+func TestFIFOEviction(t *testing.T) {
+	cfg := testConfig()
+	cfg.Replacement = FIFO
+	c := New(cfg)
+	setStride := uint64(cfg.LineSize) * uint64(cfg.Sets)
+	for i := 0; i < 2; i++ {
+		a := uint64(i) * setStride
+		c.Access(0, loadReq(uint64(i), a))
+		c.Fill(1, a)
+	}
+	// Touch line 0 (FIFO ignores recency; line 0 is still first-in).
+	c.Access(2, loadReq(10, 0))
+	c.Access(3, loadReq(11, 2*setStride))
+	c.Fill(4, 2*setStride)
+	if c.Contains(0) {
+		t.Fatal("FIFO should evict first-allocated line despite recent use")
+	}
+	if !c.Contains(setStride) {
+		t.Fatal("FIFO evicted wrong line")
+	}
+}
+
+func TestWriteBackDirtyEviction(t *testing.T) {
+	cfg := testConfig()
+	c := New(cfg)
+	setStride := uint64(cfg.LineSize) * uint64(cfg.Sets)
+	// Store-allocate a line, fill it, making it dirty.
+	if r := c.Access(0, storeReq(1, 0x0)); r.Status != Miss {
+		t.Fatal("store miss expected")
+	}
+	c.Fill(1, 0)
+	// Evict it via two more allocations in the same set.
+	c.Access(2, loadReq(2, setStride))
+	c.Fill(3, setStride)
+	r := c.Access(4, loadReq(3, 2*setStride))
+	if r.Status != Miss {
+		t.Fatalf("status %v", r.Status)
+	}
+	if r.Writeback == nil || r.Writeback.Addr != 0 {
+		t.Fatalf("dirty eviction produced no writeback: %+v", r.Writeback)
+	}
+}
+
+func TestWriteBackStoreHitMarksDirty(t *testing.T) {
+	cfg := testConfig()
+	c := New(cfg)
+	setStride := uint64(cfg.LineSize) * uint64(cfg.Sets)
+	c.Access(0, loadReq(1, 0))
+	c.Fill(1, 0)
+	if r := c.Access(2, storeReq(2, 0x10)); r.Status != Hit {
+		t.Fatalf("store hit = %v", r.Status)
+	}
+	// Force eviction; must produce a writeback because the store hit
+	// dirtied the line.
+	c.Access(3, loadReq(3, setStride))
+	c.Fill(4, setStride)
+	r := c.Access(5, loadReq(4, 2*setStride))
+	if r.Writeback == nil {
+		t.Fatal("store-hit-dirtied line evicted without writeback")
+	}
+}
+
+func TestWriteThroughNoAllocate(t *testing.T) {
+	cfg := testConfig()
+	cfg.Write = WriteThroughNoAlloc
+	c := New(cfg)
+	if r := c.Access(0, storeReq(1, 0x3000)); r.Status != Miss {
+		t.Fatalf("WT store miss = %v", r.Status)
+	}
+	// No allocation happened: a load to the same line still misses.
+	if c.MSHRsInUse() != 0 {
+		t.Fatal("write-through store allocated an MSHR")
+	}
+	if r := c.Access(1, loadReq(2, 0x3000)); r.Status != Miss {
+		t.Fatalf("load after WT store = %v, want miss", r.Status)
+	}
+	// Store hit never dirties under write-through.
+	c.Fill(2, c.BlockAddr(0x3000))
+	if r := c.Access(3, storeReq(3, 0x3000)); r.Status != Hit {
+		t.Fatalf("WT store hit = %v", r.Status)
+	}
+	setStride := uint64(cfg.LineSize) * uint64(cfg.Sets)
+	c.Access(4, loadReq(4, 0x3000+setStride))
+	c.Fill(5, c.BlockAddr(0x3000+setStride))
+	r := c.Access(6, loadReq(5, 0x3000+2*setStride))
+	if r.Writeback != nil {
+		t.Fatal("write-through cache generated a writeback")
+	}
+}
+
+func TestWriteThroughStoreDoesNotConsumeMergeSlot(t *testing.T) {
+	cfg := testConfig()
+	cfg.Write = WriteThroughNoAlloc
+	cfg.MSHRMaxMerge = 2
+	c := New(cfg)
+	c.Access(0, loadReq(1, 0x100))
+	// A store to the in-flight line passes through without merging.
+	if r := c.Access(1, storeReq(2, 0x100)); r.Status != Hit {
+		t.Fatalf("WT store to reserved line = %v", r.Status)
+	}
+	if r := c.Access(2, loadReq(3, 0x120)); r.Status != HitReserved {
+		t.Fatalf("merge after store = %v", r.Status)
+	}
+}
+
+func TestFillUnknownBlockPanics(t *testing.T) {
+	c := New(testConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.Fill(0, 0x5000)
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	bad := []Config{
+		{Name: "sets", Sets: 3, Ways: 1, LineSize: 128, MSHREntries: 1, MSHRMaxMerge: 1},
+		{Name: "ways", Sets: 4, Ways: 0, LineSize: 128, MSHREntries: 1, MSHRMaxMerge: 1},
+		{Name: "line", Sets: 4, Ways: 1, LineSize: 100, MSHREntries: 1, MSHRMaxMerge: 1},
+		{Name: "mshr", Sets: 4, Ways: 1, LineSize: 128, MSHREntries: 0, MSHRMaxMerge: 1},
+		{Name: "merge", Sets: 4, Ways: 1, LineSize: 128, MSHREntries: 1, MSHRMaxMerge: 0},
+	}
+	for _, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %q: expected panic", cfg.Name)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New(testConfig())
+	c.Access(0, loadReq(1, 0))
+	c.Fill(1, 0)
+	c.Access(2, loadReq(2, 128))
+	c.Reset()
+	if c.Contains(0) || c.MSHRsInUse() != 0 {
+		t.Fatal("reset did not clear state")
+	}
+}
+
+// Property: the cache agrees with a reference set model — after any
+// sequence of load accesses with immediate fills, Contains matches a map
+// limited by total capacity, and a second access to any filled line hits.
+func TestCacheRefillAlwaysHitsProperty(t *testing.T) {
+	f := func(addrSeeds []uint16) bool {
+		c := New(testConfig())
+		cy := uint64(0)
+		for i, s := range addrSeeds {
+			addr := uint64(s) * 64
+			cy++
+			r := c.Access(0, loadReq(uint64(i), addr))
+			switch r.Status {
+			case Miss:
+				c.Fill(0, c.BlockAddr(addr))
+			case ReservationFail:
+				return false // fills are immediate; never possible
+			}
+			if !c.Contains(addr) {
+				return false
+			}
+			if got := c.Access(0, loadReq(uint64(i)+100000, addr)); got.Status != Hit {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MSHRsInUse never exceeds the configured entry count under
+// random access/fill interleavings.
+func TestMSHRBoundProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		cfg := testConfig()
+		cfg.MSHREntries = 4
+		c := New(cfg)
+		inflight := map[uint64]bool{}
+		id := uint64(0)
+		for _, op := range ops {
+			addr := uint64(op%64) * 128
+			if op&0x8000 != 0 && len(inflight) > 0 {
+				// Fill an arbitrary in-flight block.
+				for b := range inflight {
+					c.Fill(0, b)
+					delete(inflight, b)
+					break
+				}
+				continue
+			}
+			id++
+			r := c.Access(0, loadReq(id, addr))
+			if r.Status == Miss {
+				inflight[c.BlockAddr(addr)] = true
+			}
+			if c.MSHRsInUse() > cfg.MSHREntries {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,142 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gpulat/internal/mem"
+)
+
+// refCache is an executable specification of an LRU set-associative
+// cache with immediate fills: a map of resident lines plus per-set LRU
+// ordering, with no MSHR/reservation machinery. The timing cache, driven
+// with immediate fills, must agree with it on every hit/miss decision.
+type refCache struct {
+	sets     int
+	ways     int
+	lineSize uint32
+	lines    map[uint64]uint64 // blockAddr -> lastUse stamp
+	stamp    uint64
+}
+
+func newRefCache(cfg Config) *refCache {
+	return &refCache{
+		sets: cfg.Sets, ways: cfg.Ways, lineSize: cfg.LineSize,
+		lines: map[uint64]uint64{},
+	}
+}
+
+func (rc *refCache) setOf(block uint64) uint64 {
+	return (block / uint64(rc.lineSize)) % uint64(rc.sets)
+}
+
+// access returns true on hit and performs LRU update / fill+eviction.
+func (rc *refCache) access(addr uint64) bool {
+	block := mem.LineAddr(addr, rc.lineSize)
+	rc.stamp++
+	if _, ok := rc.lines[block]; ok {
+		rc.lines[block] = rc.stamp
+		return true
+	}
+	// Miss: evict LRU within the set if full.
+	set := rc.setOf(block)
+	var victim uint64
+	var victimStamp uint64
+	count := 0
+	for b, s := range rc.lines {
+		if rc.setOf(b) != set {
+			continue
+		}
+		count++
+		if victimStamp == 0 || s < victimStamp {
+			victim, victimStamp = b, s
+		}
+	}
+	if count >= rc.ways {
+		delete(rc.lines, victim)
+	}
+	rc.lines[block] = rc.stamp
+	return false
+}
+
+// TestCacheMatchesLRUReference drives the timing cache with immediate
+// fills through random load streams and cross-checks every access
+// outcome against the executable LRU specification.
+func TestCacheMatchesLRUReference(t *testing.T) {
+	f := func(addrSeeds []uint16) bool {
+		cfg := Config{
+			Name: "ref", Sets: 8, Ways: 2, LineSize: 64,
+			Replacement: LRU, Write: WriteBackAlloc,
+			MSHREntries: 64, MSHRMaxMerge: 8,
+		}
+		c := New(cfg)
+		ref := newRefCache(cfg)
+		for i, s := range addrSeeds {
+			addr := uint64(s%1024) * 32
+			res := c.Access(0, &mem.Request{ID: uint64(i), Addr: addr, Size: 32, Kind: mem.KindLoad})
+			wantHit := ref.access(addr)
+			switch res.Status {
+			case Hit:
+				if !wantHit {
+					return false
+				}
+			case Miss:
+				if wantHit {
+					return false
+				}
+				c.Fill(0, c.BlockAddr(addr)) // immediate fill
+			default:
+				// With immediate fills there is never an in-flight line.
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCacheStatsConsistency checks counter bookkeeping invariants under
+// random mixed traffic: hits+misses+reservation fails equals accesses,
+// and fills never exceed misses.
+func TestCacheStatsConsistency(t *testing.T) {
+	f := func(ops []uint16) bool {
+		cfg := Config{
+			Name: "stats", Sets: 4, Ways: 2, LineSize: 128,
+			Replacement: LRU, Write: WriteBackAlloc,
+			MSHREntries: 4, MSHRMaxMerge: 2,
+		}
+		c := New(cfg)
+		accesses := uint64(0)
+		inflight := map[uint64]bool{}
+		for i, op := range ops {
+			if op&0x8000 != 0 && len(inflight) > 0 {
+				for b := range inflight {
+					c.Fill(0, b)
+					delete(inflight, b)
+					break
+				}
+				continue
+			}
+			addr := uint64(op%64) * 64
+			kind := mem.KindLoad
+			if op&0x4000 != 0 {
+				kind = mem.KindStore
+			}
+			res := c.Access(0, &mem.Request{ID: uint64(i), Addr: addr, Size: 32, Kind: kind})
+			accesses++
+			if res.Status == Miss && (kind == mem.KindLoad || cfg.Write == WriteBackAlloc) {
+				inflight[c.BlockAddr(addr)] = true
+			}
+		}
+		st := c.Stats()
+		if st.Hits+st.Misses+st.MSHRMerges+st.ReservationFails != accesses {
+			return false
+		}
+		return st.Fills <= st.Misses && st.Writebacks <= st.Evictions
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,265 @@
+// Package config provides the GPU architecture presets used by the
+// reproduction: the four generations of the paper's static latency
+// analysis (Tesla GT200, Fermi GF106, Kepler GK104, Maxwell GM107) and
+// the GF100 Fermi configuration used for the dynamic analysis (the
+// GPGPU-Sim pre-validated config the paper employs).
+//
+// # Calibration
+//
+// The simulator runs in a single clock domain (the hot clock); real
+// hardware's clock-domain ratios are folded into the per-component
+// latencies below. Component latencies are chosen so that the unloaded
+// pointer-chase measurement reproduces the paper's Table I within a few
+// cycles:
+//
+//	Unit   GT200  GF106  GK104  GM107   (Table I, hot-clock cycles)
+//	L1 D$    —      45     30*    —     (* Kepler: local accesses only)
+//	L2 D$    —     310    175    194
+//	DRAM    440    685    300    350
+//
+// Each preset documents its structural properties (cache presence and
+// policies) which are the paper's qualitative findings: Tesla has no
+// caches in the global pipeline; Fermi introduces L1+L2; Kepler excludes
+// global accesses from L1; Maxwell removes the L1 and slows the L2 and
+// DRAM relative to Kepler.
+package config
+
+import (
+	"gpulat/internal/cache"
+	"gpulat/internal/dram"
+	"gpulat/internal/gpu"
+	"gpulat/internal/icnt"
+	"gpulat/internal/mempart"
+	"gpulat/internal/sim"
+	"gpulat/internal/sm"
+)
+
+// baseSM returns SM settings shared by all generations; per-arch presets
+// override latencies and cache policy.
+func baseSM() sm.Config {
+	return sm.Config{
+		WarpSize:           32,
+		MaxWarps:           48,
+		MaxBlocks:          8,
+		Scheduler:          sm.LRR,
+		IssueWidth:         2,
+		ALULatency:         10,
+		BranchLatency:      4,
+		LDSTQueueDepth:     16,
+		CoalesceSegment:    128,
+		MissQueueDepth:     64,
+		ResponseQueueDepth: 16,
+		SharedLatency:      24,
+		SharedBanks:        32,
+	}
+}
+
+func l1Config(sets, ways int, hitLat sim.Cycle) cache.Config {
+	return cache.Config{
+		Sets: sets, Ways: ways, LineSize: 128,
+		Replacement: cache.LRU, Write: cache.WriteThroughNoAlloc,
+		MSHREntries: 32, MSHRMaxMerge: 8, HitLatency: hitLat,
+	}
+}
+
+func l2Config(sets, ways int, hitLat sim.Cycle) cache.Config {
+	return cache.Config{
+		Sets: sets, Ways: ways, LineSize: 128,
+		Replacement: cache.LRU, Write: cache.WriteBackAlloc,
+		MSHREntries: 32, MSHRMaxMerge: 8, HitLatency: hitLat,
+	}
+}
+
+func net(lat sim.Cycle) icnt.Config {
+	return icnt.Config{
+		Latency:     lat,
+		FlitBytes:   32,
+		InjectDepth: 8,
+		EjectDepth:  8,
+	}
+}
+
+// GF106 is the Fermi-generation GPU of the paper's static analysis:
+// 4 SMs, 2 memory partitions, L1 (45-cycle hit) + L2 (310) + DRAM (685).
+// Global loads and stores use the L1 (write-through/no-allocate).
+func GF106() gpu.Config {
+	smc := baseSM()
+	smc.LDSTIssueLatency = 16
+	smc.WritebackLatency = 21
+	smc.L1Enabled = true
+	smc.L1LocalEnabled = true
+	smc.L1 = l1Config(64, 6, 8) // 48 KiB
+	return gpu.Config{
+		Name:   "GF106",
+		SM:     smc,
+		NumSMs: 4,
+		Partition: mempart.Config{
+			ROPLatency:    146,
+			ROPQueueDepth: 16,
+			L2QueueDepth:  16,
+			L2Enabled:     true,
+			L2:            l2Config(128, 8, 85), // 128 KiB slice (GTX480-like)
+			DRAM: dram.Config{
+				Banks: 8, RowBytes: 2048,
+				TRCD: 24, TRP: 24, TCL: 357, TRAS: 60, TWR: 16,
+				BurstCycles: 8, QueueDepth: 32, Scheduler: dram.FRFCFS,
+			},
+			ReturnQueueDepth: 16,
+		},
+		NumPartitions:       2,
+		RequestNet:          net(20),
+		ReplyNet:            net(20),
+		PartitionInterleave: 256,
+		ControlPacketBytes:  8,
+		DataPacketBytes:     128,
+		MaxCycles:           200_000_000,
+	}
+}
+
+// GF100 is the Fermi configuration of the paper's dynamic analysis,
+// mirroring GPGPU-Sim's pre-validated GTX480-like setup: 15 SMs and 6
+// memory partitions with the GF106 latency structure.
+func GF100() gpu.Config {
+	c := GF106()
+	c.Name = "GF100"
+	c.NumSMs = 15
+	c.NumPartitions = 6
+	return c
+}
+
+// GT200 is the Tesla-generation GPU: no L1, no L2 in the global memory
+// pipeline — the minimum latency of any global load is the DRAM access
+// (440 cycles).
+func GT200() gpu.Config {
+	smc := baseSM()
+	smc.MaxWarps = 32 // Tesla's smaller warp residency
+	smc.LDSTIssueLatency = 14
+	smc.WritebackLatency = 16
+	smc.L1Enabled = false
+	smc.L1LocalEnabled = false
+	smc.L1 = l1Config(4, 1, 4) // present but unused (validation only)
+	smc.CoalesceSegment = 64   // pre-Fermi coalescing granularity
+	return gpu.Config{
+		Name:   "GT200",
+		SM:     smc,
+		NumSMs: 30,
+		Partition: mempart.Config{
+			ROPLatency:    70,
+			ROPQueueDepth: 16,
+			L2QueueDepth:  16,
+			L2Enabled:     false,
+			L2:            l2Config(64, 8, 0),
+			DRAM: dram.Config{
+				Banks: 8, RowBytes: 2048,
+				TRCD: 24, TRP: 24, TCL: 250, TRAS: 60, TWR: 16,
+				BurstCycles: 8, QueueDepth: 32, Scheduler: dram.FRFCFS,
+			},
+			ReturnQueueDepth: 16,
+		},
+		NumPartitions:       8,
+		RequestNet:          net(18),
+		ReplyNet:            net(18),
+		PartitionInterleave: 256,
+		ControlPacketBytes:  8,
+		DataPacketBytes:     128,
+		MaxCycles:           200_000_000,
+	}
+}
+
+// GK104 is the Kepler-generation GPU: the L1 serves only local-memory
+// accesses (30-cycle hit); global loads go to the L2 (175) or DRAM (300).
+func GK104() gpu.Config {
+	smc := baseSM()
+	smc.MaxWarps = 64
+	smc.MaxBlocks = 16
+	smc.LDSTIssueLatency = 12
+	smc.WritebackLatency = 12
+	smc.L1Enabled = false // globals bypass L1 on Kepler
+	smc.L1LocalEnabled = true
+	smc.L1 = l1Config(64, 4, 6) // 32 KiB
+	return gpu.Config{
+		Name:   "GK104",
+		SM:     smc,
+		NumSMs: 8,
+		Partition: mempart.Config{
+			ROPLatency:    65,
+			ROPQueueDepth: 16,
+			L2QueueDepth:  16,
+			L2Enabled:     true,
+			L2:            l2Config(256, 8, 60),
+			DRAM: dram.Config{
+				Banks: 8, RowBytes: 2048,
+				TRCD: 16, TRP: 16, TCL: 111, TRAS: 40, TWR: 12,
+				BurstCycles: 4, QueueDepth: 32, Scheduler: dram.FRFCFS,
+			},
+			ReturnQueueDepth: 16,
+		},
+		NumPartitions:       4,
+		RequestNet:          net(12),
+		ReplyNet:            net(12),
+		PartitionInterleave: 256,
+		ControlPacketBytes:  8,
+		DataPacketBytes:     128,
+		MaxCycles:           200_000_000,
+	}
+}
+
+// GM107 is the Maxwell-generation GPU: the L1 data cache is gone from
+// the load path entirely; the L2 (194) and DRAM (350) are both slower
+// than Kepler's — the paper's "latency has increased on newer
+// architectures" finding.
+func GM107() gpu.Config {
+	smc := baseSM()
+	smc.MaxWarps = 64
+	smc.MaxBlocks = 16
+	smc.LDSTIssueLatency = 12
+	smc.WritebackLatency = 12
+	smc.L1Enabled = false
+	smc.L1LocalEnabled = false
+	smc.L1 = l1Config(4, 1, 4) // absent from the load path
+	return gpu.Config{
+		Name:   "GM107",
+		SM:     smc,
+		NumSMs: 5,
+		Partition: mempart.Config{
+			ROPLatency:    70,
+			ROPQueueDepth: 16,
+			L2QueueDepth:  16,
+			L2Enabled:     true,
+			L2:            l2Config(512, 8, 70), // 512 KiB slice
+			DRAM: dram.Config{
+				Banks: 8, RowBytes: 2048,
+				TRCD: 16, TRP: 16, TCL: 144, TRAS: 40, TWR: 12,
+				BurstCycles: 6, QueueDepth: 32, Scheduler: dram.FRFCFS,
+			},
+			ReturnQueueDepth: 16,
+		},
+		NumPartitions:       2,
+		RequestNet:          net(14),
+		ReplyNet:            net(14),
+		PartitionInterleave: 256,
+		ControlPacketBytes:  8,
+		DataPacketBytes:     128,
+		MaxCycles:           200_000_000,
+	}
+}
+
+// ByName returns the preset for an architecture name, or false.
+func ByName(name string) (gpu.Config, bool) {
+	switch name {
+	case "GT200", "gt200", "tesla":
+		return GT200(), true
+	case "GF106", "gf106", "fermi":
+		return GF106(), true
+	case "GF100", "gf100":
+		return GF100(), true
+	case "GK104", "gk104", "kepler":
+		return GK104(), true
+	case "GM107", "gm107", "maxwell":
+		return GM107(), true
+	}
+	return gpu.Config{}, false
+}
+
+// Names lists the available presets in generation order.
+func Names() []string { return []string{"GT200", "GF106", "GF100", "GK104", "GM107"} }

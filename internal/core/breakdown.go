@@ -1,0 +1,184 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"gpulat/internal/sim"
+	"gpulat/internal/stats"
+)
+
+// BreakdownBucket is one latency bucket of the Figure 1 diagram.
+type BreakdownBucket struct {
+	Lo, Hi   sim.Cycle
+	Count    int
+	StageSum [NumStages]sim.Cycle
+}
+
+// Pct returns stage s's share of the bucket's total latency in percent.
+func (b *BreakdownBucket) Pct(s Stage) float64 {
+	total := sim.Cycle(0)
+	for _, v := range b.StageSum {
+		total += v
+	}
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(b.StageSum[s]) / float64(total)
+}
+
+// BreakdownReport is the per-bucket latency breakdown of Figure 1: for
+// each latency range, the share of request lifetime spent in each of the
+// eight memory pipeline stages.
+type BreakdownReport struct {
+	Workload string
+	Arch     string
+	Buckets  []BreakdownBucket
+	// TotalStage aggregates stage time over all requests (used for the
+	// "two key contributors" finding).
+	TotalStage [NumStages]sim.Cycle
+	Requests   int
+}
+
+// Breakdown builds the Figure 1 report from the tracker's records with
+// the requested number of buckets spanning [min, max] observed latency.
+// numBuckets ≈ 48 reproduces the paper's bucket count.
+func (t *Tracker) Breakdown(workload, arch string, numBuckets int) *BreakdownReport {
+	if len(t.records) == 0 || numBuckets <= 0 {
+		return &BreakdownReport{Workload: workload, Arch: arch}
+	}
+	lo, hi := t.totalRange()
+	width := (hi - lo + sim.Cycle(numBuckets)) / sim.Cycle(numBuckets)
+	return t.breakdownBuckets(workload, arch, lo, width, numBuckets)
+}
+
+// BreakdownWidth builds the Figure 1 report with fixed-width latency
+// buckets (the paper uses ≈38-cycle buckets), however many are needed to
+// cover the observed range.
+func (t *Tracker) BreakdownWidth(workload, arch string, width sim.Cycle) *BreakdownReport {
+	if len(t.records) == 0 || width == 0 {
+		return &BreakdownReport{Workload: workload, Arch: arch}
+	}
+	lo, hi := t.totalRange()
+	n := int((hi-lo)/width) + 1
+	return t.breakdownBuckets(workload, arch, lo, width, n)
+}
+
+func (t *Tracker) totalRange() (lo, hi sim.Cycle) {
+	lo, hi = t.records[0].Total, t.records[0].Total
+	for _, r := range t.records {
+		if r.Total < lo {
+			lo = r.Total
+		}
+		if r.Total > hi {
+			hi = r.Total
+		}
+	}
+	return lo, hi
+}
+
+func (t *Tracker) breakdownBuckets(workload, arch string, lo, width sim.Cycle, numBuckets int) *BreakdownReport {
+	rep := &BreakdownReport{Workload: workload, Arch: arch}
+	if width == 0 {
+		width = 1
+	}
+	rep.Buckets = make([]BreakdownBucket, numBuckets)
+	for i := range rep.Buckets {
+		rep.Buckets[i].Lo = lo + sim.Cycle(i)*width
+		rep.Buckets[i].Hi = lo + sim.Cycle(i+1)*width
+	}
+	for _, r := range t.records {
+		idx := int((r.Total - lo) / width)
+		if idx >= numBuckets {
+			idx = numBuckets - 1
+		}
+		b := &rep.Buckets[idx]
+		b.Count++
+		for s := Stage(0); s < NumStages; s++ {
+			b.StageSum[s] += r.Stages[s]
+			rep.TotalStage[s] += r.Stages[s]
+		}
+		rep.Requests++
+	}
+	return rep
+}
+
+// TopContributors returns the stages ranked by total contribution
+// (descending) — the paper's finding is that DRAM(QtoSch) and L1toICNT
+// rank highest for memory-bound irregular workloads.
+func (r *BreakdownReport) TopContributors() []Stage {
+	order := make([]Stage, NumStages)
+	for i := range order {
+		order[i] = Stage(i)
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return r.TotalStage[order[i]] > r.TotalStage[order[j]]
+	})
+	return order
+}
+
+// TotalPct returns stage s's share of all request lifetime in percent.
+func (r *BreakdownReport) TotalPct(s Stage) float64 {
+	var total sim.Cycle
+	for _, v := range r.TotalStage {
+		total += v
+	}
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(r.TotalStage[s]) / float64(total)
+}
+
+// Render writes the report as an aligned text table (one row per
+// non-empty bucket, one column per stage), mirroring Figure 1.
+func (r *BreakdownReport) Render(w io.Writer) {
+	fmt.Fprintf(w, "Latency breakdown by pipeline stage — %s on %s (%d loads)\n",
+		r.Workload, r.Arch, r.Requests)
+	hdr := []string{"latency", "count"}
+	for s := Stage(0); s < NumStages; s++ {
+		hdr = append(hdr, s.String()+"%")
+	}
+	tb := stats.NewTable(hdr...)
+	for i := range r.Buckets {
+		b := &r.Buckets[i]
+		if b.Count == 0 {
+			continue
+		}
+		row := []any{fmt.Sprintf("%d-%d", b.Lo, b.Hi), b.Count}
+		for s := Stage(0); s < NumStages; s++ {
+			row = append(row, b.Pct(s))
+		}
+		tb.AddRow(row...)
+	}
+	tb.Render(w)
+	fmt.Fprintf(w, "\nOverall stage shares: ")
+	for i, s := range r.TopContributors() {
+		if i > 0 {
+			fmt.Fprint(w, ", ")
+		}
+		fmt.Fprintf(w, "%s %.1f%%", s, r.TotalPct(s))
+	}
+	fmt.Fprintln(w)
+}
+
+// RenderCSV writes the bucket table as CSV for plotting.
+func (r *BreakdownReport) RenderCSV(w io.Writer) {
+	hdr := []string{"lo", "hi", "count"}
+	for s := Stage(0); s < NumStages; s++ {
+		hdr = append(hdr, s.String())
+	}
+	tb := stats.NewTable(hdr...)
+	for i := range r.Buckets {
+		b := &r.Buckets[i]
+		if b.Count == 0 {
+			continue
+		}
+		row := []any{fmt.Sprint(b.Lo), fmt.Sprint(b.Hi), b.Count}
+		for s := Stage(0); s < NumStages; s++ {
+			row = append(row, b.Pct(s))
+		}
+		tb.AddRow(row...)
+	}
+	tb.RenderCSV(w)
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// stageGlyphs assigns one letter per stage for the ASCII stacked-bar
+// charts (the paper's figures are 100%-stacked bars per latency bucket).
+var stageGlyphs = [NumStages]byte{'S', 'q', 'i', 'r', 'l', 'D', 'a', 'f'}
+
+// RenderChart draws the breakdown as a 100%-stacked vertical bar chart,
+// one column per non-empty bucket — an ASCII rendition of the paper's
+// Figure 1. height is the number of chart rows (each row = 100/height
+// percent); 25 gives 4%-resolution bars.
+func (r *BreakdownReport) RenderChart(w io.Writer, height int) {
+	if height <= 0 {
+		height = 25
+	}
+	var cols []*BreakdownBucket
+	for i := range r.Buckets {
+		if r.Buckets[i].Count > 0 {
+			cols = append(cols, &r.Buckets[i])
+		}
+	}
+	if len(cols) == 0 {
+		fmt.Fprintln(w, "(no data)")
+		return
+	}
+	fmt.Fprintf(w, "Latency breakdown — %s on %s (%d loads); one column per bucket, low→high latency\n",
+		r.Workload, r.Arch, r.Requests)
+
+	// Build each column: from the bottom, stages stack in pipeline
+	// order; cell k (0=bottom) is the glyph of the stage covering that
+	// percentage band.
+	colCells := make([][]byte, len(cols))
+	for ci, b := range cols {
+		cells := make([]byte, height)
+		var cum [NumStages + 1]float64
+		for s := Stage(0); s < NumStages; s++ {
+			cum[s+1] = cum[s] + b.Pct(s)
+		}
+		for k := 0; k < height; k++ {
+			mid := (float64(k) + 0.5) * 100 / float64(height)
+			glyph := byte(' ')
+			for s := Stage(0); s < NumStages; s++ {
+				if mid >= cum[s] && mid < cum[s+1] {
+					glyph = stageGlyphs[s]
+					break
+				}
+			}
+			cells[k] = glyph
+		}
+		colCells[ci] = cells
+	}
+	for k := height - 1; k >= 0; k-- {
+		pct := (k + 1) * 100 / height
+		label := "    "
+		if k == height-1 || k == height/2-1 || k == 0 {
+			label = fmt.Sprintf("%3d%%", pct)
+		}
+		var sb strings.Builder
+		sb.WriteString(label)
+		sb.WriteString(" |")
+		for _, cells := range colCells {
+			sb.WriteByte(cells[k])
+		}
+		fmt.Fprintln(w, sb.String())
+	}
+	fmt.Fprintf(w, "     +%s\n", strings.Repeat("-", len(cols)))
+	fmt.Fprintf(w, "      %d buckets: %d..%d cycles\n", len(cols), cols[0].Lo, cols[len(cols)-1].Hi)
+	fmt.Fprint(w, "legend:")
+	for s := Stage(0); s < NumStages; s++ {
+		fmt.Fprintf(w, " %c=%s", stageGlyphs[s], s)
+	}
+	fmt.Fprintln(w)
+}
+
+// RenderChart draws the exposure report as a stacked bar chart
+// (X=exposed, .=hidden), the ASCII form of the paper's Figure 2.
+func (r *ExposureReport) RenderChart(w io.Writer, height int) {
+	if height <= 0 {
+		height = 25
+	}
+	var cols []*ExposureBucket
+	for i := range r.Buckets {
+		if r.Buckets[i].Count > 0 {
+			cols = append(cols, &r.Buckets[i])
+		}
+	}
+	if len(cols) == 0 {
+		fmt.Fprintln(w, "(no data)")
+		return
+	}
+	fmt.Fprintf(w, "Exposed (X) vs hidden (.) latency — %s on %s (%d loads); low→high latency\n",
+		r.Workload, r.Arch, r.Requests)
+	for k := height - 1; k >= 0; k-- {
+		pct := (k + 1) * 100 / height
+		label := "    "
+		if k == height-1 || k == height/2-1 || k == 0 {
+			label = fmt.Sprintf("%3d%%", pct)
+		}
+		var sb strings.Builder
+		sb.WriteString(label)
+		sb.WriteString(" |")
+		for _, b := range cols {
+			mid := (float64(k) + 0.5) * 100 / float64(height)
+			if mid < b.ExposedPct() {
+				sb.WriteByte('X')
+			} else {
+				sb.WriteByte('.')
+			}
+		}
+		fmt.Fprintln(w, sb.String())
+	}
+	fmt.Fprintf(w, "     +%s\n", strings.Repeat("-", len(cols)))
+	fmt.Fprintf(w, "      %d buckets: %d..%d cycles\n", len(cols), cols[0].Lo, cols[len(cols)-1].Hi)
+}

@@ -1,0 +1,292 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"gpulat/internal/mem"
+	"gpulat/internal/sim"
+)
+
+func fullLog(issue sim.Cycle, gaps [8]sim.Cycle) *mem.StageLog {
+	l := &mem.StageLog{}
+	c := issue
+	l.Mark(mem.PtIssue, c)
+	l.Mark(mem.PtCreated, c)
+	for p := mem.PtL1Access; p <= mem.PtReturnSM; p++ {
+		c += gaps[int(p)-2]
+		l.Mark(p, c)
+	}
+	return l
+}
+
+func TestStageDurationsFullPath(t *testing.T) {
+	gaps := [8]sim.Cycle{10, 20, 30, 40, 50, 60, 70, 80}
+	dur, ok := StageDurations(fullLog(100, gaps))
+	if !ok {
+		t.Fatal("valid log rejected")
+	}
+	want := [NumStages]sim.Cycle{10, 20, 30, 40, 50, 60, 70, 80}
+	if dur != want {
+		t.Fatalf("durations = %v, want %v", dur, want)
+	}
+	if TotalOf(dur) != 360 {
+		t.Fatalf("total = %d", TotalOf(dur))
+	}
+}
+
+func TestStageDurationsL1Hit(t *testing.T) {
+	l := &mem.StageLog{}
+	l.Mark(mem.PtIssue, 10)
+	l.Mark(mem.PtCreated, 10)
+	l.Mark(mem.PtL1Access, 26)
+	l.Mark(mem.PtReturnSM, 55)
+	dur, ok := StageDurations(l)
+	if !ok {
+		t.Fatal("hit log rejected")
+	}
+	// Entire lifetime attributed to SM base (paper's hit buckets).
+	if dur[StageSMBase] != 45 {
+		t.Fatalf("SMBase = %d, want 45", dur[StageSMBase])
+	}
+	for s := StageL1ToICNT; s < NumStages; s++ {
+		if dur[s] != 0 {
+			t.Fatalf("stage %v nonzero for hit", s)
+		}
+	}
+}
+
+func TestStageDurationsL2Hit(t *testing.T) {
+	l := &mem.StageLog{}
+	l.Mark(mem.PtIssue, 0)
+	l.Mark(mem.PtCreated, 0)
+	l.Mark(mem.PtL1Access, 16)
+	l.Mark(mem.PtICNTInject, 20)
+	l.Mark(mem.PtROPArrive, 40)
+	l.Mark(mem.PtL2QArrive, 186)
+	l.Mark(mem.PtReturnSM, 310)
+	dur, ok := StageDurations(l)
+	if !ok {
+		t.Fatal("L2 hit log rejected")
+	}
+	if dur[StageDRAMQueue] != 0 || dur[StageDRAMAccess] != 0 {
+		t.Fatal("L2 hit charged DRAM stages")
+	}
+	if dur[StageFetch2SM] != 310-186 {
+		t.Fatalf("Fetch2SM = %d", dur[StageFetch2SM])
+	}
+	if TotalOf(dur) != 310 {
+		t.Fatalf("total = %d", TotalOf(dur))
+	}
+}
+
+func TestStageDurationsRejectsBadLogs(t *testing.T) {
+	if _, ok := StageDurations(nil); ok {
+		t.Fatal("nil log accepted")
+	}
+	incomplete := &mem.StageLog{}
+	incomplete.Mark(mem.PtIssue, 5)
+	if _, ok := StageDurations(incomplete); ok {
+		t.Fatal("incomplete log accepted")
+	}
+}
+
+// Property: stage durations always sum to total latency for any valid
+// point sequence.
+func TestStageSumEqualsTotalProperty(t *testing.T) {
+	f := func(issue uint16, gaps [8]uint8) bool {
+		var g [8]sim.Cycle
+		for i := range gaps {
+			g[i] = sim.Cycle(gaps[i])
+		}
+		l := fullLog(sim.Cycle(issue), g)
+		dur, ok := StageDurations(l)
+		if !ok {
+			return false
+		}
+		total, _ := l.Total()
+		return TotalOf(dur) == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrackerExposureCounting(t *testing.T) {
+	tr := NewTracker()
+	// SM 0 issues on cycles 10..19 and 30..39; silent 20..29.
+	for c := sim.Cycle(10); c < 40; c++ {
+		issued := 0
+		if c < 20 || c >= 30 {
+			issued = 1
+		}
+		tr.IssueSlot(0, c, issued)
+	}
+	if got := tr.exposedCycles(0, 10, 40); got != 10 {
+		t.Fatalf("exposed = %d, want 10", got)
+	}
+	if got := tr.exposedCycles(0, 20, 30); got != 10 {
+		t.Fatalf("fully idle window exposed = %d, want 10", got)
+	}
+	if got := tr.exposedCycles(0, 10, 20); got != 0 {
+		t.Fatalf("fully busy window exposed = %d, want 0", got)
+	}
+	// Unknown SM: everything exposed... but must not panic.
+	if got := tr.exposedCycles(5, 0, 10); got != 0 {
+		t.Fatalf("unknown SM = %d", got)
+	}
+}
+
+// Property: exposedCycles matches a naive per-cycle model.
+func TestExposureMatchesNaiveProperty(t *testing.T) {
+	f := func(pattern []bool, startSeed, lenSeed uint8) bool {
+		if len(pattern) == 0 {
+			return true
+		}
+		if len(pattern) > 200 {
+			pattern = pattern[:200]
+		}
+		tr := NewTracker()
+		for c, issued := range pattern {
+			n := 0
+			if issued {
+				n = 1
+			}
+			tr.IssueSlot(0, sim.Cycle(c), n)
+		}
+		from := int(startSeed) % len(pattern)
+		to := from + int(lenSeed)%(len(pattern)-from+1)
+		want := sim.Cycle(0)
+		for c := from; c < to; c++ {
+			if !pattern[c] {
+				want++
+			}
+		}
+		return tr.exposedCycles(0, sim.Cycle(from), sim.Cycle(to)) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mkRecord(sm int, issue, ret sim.Cycle, stages [NumStages]sim.Cycle) LoadRecord {
+	return LoadRecord{SM: sm, IssueAt: issue, CreatedAt: issue, ReturnAt: ret,
+		Total: ret - issue, InstTotal: ret - issue, Stages: stages}
+}
+
+func TestBreakdownBucketing(t *testing.T) {
+	tr := NewTracker()
+	// Two fast "hits" (50 cycles, all SMBase) and two slow misses
+	// (1000 cycles, mostly DRAM queue).
+	var hit [NumStages]sim.Cycle
+	hit[StageSMBase] = 50
+	var miss [NumStages]sim.Cycle
+	miss[StageSMBase] = 100
+	miss[StageDRAMQueue] = 700
+	miss[StageFetch2SM] = 200
+	tr.records = append(tr.records,
+		mkRecord(0, 0, 50, hit), mkRecord(0, 10, 60, hit),
+		mkRecord(0, 0, 1000, miss), mkRecord(0, 5, 1005, miss),
+	)
+	rep := tr.Breakdown("test", "tiny", 10)
+	if rep.Requests != 4 {
+		t.Fatalf("requests = %d", rep.Requests)
+	}
+	var nonEmpty []BreakdownBucket
+	for _, b := range rep.Buckets {
+		if b.Count > 0 {
+			nonEmpty = append(nonEmpty, b)
+		}
+	}
+	if len(nonEmpty) != 2 {
+		t.Fatalf("non-empty buckets = %d, want 2", len(nonEmpty))
+	}
+	if nonEmpty[0].Pct(StageSMBase) != 100 {
+		t.Fatalf("hit bucket SMBase%% = %.1f", nonEmpty[0].Pct(StageSMBase))
+	}
+	if nonEmpty[1].Pct(StageDRAMQueue) != 70 {
+		t.Fatalf("miss bucket DRAMQueue%% = %.1f", nonEmpty[1].Pct(StageDRAMQueue))
+	}
+	top := rep.TopContributors()
+	if top[0] != StageDRAMQueue {
+		t.Fatalf("top contributor = %v", top[0])
+	}
+	var sb strings.Builder
+	rep.Render(&sb)
+	if !strings.Contains(sb.String(), "DRAM(QtoSch)") {
+		t.Fatal("render missing stage name")
+	}
+	sb.Reset()
+	rep.RenderCSV(&sb)
+	if len(strings.Split(strings.TrimSpace(sb.String()), "\n")) != 3 {
+		t.Fatalf("CSV rows: %q", sb.String())
+	}
+}
+
+func TestExposureReport(t *testing.T) {
+	tr := NewTracker()
+	// SM 0 never issues: all latency exposed. SM 1 always issues: all
+	// hidden.
+	for c := sim.Cycle(0); c < 1000; c++ {
+		tr.IssueSlot(0, c, 0)
+		tr.IssueSlot(1, c, 1)
+	}
+	var st [NumStages]sim.Cycle
+	st[StageSMBase] = 400
+	tr.records = append(tr.records,
+		mkRecord(0, 100, 500, st),
+		mkRecord(1, 100, 500, st),
+	)
+	rep := tr.Exposure("test", "tiny", 4)
+	if rep.Requests != 2 {
+		t.Fatalf("requests = %d", rep.Requests)
+	}
+	if rep.OverallExposedPct() != 50 {
+		t.Fatalf("overall exposed = %.1f, want 50", rep.OverallExposedPct())
+	}
+	if rep.LoadsMostlyExposed != 1 {
+		t.Fatalf("mostly exposed = %d, want 1", rep.LoadsMostlyExposed)
+	}
+	var sb strings.Builder
+	rep.Render(&sb)
+	if !strings.Contains(sb.String(), "exposed") {
+		t.Fatal("render missing content")
+	}
+}
+
+func TestTrackerReset(t *testing.T) {
+	tr := NewTracker()
+	tr.IssueSlot(0, 5, 1)
+	var st [NumStages]sim.Cycle
+	st[StageSMBase] = 10
+	tr.records = append(tr.records, mkRecord(0, 0, 10, st))
+	tr.Reset()
+	if len(tr.Records()) != 0 {
+		t.Fatal("records survived reset")
+	}
+	if tr.exposedCycles(0, 0, 10) != 10 {
+		t.Fatal("issue bitmap survived reset")
+	}
+}
+
+func TestBreakdownEmptyTracker(t *testing.T) {
+	tr := NewTracker()
+	rep := tr.Breakdown("empty", "none", 10)
+	if rep.Requests != 0 || len(rep.Buckets) != 0 {
+		t.Fatal("empty tracker produced buckets")
+	}
+	er := tr.Exposure("empty", "none", 10)
+	if er.Requests != 0 {
+		t.Fatal("empty exposure nonzero")
+	}
+}
+
+func TestTrackerDropsBadLogs(t *testing.T) {
+	tr := NewTracker()
+	r := &mem.Request{ID: 1, Log: &mem.StageLog{}} // incomplete log
+	tr.RequestDone(0, r)
+	if tr.BadLogs() != 1 || len(tr.Records()) != 0 {
+		t.Fatalf("bad log not counted: %d records %d bad", len(tr.Records()), tr.BadLogs())
+	}
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"gpulat/internal/gpu"
+	"gpulat/internal/kernels"
+	"gpulat/internal/sim"
+)
+
+// DynamicResult is the outcome of an instrumented workload run: the
+// tracker holds every completed load's stage log and the issue-slot
+// bitmaps, from which the Figure 1 and Figure 2 reports derive.
+type DynamicResult struct {
+	Arch     string
+	Workload string
+	Tracker  *Tracker
+	Cycles   sim.Cycle
+	// Launches counts kernel launches (BFS levels, 1 for plain kernels).
+	Launches int
+	// Instructions is the total dynamic instruction count.
+	Instructions uint64
+}
+
+// Breakdown builds the Figure 1 report over the run's tracked loads.
+func (r *DynamicResult) Breakdown(buckets int) *BreakdownReport {
+	return r.Tracker.Breakdown(r.Workload, r.Arch, buckets)
+}
+
+// Exposure builds the Figure 2 report over the run's tracked loads.
+func (r *DynamicResult) Exposure(buckets int) *ExposureReport {
+	return r.Tracker.Exposure(r.Workload, r.Arch, buckets)
+}
+
+// IPC returns device-wide instructions per cycle.
+func (r *DynamicResult) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(r.Cycles)
+}
+
+// RunDynamic executes a single-kernel workload with full latency
+// instrumentation on a fresh GPU built from cfg.
+func RunDynamic(cfg gpu.Config, wl *kernels.Workload) (*DynamicResult, error) {
+	tr := NewTracker()
+	g := gpu.NewWithObservers(cfg, tr, tr)
+	cycles, err := kernels.Run(g, wl)
+	if err != nil {
+		return nil, err
+	}
+	return finish(cfg, wl.Name, g, tr, cycles, 1), nil
+}
+
+// RunDynamicMulti executes a host-loop workload (e.g. BFS) with full
+// instrumentation.
+func RunDynamicMulti(cfg gpu.Config, mk *kernels.MultiKernel) (*DynamicResult, error) {
+	tr := NewTracker()
+	g := gpu.NewWithObservers(cfg, tr, tr)
+	cycles, iters, err := kernels.RunMulti(g, mk)
+	if err != nil {
+		return nil, err
+	}
+	return finish(cfg, mk.Name, g, tr, cycles, iters), nil
+}
+
+func finish(cfg gpu.Config, name string, g *gpu.GPU, tr *Tracker, cycles sim.Cycle, launches int) *DynamicResult {
+	var inst uint64
+	for _, s := range g.SMs() {
+		inst += s.Stats().InstIssued
+	}
+	return &DynamicResult{
+		Arch:         cfg.Name,
+		Workload:     name,
+		Tracker:      tr,
+		Cycles:       cycles,
+		Launches:     launches,
+		Instructions: inst,
+	}
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"gpulat/internal/sim"
+	"gpulat/internal/stats"
+)
+
+// ExposureBucket is one latency bucket of the Figure 2 diagram.
+type ExposureBucket struct {
+	Lo, Hi  sim.Cycle
+	Count   int
+	Exposed sim.Cycle
+	Hidden  sim.Cycle
+}
+
+// ExposedPct returns the exposed share of bucket latency in percent.
+func (b *ExposureBucket) ExposedPct() float64 {
+	t := b.Exposed + b.Hidden
+	if t == 0 {
+		return 0
+	}
+	return 100 * float64(b.Exposed) / float64(t)
+}
+
+// ExposureReport is the Figure 2 analysis: for each latency bucket, the
+// fraction of load latency that was exposed (the issuing SM could not
+// cover the wait with other work) versus hidden.
+type ExposureReport struct {
+	Workload string
+	Arch     string
+	Buckets  []ExposureBucket
+
+	TotalExposed sim.Cycle
+	TotalHidden  sim.Cycle
+	Requests     int
+	// LoadsMostlyExposed counts loads with >50% exposed latency (the
+	// paper: "more than 50% for most of the global memory load
+	// instructions").
+	LoadsMostlyExposed int
+}
+
+// Exposure builds the Figure 2 report. A cycle of a load's lifetime is
+// hidden when the SM issued at least one instruction (from any warp)
+// that cycle, exposed otherwise — the operational form of the paper's
+// "cannot be hidden through the execution of other independent work".
+func (t *Tracker) Exposure(workload, arch string, numBuckets int) *ExposureReport {
+	rep := &ExposureReport{Workload: workload, Arch: arch}
+	if len(t.records) == 0 || numBuckets <= 0 {
+		return rep
+	}
+	lo, hi := t.records[0].InstTotal, t.records[0].InstTotal
+	for _, r := range t.records {
+		if r.InstTotal < lo {
+			lo = r.InstTotal
+		}
+		if r.InstTotal > hi {
+			hi = r.InstTotal
+		}
+	}
+	width := (hi - lo + sim.Cycle(numBuckets)) / sim.Cycle(numBuckets)
+	if width == 0 {
+		width = 1
+	}
+	rep.Buckets = make([]ExposureBucket, numBuckets)
+	for i := range rep.Buckets {
+		rep.Buckets[i].Lo = lo + sim.Cycle(i)*width
+		rep.Buckets[i].Hi = lo + sim.Cycle(i+1)*width
+	}
+	for _, r := range t.records {
+		exposed := t.exposedCycles(r.SM, r.IssueAt, r.ReturnAt)
+		hidden := r.InstTotal - exposed
+		idx := int((r.InstTotal - lo) / width)
+		if idx >= numBuckets {
+			idx = numBuckets - 1
+		}
+		b := &rep.Buckets[idx]
+		b.Count++
+		b.Exposed += exposed
+		b.Hidden += hidden
+		rep.TotalExposed += exposed
+		rep.TotalHidden += hidden
+		rep.Requests++
+		if 2*exposed > r.InstTotal {
+			rep.LoadsMostlyExposed++
+		}
+	}
+	return rep
+}
+
+// OverallExposedPct returns the exposed share across all loads.
+func (r *ExposureReport) OverallExposedPct() float64 {
+	t := r.TotalExposed + r.TotalHidden
+	if t == 0 {
+		return 0
+	}
+	return 100 * float64(r.TotalExposed) / float64(t)
+}
+
+// MostlyExposedPct returns the share of loads with >50% exposure.
+func (r *ExposureReport) MostlyExposedPct() float64 {
+	if r.Requests == 0 {
+		return 0
+	}
+	return 100 * float64(r.LoadsMostlyExposed) / float64(r.Requests)
+}
+
+// Render writes the report as a text table with proportional bars,
+// mirroring Figure 2.
+func (r *ExposureReport) Render(w io.Writer) {
+	fmt.Fprintf(w, "Exposed vs hidden load latency — %s on %s (%d loads)\n",
+		r.Workload, r.Arch, r.Requests)
+	tb := stats.NewTable("latency", "count", "exposed%", "hidden%", "exposure")
+	for i := range r.Buckets {
+		b := &r.Buckets[i]
+		if b.Count == 0 {
+			continue
+		}
+		tb.AddRow(fmt.Sprintf("%d-%d", b.Lo, b.Hi), b.Count,
+			b.ExposedPct(), 100-b.ExposedPct(), stats.Bar(b.ExposedPct()/100, 20))
+	}
+	tb.Render(w)
+	fmt.Fprintf(w, "\nOverall exposed: %.1f%% of load latency; %.1f%% of loads are >50%% exposed\n",
+		r.OverallExposedPct(), r.MostlyExposedPct())
+}
+
+// RenderCSV writes the bucket table as CSV for plotting.
+func (r *ExposureReport) RenderCSV(w io.Writer) {
+	tb := stats.NewTable("lo", "hi", "count", "exposed_pct", "hidden_pct")
+	for i := range r.Buckets {
+		b := &r.Buckets[i]
+		if b.Count == 0 {
+			continue
+		}
+		tb.AddRow(fmt.Sprint(b.Lo), fmt.Sprint(b.Hi), b.Count, b.ExposedPct(), 100-b.ExposedPct())
+	}
+	tb.RenderCSV(w)
+}

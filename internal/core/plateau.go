@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Level is one latency plateau detected in a pointer-chase sweep: the
+// footprint range over which per-access latency is flat corresponds to
+// one level of the memory hierarchy serving the chase.
+type Level struct {
+	// LoFootprint..HiFootprint is the inclusive footprint range (bytes).
+	LoFootprint, HiFootprint uint32
+	// Latency is the mean per-access latency over the plateau.
+	Latency float64
+	// Points is the number of sweep points merged into the plateau.
+	Points int
+}
+
+// DetectLevels finds latency plateaus in a sweep at a fixed stride —
+// automating the paper's visual reading of Table I from the latency
+// surface. Consecutive footprints whose latency stays within relTol
+// (fractional, e.g. 0.08) of the running plateau mean merge into one
+// level; single transitional points between plateaus are absorbed into
+// whichever neighbor they are closer to.
+func DetectLevels(points []SweepPoint, stride uint32, relTol float64) []Level {
+	var sel []SweepPoint
+	for _, p := range points {
+		if p.Stride == stride {
+			sel = append(sel, p)
+		}
+	}
+	sort.Slice(sel, func(i, j int) bool { return sel[i].Footprint < sel[j].Footprint })
+	if len(sel) == 0 {
+		return nil
+	}
+	if relTol <= 0 {
+		relTol = 0.08
+	}
+
+	var levels []Level
+	cur := Level{
+		LoFootprint: sel[0].Footprint, HiFootprint: sel[0].Footprint,
+		Latency: sel[0].MeanLat, Points: 1,
+	}
+	for _, p := range sel[1:] {
+		if within(p.MeanLat, cur.Latency, relTol) {
+			cur.Latency = (cur.Latency*float64(cur.Points) + p.MeanLat) / float64(cur.Points+1)
+			cur.Points++
+			cur.HiFootprint = p.Footprint
+			continue
+		}
+		levels = append(levels, cur)
+		cur = Level{LoFootprint: p.Footprint, HiFootprint: p.Footprint,
+			Latency: p.MeanLat, Points: 1}
+	}
+	levels = append(levels, cur)
+
+	// Absorb single-point transitional levels between two larger
+	// plateaus (footprints straddling a capacity boundary measure a hit/
+	// miss mix).
+	out := levels[:0]
+	for i, lv := range levels {
+		if lv.Points == 1 && i > 0 && i+1 < len(levels) &&
+			levels[i-1].Points > 1 && levels[i+1].Points > 1 {
+			continue
+		}
+		out = append(out, lv)
+	}
+	return out
+}
+
+func within(a, b, relTol float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	lim := b * relTol
+	if lim < 4 { // absolute floor for very small latencies
+		lim = 4
+	}
+	return d <= lim
+}
+
+// RenderLevels writes the detected hierarchy levels.
+func RenderLevels(w io.Writer, arch string, stride uint32, levels []Level) {
+	fmt.Fprintf(w, "Detected memory hierarchy levels — %s, stride %d\n", arch, stride)
+	for i, lv := range levels {
+		fmt.Fprintf(w, "  level %d: %7.1f cycles  (footprint %s .. %s, %d points)\n",
+			i+1, lv.Latency, fmtBytes(lv.LoFootprint), fmtBytes(lv.HiFootprint), lv.Points)
+	}
+}
+
+func fmtBytes(b uint32) string {
+	switch {
+	case b >= 1<<20 && b%(1<<20) == 0:
+		return fmt.Sprintf("%dMiB", b>>20)
+	case b >= 1<<10 && b%(1<<10) == 0:
+		return fmt.Sprintf("%dKiB", b>>10)
+	}
+	return fmt.Sprintf("%dB", b)
+}

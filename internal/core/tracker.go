@@ -1,0 +1,137 @@
+package core
+
+import (
+	"math/bits"
+
+	"gpulat/internal/mem"
+	"gpulat/internal/sim"
+)
+
+// LoadRecord is one completed tracked load, reduced to what the analysis
+// needs (the full request is not retained).
+type LoadRecord struct {
+	SM    int
+	Warp  int
+	Space mem.Space
+	// IssueAt is instruction issue; CreatedAt is transaction creation
+	// in the LDST unit; ReturnAt is register writeback.
+	IssueAt   sim.Cycle
+	CreatedAt sim.Cycle
+	ReturnAt  sim.Cycle
+	// Total is the request lifetime (creation → return), the latency
+	// Figure 1 buckets; InstTotal is the instruction-visible latency
+	// (issue → return), which Figure 2's exposure analysis covers.
+	Total     sim.Cycle
+	InstTotal sim.Cycle
+	Stages    [NumStages]sim.Cycle
+	MergedL1  bool
+	MergedL2  bool
+}
+
+// Tracker implements the paper's instrumentation: it observes completed
+// memory requests (mem.Observer) and per-SM issue slots
+// (gpu.IssueObserver) and feeds the breakdown and exposure analyses.
+// A single Tracker instance is attached to a GPU for the lifetime of an
+// experiment; Reset discards data between warmup and timed phases.
+type Tracker struct {
+	records []LoadRecord
+	// issued[sm] is a bitmap over cycles: bit set = the SM issued at
+	// least one instruction that cycle.
+	issued  [][]uint64
+	maxSeen []sim.Cycle
+
+	badLogs uint64
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker() *Tracker { return &Tracker{} }
+
+// RequestDone implements mem.Observer.
+func (t *Tracker) RequestDone(c sim.Cycle, r *mem.Request) {
+	dur, ok := StageDurations(r.Log)
+	if !ok {
+		t.badLogs++
+		return
+	}
+	instTotal, _ := r.Log.Total()
+	issue := r.Log.MustAt(mem.PtIssue)
+	created, okc := r.Log.At(mem.PtCreated)
+	if !okc {
+		created = issue
+	}
+	ret := r.Log.MustAt(mem.PtReturnSM)
+	t.records = append(t.records, LoadRecord{
+		SM:        r.SM,
+		Warp:      r.Warp,
+		Space:     r.Space,
+		IssueAt:   issue,
+		CreatedAt: created,
+		ReturnAt:  ret,
+		Total:     ret - created,
+		InstTotal: instTotal,
+		Stages:    dur,
+		MergedL1:  r.Log.MergedAtL1,
+		MergedL2:  r.Log.MergedAtL2,
+	})
+}
+
+// IssueSlot implements gpu.IssueObserver.
+func (t *Tracker) IssueSlot(smID int, c sim.Cycle, issued int) {
+	for smID >= len(t.issued) {
+		t.issued = append(t.issued, nil)
+		t.maxSeen = append(t.maxSeen, 0)
+	}
+	if c > t.maxSeen[smID] {
+		t.maxSeen[smID] = c
+	}
+	if issued <= 0 {
+		return
+	}
+	word := int(c / 64)
+	for word >= len(t.issued[smID]) {
+		t.issued[smID] = append(t.issued[smID], 0)
+	}
+	t.issued[smID][word] |= 1 << (c % 64)
+}
+
+// Records returns the collected loads.
+func (t *Tracker) Records() []LoadRecord { return t.records }
+
+// BadLogs returns the number of requests dropped due to incomplete or
+// inconsistent instrumentation (must be zero in a healthy simulation).
+func (t *Tracker) BadLogs() uint64 { return t.badLogs }
+
+// Reset discards all collected data (e.g. after a warmup phase).
+func (t *Tracker) Reset() {
+	t.records = nil
+	for i := range t.issued {
+		t.issued[i] = nil
+		t.maxSeen[i] = 0
+	}
+	t.badLogs = 0
+}
+
+// exposedCycles counts cycles in [from, to) during which SM smID issued
+// no instruction.
+func (t *Tracker) exposedCycles(smID int, from, to sim.Cycle) sim.Cycle {
+	if smID < 0 || smID >= len(t.issued) || to <= from {
+		return 0
+	}
+	bm := t.issued[smID]
+	var hidden sim.Cycle
+	// Count set bits (issued cycles) in [from, to); exposed = span-hidden.
+	for w := int(from / 64); w <= int((to-1)/64) && w < len(bm); w++ {
+		word := bm[w]
+		lo := sim.Cycle(w) * 64
+		// Mask off bits outside [from, to).
+		if from > lo {
+			word &^= (1 << (from - lo)) - 1
+		}
+		hiBit := lo + 64
+		if to < hiBit {
+			word &= (1 << (to - lo)) - 1
+		}
+		hidden += sim.Cycle(bits.OnesCount64(word))
+	}
+	return (to - from) - hidden
+}

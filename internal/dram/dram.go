@@ -1,0 +1,375 @@
+// Package dram models one GDDR channel per memory partition: multiple
+// banks with row-buffer state, DRAM timing constraints (tRCD, tRP, tCL,
+// tRAS, tWR), a shared data bus, and a pluggable request scheduler (FCFS
+// or FR-FCFS). The time a request spends waiting in the controller queue
+// before the scheduler selects it is the paper's "DRAM(QtoSch)" stage —
+// identified in Figure 1 as one of the two dominant latency contributors —
+// and the activate/CAS/burst service time is "DRAM(SchToA)".
+package dram
+
+import (
+	"fmt"
+
+	"gpulat/internal/mem"
+	"gpulat/internal/sim"
+)
+
+// SchedPolicy selects the request scheduling algorithm.
+type SchedPolicy uint8
+
+const (
+	// FRFCFS (first-ready, first-come-first-served) prefers row-buffer
+	// hits over older requests, maximizing row locality — the scheduler
+	// modern GPUs use and the GPGPU-Sim default.
+	FRFCFS SchedPolicy = iota
+	// FCFS serves strictly in arrival order (head-of-line blocking);
+	// the baseline the paper's "different DRAM scheduling algorithm"
+	// remark invites comparison against.
+	FCFS
+	// FRFCFSCap is FR-FCFS with a row-hit streak cap: after CapStreak
+	// consecutive row hits on a bank, the oldest request wins even if
+	// it conflicts. This bounds the worst-case queueing delay of
+	// row-missing requests — a concrete instance of the latency-aware
+	// scheduling the paper's conclusion calls for.
+	FRFCFSCap
+)
+
+// String names the policy.
+func (p SchedPolicy) String() string {
+	switch p {
+	case FRFCFS:
+		return "FR-FCFS"
+	case FCFS:
+		return "FCFS"
+	case FRFCFSCap:
+		return "FR-FCFS-cap"
+	}
+	return "sched(?)"
+}
+
+// Config describes one DRAM channel.
+type Config struct {
+	Name     string
+	Banks    int
+	RowBytes uint32 // row-buffer coverage per bank
+
+	// Core-clock-domain timing parameters.
+	TRCD sim.Cycle // activate → column command
+	TRP  sim.Cycle // precharge duration
+	TCL  sim.Cycle // column command → first data
+	TRAS sim.Cycle // activate → earliest precharge
+	TWR  sim.Cycle // write recovery before bank reuse
+	// BurstCycles is the data-bus occupancy per request.
+	BurstCycles sim.Cycle
+
+	// QueueDepth bounds the controller queue (backpressure upstream).
+	QueueDepth int
+	Scheduler  SchedPolicy
+	// CapStreak is the consecutive-row-hit limit for FRFCFSCap
+	// (default 4 when zero).
+	CapStreak int
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.Banks <= 0:
+		return fmt.Errorf("dram %s: banks must be positive", c.Name)
+	case c.RowBytes == 0 || c.RowBytes&(c.RowBytes-1) != 0:
+		return fmt.Errorf("dram %s: row bytes must be a power of two", c.Name)
+	case c.QueueDepth <= 0:
+		return fmt.Errorf("dram %s: queue depth must be positive", c.Name)
+	case c.BurstCycles == 0:
+		return fmt.Errorf("dram %s: burst cycles must be positive", c.Name)
+	}
+	return nil
+}
+
+type bankState struct {
+	rowOpen    bool
+	openRow    uint64
+	busyUntil  sim.Cycle
+	lastActAt  sim.Cycle
+	everActive bool
+	// hitStreak counts consecutive row hits served (FRFCFSCap).
+	hitStreak int
+}
+
+type pending struct {
+	req     *mem.Request
+	bank    int
+	row     uint64
+	arrived sim.Cycle
+	seq     uint64
+}
+
+type inflight struct {
+	req    *mem.Request
+	finish sim.Cycle
+}
+
+// Channel is one DRAM channel instance.
+type Channel struct {
+	cfg       Config
+	banks     []bankState
+	queue     []*pending
+	inflight  []inflight // sorted by finish
+	busFreeAt sim.Cycle
+	seq       uint64
+
+	stats Stats
+}
+
+// Stats counts channel activity.
+type Stats struct {
+	Scheduled    uint64
+	RowHits      uint64
+	RowOpens     uint64 // activate on a closed bank
+	RowConflicts uint64 // precharge + activate
+	QueueWaitSum uint64 // cycles from arrival to schedule
+	Stalls       uint64 // Push rejected (queue full)
+}
+
+// NewChannel constructs a channel; it panics on invalid configuration.
+func NewChannel(cfg Config) *Channel {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	return &Channel{
+		cfg:   cfg,
+		banks: make([]bankState, cfg.Banks),
+	}
+}
+
+// Config returns the channel configuration.
+func (ch *Channel) Config() Config { return ch.cfg }
+
+// Stats returns a snapshot of the activity counters.
+func (ch *Channel) Stats() Stats { return ch.stats }
+
+// QueueLen returns the number of requests awaiting scheduling.
+func (ch *Channel) QueueLen() int { return len(ch.queue) }
+
+// CanPush reports whether the controller queue has room.
+func (ch *Channel) CanPush() bool { return len(ch.queue) < ch.cfg.QueueDepth }
+
+// FreeSlots returns the number of queue entries still available; callers
+// that must enqueue a fetch plus an eviction writeback atomically check
+// for two free slots.
+func (ch *Channel) FreeSlots() int { return ch.cfg.QueueDepth - len(ch.queue) }
+
+// NoteStall records upstream backpressure for statistics.
+func (ch *Channel) NoteStall() { ch.stats.Stalls++ }
+
+// decode maps an address to (bank, row). Banks are interleaved at row
+// granularity across the address space within the channel.
+func (ch *Channel) decode(addr uint64) (bank int, row uint64) {
+	rowAddr := addr / uint64(ch.cfg.RowBytes)
+	return int(rowAddr % uint64(ch.cfg.Banks)), rowAddr / uint64(ch.cfg.Banks)
+}
+
+// Push enqueues a request at cycle c; the caller must check CanPush.
+// The request's PtDRAMQArrive point must already be marked by the caller.
+func (ch *Channel) Push(c sim.Cycle, req *mem.Request) {
+	if !ch.CanPush() {
+		panic("dram: push to full queue: " + ch.cfg.Name)
+	}
+	bank, row := ch.decode(req.Addr)
+	ch.seq++
+	ch.queue = append(ch.queue, &pending{req: req, bank: bank, row: row, arrived: c, seq: ch.seq})
+}
+
+// Tick advances the channel one cycle: the scheduler may initiate service
+// of at most one request (one column command per cycle).
+func (ch *Channel) Tick(c sim.Cycle) {
+	idx := ch.pick(c)
+	if idx < 0 {
+		return
+	}
+	p := ch.queue[idx]
+	ch.queue = append(ch.queue[:idx], ch.queue[idx+1:]...)
+	ch.service(c, p)
+}
+
+// busOK reports whether a request on bank b targeting row would reach
+// the data bus without being delayed by it: commands only issue when
+// their data slot is clear, so bus backpressure keeps requests in the
+// queue — their wait is arbitration time (QtoSch), as in real
+// controllers, not service time.
+func (ch *Channel) busOK(c sim.Cycle, b *bankState, row uint64) bool {
+	var casStart sim.Cycle
+	switch {
+	case b.rowOpen && b.openRow == row:
+		casStart = c
+	case !b.rowOpen:
+		casStart = c + ch.cfg.TRCD
+	default:
+		pStart := c
+		if b.everActive && b.lastActAt+ch.cfg.TRAS > pStart {
+			pStart = b.lastActAt + ch.cfg.TRAS
+		}
+		casStart = pStart + ch.cfg.TRP + ch.cfg.TRCD
+	}
+	return casStart+ch.cfg.TCL >= ch.busFreeAt
+}
+
+func (ch *Channel) pick(c sim.Cycle) int {
+	if len(ch.queue) == 0 {
+		return -1
+	}
+	switch ch.cfg.Scheduler {
+	case FRFCFSCap:
+		cap := ch.cfg.CapStreak
+		if cap <= 0 {
+			cap = 4
+		}
+		bestHit, bestAny := -1, -1
+		for i, p := range ch.queue {
+			b := &ch.banks[p.bank]
+			if b.busyUntil > c || !ch.busOK(c, b, p.row) {
+				continue
+			}
+			if b.rowOpen && b.openRow == p.row && b.hitStreak < cap {
+				if bestHit < 0 || p.seq < ch.queue[bestHit].seq {
+					bestHit = i
+				}
+			}
+			if bestAny < 0 || p.seq < ch.queue[bestAny].seq {
+				bestAny = i
+			}
+		}
+		if bestHit >= 0 {
+			return bestHit
+		}
+		return bestAny
+	case FCFS:
+		// Strict arrival order: only the head may be scheduled, and only
+		// when its bank is free.
+		head := 0
+		for i, p := range ch.queue {
+			if p.seq < ch.queue[head].seq {
+				head = i
+			}
+		}
+		hb := &ch.banks[ch.queue[head].bank]
+		if hb.busyUntil <= c && ch.busOK(c, hb, ch.queue[head].row) {
+			return head
+		}
+		return -1
+	case FRFCFS:
+		bestHit, bestAny := -1, -1
+		for i, p := range ch.queue {
+			b := &ch.banks[p.bank]
+			if b.busyUntil > c || !ch.busOK(c, b, p.row) {
+				continue
+			}
+			if b.rowOpen && b.openRow == p.row {
+				if bestHit < 0 || p.seq < ch.queue[bestHit].seq {
+					bestHit = i
+				}
+			}
+			if bestAny < 0 || p.seq < ch.queue[bestAny].seq {
+				bestAny = i
+			}
+		}
+		if bestHit >= 0 {
+			return bestHit
+		}
+		return bestAny
+	}
+	return -1
+}
+
+func (ch *Channel) service(c sim.Cycle, p *pending) {
+	b := &ch.banks[p.bank]
+	cfg := ch.cfg
+
+	var casStart sim.Cycle
+	switch {
+	case b.rowOpen && b.openRow == p.row:
+		ch.stats.RowHits++
+		b.hitStreak++
+		casStart = c
+	case !b.rowOpen:
+		ch.stats.RowOpens++
+		b.hitStreak = 0
+		b.lastActAt = c
+		casStart = c + cfg.TRCD
+	default:
+		ch.stats.RowConflicts++
+		b.hitStreak = 0
+		pStart := c
+		if b.everActive && b.lastActAt+cfg.TRAS > pStart {
+			pStart = b.lastActAt + cfg.TRAS
+		}
+		actStart := pStart + cfg.TRP
+		b.lastActAt = actStart
+		casStart = actStart + cfg.TRCD
+	}
+	b.rowOpen = true
+	b.openRow = p.row
+	b.everActive = true
+
+	dataStart := casStart + cfg.TCL
+	if dataStart < ch.busFreeAt {
+		dataStart = ch.busFreeAt
+	}
+	finish := dataStart + cfg.BurstCycles
+	ch.busFreeAt = finish
+
+	// Column accesses pipeline: the bank is occupied for the burst
+	// duration (its column-command cadence), not the full CAS latency;
+	// the shared data bus (busFreeAt) provides the second throughput
+	// bound. Writes add the write-recovery time before the bank can
+	// serve again.
+	b.busyUntil = casStart + cfg.BurstCycles
+	if p.req.Kind == mem.KindStore {
+		b.busyUntil = casStart + cfg.BurstCycles + cfg.TWR
+	}
+
+	if p.req.Log != nil {
+		p.req.Log.Mark(mem.PtDRAMSched, c)
+	}
+	ch.stats.Scheduled++
+	ch.stats.QueueWaitSum += uint64(c - p.arrived)
+
+	// Insert into inflight, keeping sort by finish time then FIFO.
+	pos := len(ch.inflight)
+	for pos > 0 && ch.inflight[pos-1].finish > finish {
+		pos--
+	}
+	ch.inflight = append(ch.inflight, inflight{})
+	copy(ch.inflight[pos+1:], ch.inflight[pos:])
+	ch.inflight[pos] = inflight{req: p.req, finish: finish}
+}
+
+// Completed removes and returns all requests whose data transfer has
+// finished by cycle c, marking their PtDRAMDone point.
+func (ch *Channel) Completed(c sim.Cycle) []*mem.Request {
+	n := 0
+	for n < len(ch.inflight) && ch.inflight[n].finish <= c {
+		n++
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]*mem.Request, n)
+	for i := 0; i < n; i++ {
+		out[i] = ch.inflight[i].req
+		if out[i].Log != nil {
+			out[i].Log.Mark(mem.PtDRAMDone, ch.inflight[i].finish)
+		}
+	}
+	copy(ch.inflight, ch.inflight[n:])
+	ch.inflight = ch.inflight[:len(ch.inflight)-n]
+	return out
+}
+
+// InflightLen returns the number of requests in service (test hook).
+func (ch *Channel) InflightLen() int { return len(ch.inflight) }
+
+// UnloadedReadLatency returns the analytic service latency of a single
+// read on an idle channel with a closed (precharged) bank: tRCD + tCL +
+// burst. Configuration presets use this to calibrate against Table I.
+func (ch *Channel) UnloadedReadLatency() sim.Cycle {
+	return ch.cfg.TRCD + ch.cfg.TCL + ch.cfg.BurstCycles
+}

@@ -1,0 +1,110 @@
+package dram
+
+import (
+	"testing"
+
+	"gpulat/internal/mem"
+	"gpulat/internal/sim"
+)
+
+// TestFRFCFSCapBoundsStarvation sets up a stream of row hits plus one
+// old conflicting request; plain FR-FCFS serves all hits first, while
+// the capped variant schedules the conflict after at most CapStreak
+// hits.
+func TestFRFCFSCapBoundsStarvation(t *testing.T) {
+	run := func(pol SchedPolicy) (conflictSched sim.Cycle, hitsBefore int) {
+		cfg := testConfig()
+		cfg.Scheduler = pol
+		cfg.CapStreak = 2
+		cfg.QueueDepth = 64
+		ch := NewChannel(cfg)
+		// Open row 0 of bank 0.
+		warm := dreq(100, 0, mem.KindLoad)
+		ch.Push(0, warm)
+		var open sim.Cycle
+		for c := sim.Cycle(0); ; c++ {
+			ch.Tick(c)
+			if rs := ch.Completed(c); len(rs) > 0 {
+				open = c
+				break
+			}
+		}
+		// One old conflicting request, then a stream of newer row hits.
+		rowStride := uint64(cfg.RowBytes) * uint64(cfg.Banks)
+		conflict := dreq(1, rowStride, mem.KindLoad)
+		ch.Push(open+1, conflict)
+		hits := make([]*mem.Request, 12)
+		for i := range hits {
+			hits[i] = dreq(uint64(i+2), uint64(i*64), mem.KindLoad)
+			ch.Push(open+1, hits[i])
+		}
+		for c := open + 2; c < open+100000; c++ {
+			ch.Tick(c)
+			ch.Completed(c)
+			if ch.QueueLen() == 0 && ch.InflightLen() == 0 {
+				break
+			}
+		}
+		cs := conflict.Log.MustAt(mem.PtDRAMSched)
+		before := 0
+		for _, h := range hits {
+			if h.Log.MustAt(mem.PtDRAMSched) < cs {
+				before++
+			}
+		}
+		return cs, before
+	}
+
+	_, hitsBeforePlain := run(FRFCFS)
+	_, hitsBeforeCap := run(FRFCFSCap)
+	if hitsBeforePlain != 12 {
+		t.Fatalf("plain FR-FCFS served %d hits before the conflict, want all 12", hitsBeforePlain)
+	}
+	if hitsBeforeCap > 2 {
+		t.Fatalf("capped scheduler let %d hits pass the old conflict, cap is 2", hitsBeforeCap)
+	}
+}
+
+// TestFRFCFSCapDefaultStreak verifies the zero-value cap defaults to 4.
+func TestFRFCFSCapDefaultStreak(t *testing.T) {
+	cfg := testConfig()
+	cfg.Scheduler = FRFCFSCap
+	cfg.CapStreak = 0
+	cfg.QueueDepth = 64
+	ch := NewChannel(cfg)
+	warm := dreq(100, 0, mem.KindLoad)
+	ch.Push(0, warm)
+	run(ch, 1, 1000)
+
+	rowStride := uint64(cfg.RowBytes) * uint64(cfg.Banks)
+	conflict := dreq(1, rowStride, mem.KindLoad)
+	ch.Push(500, conflict)
+	hits := make([]*mem.Request, 10)
+	for i := range hits {
+		hits[i] = dreq(uint64(i+2), uint64(i*64), mem.KindLoad)
+		ch.Push(500, hits[i])
+	}
+	for c := sim.Cycle(501); c < 100000; c++ {
+		ch.Tick(c)
+		ch.Completed(c)
+		if ch.QueueLen() == 0 && ch.InflightLen() == 0 {
+			break
+		}
+	}
+	cs := conflict.Log.MustAt(mem.PtDRAMSched)
+	before := 0
+	for _, h := range hits {
+		if h.Log.MustAt(mem.PtDRAMSched) < cs {
+			before++
+		}
+	}
+	if before > 4 {
+		t.Fatalf("default cap let %d hits starve the conflict", before)
+	}
+}
+
+func TestSchedulerNames(t *testing.T) {
+	if FRFCFS.String() != "FR-FCFS" || FCFS.String() != "FCFS" || FRFCFSCap.String() != "FR-FCFS-cap" {
+		t.Fatal("scheduler names wrong")
+	}
+}

@@ -1,0 +1,351 @@
+// Package gpu assembles the full simulated GPU: the SMs, the request and
+// reply interconnection networks, and the memory partitions, plus the
+// block dispatcher and the top-level cycle loop. It is the integration
+// point where the paper's two instrumentation hooks attach: the per-
+// request stage logs flowing through the memory system, and the per-SM
+// per-cycle issue accounting used for the exposed-latency analysis.
+package gpu
+
+import (
+	"fmt"
+
+	"gpulat/internal/icnt"
+	"gpulat/internal/mem"
+	"gpulat/internal/mempart"
+	"gpulat/internal/sim"
+	"gpulat/internal/sm"
+)
+
+// Config describes a whole GPU.
+type Config struct {
+	// Name identifies the architecture preset (e.g. "GF100-like").
+	Name string
+	// SM is the per-SM configuration template; NumSMs instances are
+	// created with sequential IDs.
+	SM     sm.Config
+	NumSMs int
+	// Partition is the per-partition template; NumPartitions instances
+	// are created.
+	Partition     mempart.Config
+	NumPartitions int
+	// Request/reply network templates; Inputs/Outputs are filled in.
+	RequestNet icnt.Config
+	ReplyNet   icnt.Config
+	// PartitionInterleave is the address granularity at which global
+	// addresses stripe across partitions (bytes, power of two).
+	PartitionInterleave uint32
+	// ControlPacketBytes and DataPacketBytes size network packets:
+	// a load request or store ack is a control packet; a store request
+	// or load reply adds the data payload.
+	ControlPacketBytes uint32
+	DataPacketBytes    uint32
+	// MaxCycles aborts runaway simulations (0 = no limit).
+	MaxCycles sim.Cycle
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.NumSMs <= 0 || c.NumPartitions <= 0:
+		return fmt.Errorf("gpu %s: SM and partition counts must be positive", c.Name)
+	case c.PartitionInterleave == 0 || c.PartitionInterleave&(c.PartitionInterleave-1) != 0:
+		return fmt.Errorf("gpu %s: partition interleave must be a power of two", c.Name)
+	case c.ControlPacketBytes == 0:
+		return fmt.Errorf("gpu %s: control packet bytes must be positive", c.Name)
+	}
+	return nil
+}
+
+// IssueObserver receives per-cycle issue accounting (the exposed-latency
+// instrumentation). Implementations must be cheap: called once per SM per
+// cycle.
+type IssueObserver interface {
+	IssueSlot(smID int, c sim.Cycle, issued int)
+}
+
+// NopIssueObserver ignores issue accounting.
+type NopIssueObserver struct{}
+
+// IssueSlot implements IssueObserver.
+func (NopIssueObserver) IssueSlot(int, sim.Cycle, int) {}
+
+// GPU is one simulated device.
+type GPU struct {
+	cfg    Config
+	Memory *mem.Memory
+
+	sms        []*sm.SM
+	parts      []*mempart.Partition
+	reqNet     *icnt.Crossbar
+	replyNet   *icnt.Crossbar
+	reqCounter uint64
+
+	observer mem.Observer
+	issueObs IssueObserver
+
+	cycle sim.Cycle
+
+	// Launch state.
+	kernel    *sm.Kernel
+	nextBlock int
+
+	stats Stats
+}
+
+// Stats aggregates device-level counters.
+type Stats struct {
+	Cycles          uint64
+	KernelsLaunched uint64
+	BlocksDispatch  uint64
+}
+
+// New constructs a GPU with a fresh functional memory.
+func New(cfg Config) *GPU {
+	return NewWithObservers(cfg, nil, nil)
+}
+
+// NewWithObservers constructs a GPU wiring the latency observer (request
+// completions) and the issue observer (exposure accounting).
+func NewWithObservers(cfg Config, obs mem.Observer, issueObs IssueObserver) *GPU {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	if obs == nil {
+		obs = mem.NopObserver{}
+	}
+	if issueObs == nil {
+		issueObs = NopIssueObserver{}
+	}
+	g := &GPU{
+		cfg:      cfg,
+		Memory:   mem.NewMemory(),
+		observer: obs,
+		issueObs: issueObs,
+	}
+
+	reqCfg := cfg.RequestNet
+	reqCfg.Name = cfg.Name + ".reqnet"
+	reqCfg.Inputs = cfg.NumSMs
+	reqCfg.Outputs = cfg.NumPartitions
+	g.reqNet = icnt.New(reqCfg)
+
+	repCfg := cfg.ReplyNet
+	repCfg.Name = cfg.Name + ".replynet"
+	repCfg.Inputs = cfg.NumPartitions
+	repCfg.Outputs = cfg.NumSMs
+	g.replyNet = icnt.New(repCfg)
+
+	for i := 0; i < cfg.NumSMs; i++ {
+		smCfg := cfg.SM
+		smCfg.ID = i
+		smCfg.L1.Name = fmt.Sprintf("%s.sm%d.l1", cfg.Name, i)
+		g.sms = append(g.sms, sm.New(smCfg, g.Memory, g.nextReqID, obs))
+	}
+	for i := 0; i < cfg.NumPartitions; i++ {
+		pc := cfg.Partition
+		pc.ID = i
+		pc.L2.Name = fmt.Sprintf("%s.part%d.l2", cfg.Name, i)
+		pc.DRAM.Name = fmt.Sprintf("%s.part%d.dram", cfg.Name, i)
+		g.parts = append(g.parts, mempart.New(pc))
+	}
+	return g
+}
+
+func (g *GPU) nextReqID() uint64 {
+	g.reqCounter++
+	return g.reqCounter
+}
+
+// Config returns the device configuration.
+func (g *GPU) Config() Config { return g.cfg }
+
+// Cycle returns the current simulation cycle.
+func (g *GPU) Cycle() sim.Cycle { return g.cycle }
+
+// Stats returns device counters.
+func (g *GPU) Stats() Stats { return g.stats }
+
+// SMs exposes the cores (stats and tests).
+func (g *GPU) SMs() []*sm.SM { return g.sms }
+
+// Partitions exposes the memory partitions (stats and tests).
+func (g *GPU) Partitions() []*mempart.Partition { return g.parts }
+
+// partitionOf maps a global address to its memory partition.
+func (g *GPU) partitionOf(addr uint64) int {
+	return int((addr / uint64(g.cfg.PartitionInterleave)) % uint64(g.cfg.NumPartitions))
+}
+
+// Launch starts kernel k. Only one kernel runs at a time; Launch panics
+// if a kernel is already in flight.
+func (g *GPU) Launch(k *sm.Kernel) {
+	if g.kernel != nil {
+		panic("gpu: kernel already running")
+	}
+	if k.GridDim <= 0 || k.BlockDim <= 0 {
+		panic("gpu: kernel grid and block dims must be positive")
+	}
+	if k.WarpsPerBlock(g.cfg.SM.WarpSize) > g.cfg.SM.MaxWarps {
+		panic("gpu: block larger than SM warp capacity")
+	}
+	g.kernel = k
+	g.nextBlock = 0
+	g.stats.KernelsLaunched++
+	g.dispatchBlocks()
+}
+
+// dispatchBlocks fills free block slots breadth-first across SMs.
+func (g *GPU) dispatchBlocks() {
+	if g.kernel == nil {
+		return
+	}
+	for g.nextBlock < g.kernel.GridDim {
+		launched := false
+		for _, s := range g.sms {
+			if g.nextBlock >= g.kernel.GridDim {
+				break
+			}
+			if s.CanLaunch(g.kernel) {
+				s.LaunchBlock(g.kernel, g.nextBlock)
+				g.nextBlock++
+				g.stats.BlocksDispatch++
+				launched = true
+			}
+		}
+		if !launched {
+			return
+		}
+	}
+}
+
+// Step advances the device one cycle.
+func (g *GPU) Step() {
+	c := g.cycle
+
+	// Memory partitions (includes DRAM).
+	for _, p := range g.parts {
+		p.Tick(c)
+	}
+
+	// Reply network: partition return queues → network → SMs.
+	for pi, p := range g.parts {
+		for {
+			r, ok := p.PeekReturn(c)
+			if !ok {
+				break
+			}
+			if !g.replyNet.CanInject(pi) {
+				g.replyNet.NoteInjectStall(pi)
+				break
+			}
+			p.PopReturn(c)
+			g.replyNet.Inject(c, pi, icnt.Packet{
+				Req: r, Dst: r.SM,
+				Size: g.cfg.ControlPacketBytes + g.cfg.DataPacketBytes,
+			})
+		}
+	}
+	g.replyNet.Tick(c)
+	for si, s := range g.sms {
+		for s.CanAcceptResponse() {
+			pkt, ok := g.replyNet.PopEject(c, si)
+			if !ok {
+				break
+			}
+			s.AcceptResponse(c, pkt.Req)
+		}
+	}
+
+	// Request network: SM miss queues → network → partitions.
+	for si, s := range g.sms {
+		for {
+			r, ok := s.PeekMiss(c)
+			if !ok {
+				break
+			}
+			if !g.reqNet.CanInject(si) {
+				g.reqNet.NoteInjectStall(si)
+				break
+			}
+			s.PopMiss(c)
+			r.Partition = g.partitionOf(r.Addr)
+			if r.Log != nil {
+				r.Log.Mark(mem.PtICNTInject, c)
+			}
+			size := g.cfg.ControlPacketBytes
+			if r.Kind == mem.KindStore {
+				size += g.cfg.DataPacketBytes
+			}
+			g.reqNet.Inject(c, si, icnt.Packet{Req: r, Dst: r.Partition, Size: size})
+		}
+	}
+	g.reqNet.Tick(c)
+	for pi, p := range g.parts {
+		for p.CanAccept() {
+			pkt, ok := g.reqNet.PopEject(c, pi)
+			if !ok {
+				break
+			}
+			p.Accept(c, pkt.Req)
+		}
+	}
+
+	// Cores last: issue sees this cycle's returned data next cycle.
+	// Idle SMs (no resident blocks, nothing in flight) are skipped; they
+	// cannot issue and hold no outstanding loads, so neither the timing
+	// nor the exposure accounting is affected.
+	for _, s := range g.sms {
+		if !s.Busy() {
+			continue
+		}
+		s.Tick(c)
+		g.issueObs.IssueSlot(s.Config().ID, c, s.IssuedThisCycle())
+	}
+
+	g.dispatchBlocks()
+	g.cycle++
+	g.stats.Cycles++
+}
+
+// Done reports whether the current kernel (if any) has fully drained.
+func (g *GPU) Done() bool {
+	if g.kernel == nil {
+		return true
+	}
+	if g.nextBlock < g.kernel.GridDim {
+		return false
+	}
+	for _, s := range g.sms {
+		if s.Busy() {
+			return false
+		}
+	}
+	for _, p := range g.parts {
+		if !p.Drained() {
+			return false
+		}
+	}
+	if g.reqNet.Pending() > 0 || g.replyNet.Pending() > 0 {
+		return false
+	}
+	return true
+}
+
+// Run advances until the kernel completes, returning the cycles elapsed
+// during the run. It returns an error if MaxCycles is exceeded.
+func (g *GPU) Run() (sim.Cycle, error) {
+	start := g.cycle
+	for !g.Done() {
+		g.Step()
+		if g.cfg.MaxCycles > 0 && g.cycle-start > g.cfg.MaxCycles {
+			return g.cycle - start, fmt.Errorf("gpu %s: exceeded %d cycles without completing", g.cfg.Name, g.cfg.MaxCycles)
+		}
+	}
+	g.kernel = nil
+	return g.cycle - start, nil
+}
+
+// RunKernel launches k and runs it to completion.
+func (g *GPU) RunKernel(k *sm.Kernel) (sim.Cycle, error) {
+	g.Launch(k)
+	return g.Run()
+}

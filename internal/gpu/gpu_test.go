@@ -1,0 +1,230 @@
+package gpu
+
+import (
+	"testing"
+
+	"gpulat/internal/cache"
+	"gpulat/internal/dram"
+	"gpulat/internal/icnt"
+	"gpulat/internal/isa"
+	"gpulat/internal/mem"
+	"gpulat/internal/mempart"
+	"gpulat/internal/sim"
+	"gpulat/internal/sm"
+)
+
+// tinyConfig is a small but complete GPU for integration tests.
+func tinyConfig() Config {
+	return Config{
+		Name: "tiny",
+		SM: sm.Config{
+			WarpSize: 32, MaxWarps: 8, MaxBlocks: 2, Scheduler: sm.LRR,
+			IssueWidth: 1, ALULatency: 4, BranchLatency: 2,
+			LDSTIssueLatency: 3, LDSTQueueDepth: 4, CoalesceSegment: 128,
+			L1Enabled: true, L1LocalEnabled: true,
+			L1: cache.Config{
+				Sets: 16, Ways: 4, LineSize: 128, Replacement: cache.LRU,
+				Write: cache.WriteThroughNoAlloc, MSHREntries: 8,
+				MSHRMaxMerge: 4, HitLatency: 2,
+			},
+			MissQueueDepth: 8, ResponseQueueDepth: 8, WritebackLatency: 3,
+			SharedLatency: 5, SharedBanks: 32,
+		},
+		NumSMs: 2,
+		Partition: mempart.Config{
+			ROPLatency: 10, ROPQueueDepth: 8, L2QueueDepth: 8,
+			L2Enabled: true,
+			L2: cache.Config{
+				Sets: 64, Ways: 8, LineSize: 128, Replacement: cache.LRU,
+				Write: cache.WriteBackAlloc, MSHREntries: 16,
+				MSHRMaxMerge: 8, HitLatency: 8,
+			},
+			DRAM: dram.Config{
+				Banks: 4, RowBytes: 2048, TRCD: 10, TRP: 10, TCL: 12,
+				TRAS: 25, TWR: 8, BurstCycles: 4, QueueDepth: 16,
+				Scheduler: dram.FRFCFS,
+			},
+			ReturnQueueDepth: 8,
+		},
+		NumPartitions:       2,
+		RequestNet:          icnt.Config{Latency: 5, FlitBytes: 32, InjectDepth: 4, EjectDepth: 4},
+		ReplyNet:            icnt.Config{Latency: 5, FlitBytes: 32, InjectDepth: 4, EjectDepth: 4},
+		PartitionInterleave: 256,
+		ControlPacketBytes:  8,
+		DataPacketBytes:     128,
+		MaxCycles:           5_000_000,
+	}
+}
+
+// vecIncKernel computes out[i] = in[i] + 1 over n elements.
+func vecIncKernel(inAddr, outAddr uint32, n int, blockDim int) *sm.Kernel {
+	b := isa.NewBuilder("vecinc")
+	b.S2R(1, isa.SrTID).
+		S2R(2, isa.SrCTAID).
+		S2R(3, isa.SrNTID).
+		IMad(4, 2, 3, 1).                  // gid = ctaid*ntid + tid
+		ISetpI(0, isa.CmpGE, 4, int32(n)). // bounds check
+		P(0).Exit().                       // excess threads exit
+		ShlI(5, 4, 2).                     // gid*4
+		Param(6, 0).
+		IAdd(6, 6, 5).
+		Ldg(7, 6, 0).
+		IAddI(7, 7, 1).
+		Param(8, 1).
+		IAdd(8, 8, 5).
+		Stg(8, 0, 7).
+		Exit()
+	grid := (n + blockDim - 1) / blockDim
+	return &sm.Kernel{
+		Program:  b.Build(),
+		Params:   []uint32{inAddr, outAddr},
+		BlockDim: blockDim,
+		GridDim:  grid,
+	}
+}
+
+func TestVectorIncrementEndToEnd(t *testing.T) {
+	const n = 512
+	g := New(tinyConfig())
+	for i := uint64(0); i < n; i++ {
+		g.Memory.Store32(0x10000+i*4, uint32(i*7))
+	}
+	cycles, err := g.RunKernel(vecIncKernel(0x10000, 0x20000, n, 128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles == 0 {
+		t.Fatal("zero cycles")
+	}
+	for i := uint64(0); i < n; i++ {
+		if got := g.Memory.Load32(0x20000 + i*4); got != uint32(i*7+1) {
+			t.Fatalf("out[%d] = %d, want %d", i, got, i*7+1)
+		}
+	}
+	// Work must have spread across both SMs.
+	if g.SMs()[0].Stats().InstIssued == 0 || g.SMs()[1].Stats().InstIssued == 0 {
+		t.Fatal("blocks not distributed across SMs")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (sim.Cycle, uint64) {
+		g := New(tinyConfig())
+		for i := uint64(0); i < 256; i++ {
+			g.Memory.Store32(0x10000+i*4, uint32(i))
+		}
+		cyc, err := g.RunKernel(vecIncKernel(0x10000, 0x20000, 256, 64))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var inst uint64
+		for _, s := range g.SMs() {
+			inst += s.Stats().InstIssued
+		}
+		return cyc, inst
+	}
+	c1, i1 := run()
+	c2, i2 := run()
+	if c1 != c2 || i1 != i2 {
+		t.Fatalf("non-deterministic: run1=(%d,%d) run2=(%d,%d)", c1, i1, c2, i2)
+	}
+}
+
+func TestStageLogsCompleteAndMonotonic(t *testing.T) {
+	col := &collector{}
+	g := NewWithObservers(tinyConfig(), col, nil)
+	for i := uint64(0); i < 256; i++ {
+		g.Memory.Store32(0x10000+i*4, uint32(i))
+	}
+	if _, err := g.RunKernel(vecIncKernel(0x10000, 0x20000, 256, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if len(col.reqs) == 0 {
+		t.Fatal("no tracked requests observed")
+	}
+	for _, r := range col.reqs {
+		if !r.Log.Complete() {
+			t.Fatalf("incomplete log: %v", r.Log)
+		}
+		if !r.Log.Monotonic() {
+			t.Fatalf("non-monotonic log: %v", r.Log)
+		}
+	}
+}
+
+type collector struct{ reqs []*mem.Request }
+
+func (c *collector) RequestDone(_ sim.Cycle, r *mem.Request) { c.reqs = append(c.reqs, r) }
+
+func TestIssueObserverFires(t *testing.T) {
+	cnt := &issueCounter{}
+	g := NewWithObservers(tinyConfig(), nil, cnt)
+	for i := uint64(0); i < 128; i++ {
+		g.Memory.Store32(0x10000+i*4, uint32(i))
+	}
+	if _, err := g.RunKernel(vecIncKernel(0x10000, 0x20000, 128, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if cnt.slots == 0 || cnt.issued == 0 {
+		t.Fatalf("issue observer: slots=%d issued=%d", cnt.slots, cnt.issued)
+	}
+	if cnt.issued > cnt.slots {
+		t.Fatal("issued more instruction slots than observed cycles")
+	}
+}
+
+type issueCounter struct {
+	slots  uint64
+	issued uint64
+}
+
+func (ic *issueCounter) IssueSlot(_ int, _ sim.Cycle, n int) {
+	ic.slots++
+	ic.issued += uint64(n)
+}
+
+func TestSequentialKernelsShareCaches(t *testing.T) {
+	g := New(tinyConfig())
+	for i := uint64(0); i < 64; i++ {
+		g.Memory.Store32(0x10000+i*4, uint32(i))
+	}
+	if _, err := g.RunKernel(vecIncKernel(0x10000, 0x20000, 64, 64)); err != nil {
+		t.Fatal(err)
+	}
+	missesAfterFirst := g.SMs()[0].Stats().L1Misses
+	if _, err := g.RunKernel(vecIncKernel(0x10000, 0x30000, 64, 64)); err != nil {
+		t.Fatal(err)
+	}
+	// Second kernel reloads the same input lines on the same SM: loads
+	// must hit. Only its stores (two fresh 128B output segments, write-
+	// through/no-allocate) may add misses.
+	if g.SMs()[0].Stats().L1Misses > missesAfterFirst+2 {
+		t.Fatalf("second kernel missed again: %d → %d", missesAfterFirst, g.SMs()[0].Stats().L1Misses)
+	}
+	if g.SMs()[0].Stats().L1Hits == 0 {
+		t.Fatal("no L1 hits on rerun")
+	}
+}
+
+func TestOversizedBlockPanics(t *testing.T) {
+	g := New(tinyConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	k := vecIncKernel(0x1000, 0x2000, 32, 32)
+	k.BlockDim = 8 * 32 * 2 // more warps than MaxWarps
+	g.Launch(k)
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.NumSMs = 0
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(cfg)
+}

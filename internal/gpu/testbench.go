@@ -1,0 +1,180 @@
+package gpu
+
+import (
+	"fmt"
+
+	"gpulat/internal/icnt"
+	"gpulat/internal/mem"
+	"gpulat/internal/mempart"
+	"gpulat/internal/sim"
+)
+
+// MemSubsystem is an SM-less testbench over the memory system: the
+// request network, partitions (ROP/L2/DRAM) and reply network of a
+// Config, with synthetic injection ports where the SMs would be. It
+// isolates the loaded behavior of the global memory pipeline from core
+// effects — the substrate for latency-versus-offered-load studies.
+type MemSubsystem struct {
+	cfg      Config
+	parts    []*mempart.Partition
+	reqNet   *icnt.Crossbar
+	replyNet *icnt.Crossbar
+
+	// pending[port] holds requests waiting for network injection.
+	pending [][]*mem.Request
+
+	cycle   sim.Cycle
+	nextID  uint64
+	onReply func(c sim.Cycle, r *mem.Request)
+
+	stats MemSubsystemStats
+}
+
+// MemSubsystemStats counts testbench activity.
+type MemSubsystemStats struct {
+	Injected  uint64
+	Completed uint64
+	Deferred  uint64 // injections delayed by backpressure
+}
+
+// NewMemSubsystem builds the testbench from a device configuration.
+// onReply is invoked for every returned load (may be nil).
+func NewMemSubsystem(cfg Config, onReply func(c sim.Cycle, r *mem.Request)) *MemSubsystem {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	if onReply == nil {
+		onReply = func(sim.Cycle, *mem.Request) {}
+	}
+	ms := &MemSubsystem{cfg: cfg, onReply: onReply, pending: make([][]*mem.Request, cfg.NumSMs)}
+
+	reqCfg := cfg.RequestNet
+	reqCfg.Name = cfg.Name + ".tb.reqnet"
+	reqCfg.Inputs = cfg.NumSMs
+	reqCfg.Outputs = cfg.NumPartitions
+	ms.reqNet = icnt.New(reqCfg)
+
+	repCfg := cfg.ReplyNet
+	repCfg.Name = cfg.Name + ".tb.replynet"
+	repCfg.Inputs = cfg.NumPartitions
+	repCfg.Outputs = cfg.NumSMs
+	ms.replyNet = icnt.New(repCfg)
+
+	for i := 0; i < cfg.NumPartitions; i++ {
+		pc := cfg.Partition
+		pc.ID = i
+		pc.L2.Name = fmt.Sprintf("%s.tb.part%d.l2", cfg.Name, i)
+		pc.DRAM.Name = fmt.Sprintf("%s.tb.part%d.dram", cfg.Name, i)
+		ms.parts = append(ms.parts, mempart.New(pc))
+	}
+	return ms
+}
+
+// Cycle returns the current testbench cycle.
+func (ms *MemSubsystem) Cycle() sim.Cycle { return ms.cycle }
+
+// Stats returns the testbench counters.
+func (ms *MemSubsystem) Stats() MemSubsystemStats { return ms.stats }
+
+// Inject queues a tracked load of size bytes at address addr on
+// injection port (pseudo-SM) port. The request is stamped as if it had
+// just left an SM's L1.
+func (ms *MemSubsystem) Inject(port int, addr uint64, size uint32) *mem.Request {
+	if port < 0 || port >= ms.cfg.NumSMs {
+		panic("gpu: testbench port out of range")
+	}
+	ms.nextID++
+	r := &mem.Request{
+		ID: ms.nextID, Addr: addr, Size: size,
+		Kind: mem.KindLoad, Space: mem.SpaceGlobal,
+		SM: port, Warp: 0,
+		Log: &mem.StageLog{},
+	}
+	r.Log.Mark(mem.PtIssue, ms.cycle)
+	r.Log.Mark(mem.PtCreated, ms.cycle)
+	r.Log.Mark(mem.PtL1Access, ms.cycle)
+	ms.pending[port] = append(ms.pending[port], r)
+	ms.stats.Injected++
+	return r
+}
+
+// Step advances the testbench one cycle.
+func (ms *MemSubsystem) Step() {
+	c := ms.cycle
+	for _, p := range ms.parts {
+		p.Tick(c)
+	}
+	// Replies: partitions → reply net → callback.
+	for pi, p := range ms.parts {
+		for {
+			r, ok := p.PeekReturn(c)
+			if !ok {
+				break
+			}
+			if !ms.replyNet.CanInject(pi) {
+				break
+			}
+			p.PopReturn(c)
+			ms.replyNet.Inject(c, pi, icnt.Packet{
+				Req: r, Dst: r.SM,
+				Size: ms.cfg.ControlPacketBytes + ms.cfg.DataPacketBytes,
+			})
+		}
+	}
+	ms.replyNet.Tick(c)
+	for port := 0; port < ms.cfg.NumSMs; port++ {
+		for {
+			pkt, ok := ms.replyNet.PopEject(c, port)
+			if !ok {
+				break
+			}
+			pkt.Req.Log.Mark(mem.PtReturnSM, c)
+			ms.stats.Completed++
+			ms.onReply(c, pkt.Req)
+		}
+	}
+	// Requests: pending → request net → partitions.
+	for port := range ms.pending {
+		for len(ms.pending[port]) > 0 {
+			if !ms.reqNet.CanInject(port) {
+				ms.stats.Deferred++
+				break
+			}
+			r := ms.pending[port][0]
+			ms.pending[port] = ms.pending[port][1:]
+			r.Partition = ms.partitionOf(r.Addr)
+			r.Log.Mark(mem.PtICNTInject, c)
+			ms.reqNet.Inject(c, port, icnt.Packet{
+				Req: r, Dst: r.Partition, Size: ms.cfg.ControlPacketBytes,
+			})
+		}
+	}
+	ms.reqNet.Tick(c)
+	for pi, p := range ms.parts {
+		for p.CanAccept() {
+			pkt, ok := ms.reqNet.PopEject(c, pi)
+			if !ok {
+				break
+			}
+			p.Accept(c, pkt.Req)
+		}
+	}
+	ms.cycle++
+}
+
+func (ms *MemSubsystem) partitionOf(addr uint64) int {
+	return int((addr / uint64(ms.cfg.PartitionInterleave)) % uint64(ms.cfg.NumPartitions))
+}
+
+// Drained reports whether every injected request has completed.
+func (ms *MemSubsystem) Drained() bool {
+	if ms.stats.Completed < ms.stats.Injected {
+		return false
+	}
+	for _, p := range ms.parts {
+		if !p.Drained() {
+			return false
+		}
+	}
+	return ms.reqNet.Pending() == 0 && ms.replyNet.Pending() == 0
+}

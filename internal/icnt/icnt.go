@@ -1,0 +1,194 @@
+// Package icnt models the on-chip interconnection network between the
+// SMs and the memory partitions as a crossbar with per-port injection and
+// ejection queues, a fixed traversal latency, finite link bandwidth, and
+// round-robin output arbitration. Two instances are used per GPU: a
+// request network (SM → partition) and a reply network (partition → SM).
+// Time spent queued at injection — the "loaded queue ... between the SM's
+// L1 cache and the interconnection network" — is the paper's L1toICNT
+// latency component, one of the two dominant contributors in Figure 1.
+package icnt
+
+import (
+	"fmt"
+
+	"gpulat/internal/mem"
+	"gpulat/internal/sim"
+)
+
+// Packet is one network transfer unit carrying a memory request or reply.
+type Packet struct {
+	Req *mem.Request
+	// Dst is the destination output port.
+	Dst int
+	// Size is the packet payload in bytes; data-bearing packets (write
+	// requests, read replies) are larger than header-only packets and
+	// occupy link bandwidth proportionally.
+	Size uint32
+}
+
+// Config describes one crossbar instance.
+type Config struct {
+	Name    string
+	Inputs  int
+	Outputs int
+	// Latency is the pipeline traversal time from injection-queue exit
+	// to ejection-queue visibility.
+	Latency sim.Cycle
+	// FlitBytes is the per-cycle link bandwidth; a packet occupies its
+	// output port for ceil(Size/FlitBytes) cycles.
+	FlitBytes uint32
+	// InjectDepth and EjectDepth bound the per-port queues.
+	InjectDepth int
+	EjectDepth  int
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.Inputs <= 0 || c.Outputs <= 0:
+		return fmt.Errorf("icnt %s: ports must be positive", c.Name)
+	case c.FlitBytes == 0:
+		return fmt.Errorf("icnt %s: flit bytes must be positive", c.Name)
+	case c.InjectDepth <= 0 || c.EjectDepth <= 0:
+		return fmt.Errorf("icnt %s: queue depths must be positive", c.Name)
+	}
+	return nil
+}
+
+// Crossbar is one network instance.
+type Crossbar struct {
+	cfg     Config
+	inject  []*sim.Queue[Packet]
+	eject   []*sim.Queue[Packet]
+	outBusy []sim.Cycle
+	rr      []int
+
+	stats Stats
+}
+
+// Stats counts network activity.
+type Stats struct {
+	Injected     uint64
+	Delivered    uint64
+	InjectStalls uint64
+	EjectBlocked uint64 // output arbitration blocked by full ejection queue
+}
+
+// New constructs a crossbar; it panics on invalid configuration.
+func New(cfg Config) *Crossbar {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	x := &Crossbar{
+		cfg:     cfg,
+		inject:  make([]*sim.Queue[Packet], cfg.Inputs),
+		eject:   make([]*sim.Queue[Packet], cfg.Outputs),
+		outBusy: make([]sim.Cycle, cfg.Outputs),
+		rr:      make([]int, cfg.Outputs),
+	}
+	for i := range x.inject {
+		x.inject[i] = sim.NewQueue[Packet](fmt.Sprintf("%s.inject%d", cfg.Name, i), cfg.InjectDepth, 0)
+	}
+	for o := range x.eject {
+		// The ejection queue doubles as the traversal pipeline: packets
+		// occupy it for Latency cycles, so its capacity must cover the
+		// pipeline occupancy on top of the configured buffering or the
+		// link could never sustain one packet per cycle.
+		x.eject[o] = sim.NewQueue[Packet](fmt.Sprintf("%s.eject%d", cfg.Name, o), cfg.EjectDepth+int(cfg.Latency), cfg.Latency)
+	}
+	return x
+}
+
+// Config returns the crossbar configuration.
+func (x *Crossbar) Config() Config { return x.cfg }
+
+// Stats returns a snapshot of the counters.
+func (x *Crossbar) Stats() Stats { return x.stats }
+
+// CanInject reports whether input port i can accept a packet.
+func (x *Crossbar) CanInject(i int) bool { return x.inject[i].CanPush() }
+
+// NoteInjectStall records upstream backpressure at input i.
+func (x *Crossbar) NoteInjectStall(i int) { x.stats.InjectStalls++; x.inject[i].NoteStall() }
+
+// Inject places a packet into input port i's queue at cycle c. The caller
+// must check CanInject; injection into a full queue panics.
+func (x *Crossbar) Inject(c sim.Cycle, i int, p Packet) {
+	if p.Dst < 0 || p.Dst >= x.cfg.Outputs {
+		panic(fmt.Sprintf("icnt %s: bad destination %d", x.cfg.Name, p.Dst))
+	}
+	x.inject[i].Push(c, p)
+	x.stats.Injected++
+}
+
+// occupancy returns the cycles a packet holds its output link.
+func (x *Crossbar) occupancy(size uint32) sim.Cycle {
+	fl := (size + x.cfg.FlitBytes - 1) / x.cfg.FlitBytes
+	if fl == 0 {
+		fl = 1
+	}
+	return sim.Cycle(fl)
+}
+
+// Tick arbitrates each output port: round-robin over inputs whose head
+// packet targets the port. An input forwards at most one packet per cycle.
+func (x *Crossbar) Tick(c sim.Cycle) {
+	usedInput := make([]bool, x.cfg.Inputs)
+	for o := 0; o < x.cfg.Outputs; o++ {
+		if x.outBusy[o] > c {
+			continue
+		}
+		if !x.eject[o].CanPush() {
+			x.stats.EjectBlocked++
+			continue
+		}
+		start := x.rr[o]
+		for k := 0; k < x.cfg.Inputs; k++ {
+			i := (start + k) % x.cfg.Inputs
+			if usedInput[i] {
+				continue
+			}
+			pkt, ok := x.inject[i].Peek(c)
+			if !ok || pkt.Dst != o {
+				continue
+			}
+			x.inject[i].Pop(c)
+			x.eject[o].Push(c, pkt)
+			x.outBusy[o] = c + x.occupancy(pkt.Size)
+			x.rr[o] = (i + 1) % x.cfg.Inputs
+			usedInput[i] = true
+			break
+		}
+	}
+}
+
+// PopEject removes the packet at output port o if one has completed
+// traversal by cycle c.
+func (x *Crossbar) PopEject(c sim.Cycle, o int) (Packet, bool) {
+	p, ok := x.eject[o].Pop(c)
+	if ok {
+		x.stats.Delivered++
+	}
+	return p, ok
+}
+
+// PeekEject inspects output port o without removing.
+func (x *Crossbar) PeekEject(c sim.Cycle, o int) (Packet, bool) {
+	return x.eject[o].Peek(c)
+}
+
+// EjectFree returns the free entries at output o (backpressure probe for
+// components that must guarantee sink space before injecting).
+func (x *Crossbar) EjectFree(o int) int { return x.eject[o].Free() }
+
+// Pending returns the total number of packets buffered anywhere in the
+// network (drain check).
+func (x *Crossbar) Pending() int {
+	n := 0
+	for _, q := range x.inject {
+		n += q.Len()
+	}
+	for _, q := range x.eject {
+		n += q.Len()
+	}
+	return n
+}

@@ -1,0 +1,226 @@
+package icnt
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gpulat/internal/mem"
+	"gpulat/internal/sim"
+)
+
+func testConfig() Config {
+	return Config{
+		Name:        "test",
+		Inputs:      4,
+		Outputs:     2,
+		Latency:     8,
+		FlitBytes:   32,
+		InjectDepth: 4,
+		EjectDepth:  4,
+	}
+}
+
+func pkt(id uint64, dst int, size uint32) Packet {
+	return Packet{Req: &mem.Request{ID: id}, Dst: dst, Size: size}
+}
+
+func TestTraversalLatency(t *testing.T) {
+	x := New(testConfig())
+	x.Inject(0, 0, pkt(1, 1, 8))
+	x.Tick(0) // forwarded at cycle 0, visible at 0+latency
+	for c := sim.Cycle(1); c < 8; c++ {
+		x.Tick(c)
+		if _, ok := x.PopEject(c, 1); ok {
+			t.Fatalf("packet visible at cycle %d, before latency %d", c, 8)
+		}
+	}
+	p, ok := x.PopEject(8, 1)
+	if !ok || p.Req.ID != 1 {
+		t.Fatalf("packet not delivered at latency: ok=%v", ok)
+	}
+}
+
+func TestWrongPortStaysEmpty(t *testing.T) {
+	x := New(testConfig())
+	x.Inject(0, 0, pkt(1, 1, 8))
+	for c := sim.Cycle(0); c < 20; c++ {
+		x.Tick(c)
+		if _, ok := x.PopEject(c, 0); ok {
+			t.Fatal("packet delivered to wrong output")
+		}
+	}
+}
+
+func TestBandwidthSerialization(t *testing.T) {
+	cfg := testConfig()
+	x := New(cfg)
+	// Two 64-byte packets from the same input to the same output: the
+	// second must wait 2 cycles (64/32 flits) for the link.
+	x.Inject(0, 0, pkt(1, 0, 64))
+	x.Inject(0, 0, pkt(2, 0, 64))
+	var got []sim.Cycle
+	for c := sim.Cycle(0); c < 40 && len(got) < 2; c++ {
+		x.Tick(c)
+		if _, ok := x.PopEject(c, 0); ok {
+			got = append(got, c)
+		}
+	}
+	if len(got) != 2 {
+		t.Fatalf("delivered %d packets", len(got))
+	}
+	if got[1]-got[0] != 2 {
+		t.Fatalf("64B packets spaced %d cycles on 32B/cycle link, want 2", got[1]-got[0])
+	}
+}
+
+func TestRoundRobinFairness(t *testing.T) {
+	cfg := testConfig()
+	cfg.Inputs = 3
+	cfg.EjectDepth = 64
+	x := New(cfg)
+	// Each input holds packets for output 0; deliveries must rotate.
+	for i := 0; i < 3; i++ {
+		x.Inject(0, i, pkt(uint64(10+i), 0, 8))
+		x.Inject(0, i, pkt(uint64(20+i), 0, 8))
+	}
+	var order []uint64
+	for c := sim.Cycle(0); c < 60 && len(order) < 6; c++ {
+		x.Tick(c)
+		if p, ok := x.PopEject(c, 0); ok {
+			order = append(order, p.Req.ID)
+		}
+	}
+	if len(order) != 6 {
+		t.Fatalf("delivered %d of 6", len(order))
+	}
+	// First three deliveries must come from three distinct inputs.
+	seen := map[uint64]bool{}
+	for _, id := range order[:3] {
+		seen[id%10] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("arbitration starved an input: order=%v", order)
+	}
+}
+
+func TestEjectBackpressureBlocksForwarding(t *testing.T) {
+	cfg := testConfig()
+	cfg.EjectDepth = 1
+	cfg.Latency = 0
+	x := New(cfg)
+	x.Inject(0, 0, pkt(1, 0, 8))
+	x.Inject(0, 0, pkt(2, 0, 8))
+	x.Tick(0)
+	x.Tick(1) // eject queue full: packet 2 must remain at input
+	if x.inject[0].Len() != 1 {
+		t.Fatalf("packet forwarded into full ejection queue; inject len=%d", x.inject[0].Len())
+	}
+	if x.Stats().EjectBlocked == 0 {
+		t.Fatal("EjectBlocked not counted")
+	}
+	// Drain one; now the second moves.
+	x.PopEject(1, 0)
+	x.Tick(2)
+	if _, ok := x.PopEject(2, 0); !ok {
+		t.Fatal("packet not forwarded after drain")
+	}
+}
+
+func TestInjectBackpressure(t *testing.T) {
+	cfg := testConfig()
+	cfg.InjectDepth = 2
+	x := New(cfg)
+	x.Inject(0, 0, pkt(1, 0, 8))
+	x.Inject(0, 0, pkt(2, 0, 8))
+	if x.CanInject(0) {
+		t.Fatal("inject queue should be full")
+	}
+	x.NoteInjectStall(0)
+	if x.Stats().InjectStalls != 1 {
+		t.Fatal("stall not counted")
+	}
+}
+
+func TestBadDestinationPanics(t *testing.T) {
+	x := New(testConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	x.Inject(0, 0, pkt(1, 5, 8))
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	cases := []func(*Config){
+		func(c *Config) { c.Inputs = 0 },
+		func(c *Config) { c.Outputs = 0 },
+		func(c *Config) { c.FlitBytes = 0 },
+		func(c *Config) { c.InjectDepth = 0 },
+		func(c *Config) { c.EjectDepth = 0 },
+	}
+	for i, mutate := range cases {
+		cfg := testConfig()
+		mutate(&cfg)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+// Property: every injected packet is delivered exactly once to its
+// destination, in per-(input,output) FIFO order.
+func TestDeliveryProperty(t *testing.T) {
+	f := func(dsts []uint8) bool {
+		cfg := testConfig()
+		cfg.InjectDepth = 256
+		cfg.EjectDepth = 256
+		x := New(cfg)
+		if len(dsts) > 64 {
+			dsts = dsts[:64]
+		}
+		type key struct{ in, out int }
+		want := map[key][]uint64{}
+		for i, d := range dsts {
+			in := i % cfg.Inputs
+			out := int(d) % cfg.Outputs
+			id := uint64(i + 1)
+			x.Inject(0, in, Packet{Req: &mem.Request{ID: id, SM: in}, Dst: out, Size: 8})
+			want[key{in, out}] = append(want[key{in, out}], id)
+		}
+		got := map[key][]uint64{}
+		total := 0
+		for c := sim.Cycle(0); c < 10000 && total < len(dsts); c++ {
+			x.Tick(c)
+			for o := 0; o < cfg.Outputs; o++ {
+				if p, ok := x.PopEject(c, o); ok {
+					got[key{p.Req.SM, o}] = append(got[key{p.Req.SM, o}], p.Req.ID)
+					total++
+				}
+			}
+		}
+		if total != len(dsts) || x.Pending() != 0 {
+			return false
+		}
+		for k, w := range want {
+			g := got[k]
+			if len(g) != len(w) {
+				return false
+			}
+			for i := range w {
+				if g[i] != w[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,190 @@
+package isa
+
+import "math"
+
+// ThreadCtx is one thread's architectural state plus the identifiers
+// needed by S2R. The SM owns instances; Eval mutates registers and
+// predicates functionally at issue time.
+type ThreadCtx struct {
+	Regs  [NumRegs]uint32
+	Preds [NumPreds]bool
+
+	TID    uint32
+	NTID   uint32
+	CTAID  uint32
+	NCTAID uint32
+	LaneID uint32
+	WarpID uint32
+	SMID   uint32
+	// Clock is refreshed by the SM before evaluating S2R CLOCK.
+	Clock uint32
+	// Params are the kernel launch parameters.
+	Params []uint32
+}
+
+// ReadReg returns the register value with RZ semantics.
+func (t *ThreadCtx) ReadReg(r Reg) uint32 {
+	if r == RZ {
+		return 0
+	}
+	return t.Regs[r]
+}
+
+// WriteReg stores v with RZ semantics (writes to RZ are discarded).
+func (t *ThreadCtx) WriteReg(r Reg, v uint32) {
+	if r != RZ {
+		t.Regs[r] = v
+	}
+}
+
+// ReadPred returns the predicate with PT semantics.
+func (t *ThreadCtx) ReadPred(p PredReg) bool {
+	if p == PT {
+		return true
+	}
+	return t.Preds[p]
+}
+
+// WritePred stores v with PT semantics (writes to PT are discarded).
+func (t *ThreadCtx) WritePred(p PredReg, v bool) {
+	if p != PT {
+		t.Preds[p] = v
+	}
+}
+
+// GuardPasses reports whether the instruction's guard predicate allows
+// this lane to execute.
+func (t *ThreadCtx) GuardPasses(in *Instruction) bool {
+	v := t.ReadPred(in.Pred)
+	if in.PredNeg {
+		return !v
+	}
+	return v
+}
+
+// EvalResult conveys the side effects of Eval that the timing model must
+// act on: branch direction and memory access descriptors.
+type EvalResult struct {
+	// Taken is set for OpBRA when the lane takes the branch.
+	Taken bool
+	// MemAddr and MemSize describe the lane's memory access; StoreVal is
+	// the value for stores. Valid only for memory opcodes.
+	MemAddr  uint64
+	MemSize  uint32
+	StoreVal uint32
+}
+
+func (t *ThreadCtx) operandB(in *Instruction) uint32 {
+	if in.UseImm {
+		return uint32(in.Imm)
+	}
+	return t.ReadReg(in.SrcB)
+}
+
+// Eval executes the instruction functionally for one lane. Memory loads
+// are NOT performed here — the SM reads functional memory when the access
+// is issued — but the effective address is computed. Eval assumes the
+// guard already passed.
+func (t *ThreadCtx) Eval(in *Instruction) EvalResult {
+	var res EvalResult
+	a := t.ReadReg(in.SrcA)
+	switch in.Op {
+	case OpNOP, OpEXIT, OpBAR:
+	case OpIADD:
+		t.WriteReg(in.Dst, a+t.operandB(in))
+	case OpISUB:
+		t.WriteReg(in.Dst, a-t.operandB(in))
+	case OpIMUL:
+		t.WriteReg(in.Dst, a*t.operandB(in))
+	case OpIMAD:
+		t.WriteReg(in.Dst, a*t.operandB(in)+t.ReadReg(in.SrcC))
+	case OpAND:
+		t.WriteReg(in.Dst, a&t.operandB(in))
+	case OpOR:
+		t.WriteReg(in.Dst, a|t.operandB(in))
+	case OpXOR:
+		t.WriteReg(in.Dst, a^t.operandB(in))
+	case OpSHL:
+		t.WriteReg(in.Dst, a<<(t.operandB(in)&31))
+	case OpSHR:
+		t.WriteReg(in.Dst, a>>(t.operandB(in)&31))
+	case OpIMIN:
+		b := t.operandB(in)
+		if b < a {
+			a = b
+		}
+		t.WriteReg(in.Dst, a)
+	case OpIMAX:
+		b := t.operandB(in)
+		if b > a {
+			a = b
+		}
+		t.WriteReg(in.Dst, a)
+	case OpFADD:
+		t.WriteReg(in.Dst, f2b(b2f(a)+b2f(t.operandB(in))))
+	case OpFMUL:
+		t.WriteReg(in.Dst, f2b(b2f(a)*b2f(t.operandB(in))))
+	case OpFFMA:
+		t.WriteReg(in.Dst, f2b(float32(
+			float64(b2f(a))*float64(b2f(t.operandB(in)))+float64(b2f(t.ReadReg(in.SrcC))))))
+	case OpMOV:
+		if in.UseImm {
+			t.WriteReg(in.Dst, uint32(in.Imm))
+		} else {
+			t.WriteReg(in.Dst, a)
+		}
+	case OpSELP:
+		if t.ReadPred(in.PDst) {
+			t.WriteReg(in.Dst, a)
+		} else {
+			t.WriteReg(in.Dst, t.operandB(in))
+		}
+	case OpS2R:
+		t.WriteReg(in.Dst, t.special(in))
+	case OpISETP:
+		t.WritePred(in.PDst, in.Cmp.Eval(a, t.operandB(in)))
+	case OpBRA:
+		res.Taken = true
+	case OpLDG, OpLDL, OpLDS:
+		res.MemAddr = uint64(a) + uint64(int64(in.Imm))
+		res.MemSize = 4
+	case OpSTG, OpSTL, OpSTS, OpATOM:
+		res.MemAddr = uint64(a) + uint64(int64(in.Imm))
+		res.MemSize = 4
+		res.StoreVal = t.ReadReg(in.SrcB)
+	default:
+		panic("isa: unimplemented opcode " + in.Op.String())
+	}
+	return res
+}
+
+func (t *ThreadCtx) special(in *Instruction) uint32 {
+	switch in.Special {
+	case SrTID:
+		return t.TID
+	case SrNTID:
+		return t.NTID
+	case SrCTAID:
+		return t.CTAID
+	case SrNCTAID:
+		return t.NCTAID
+	case SrLaneID:
+		return t.LaneID
+	case SrWarpID:
+		return t.WarpID
+	case SrSMID:
+		return t.SMID
+	case SrClock:
+		return t.Clock
+	case SrParam:
+		idx := int(in.Imm)
+		if idx < 0 || idx >= len(t.Params) {
+			return 0
+		}
+		return t.Params[idx]
+	}
+	panic("isa: unknown special register")
+}
+
+func b2f(v uint32) float32 { return math.Float32frombits(v) }
+func f2b(v float32) uint32 { return math.Float32bits(v) }

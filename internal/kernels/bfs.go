@@ -1,0 +1,185 @@
+package kernels
+
+import (
+	"fmt"
+
+	"gpulat/internal/isa"
+	"gpulat/internal/mem"
+	"gpulat/internal/sm"
+)
+
+// MultiKernel is a workload driven by a host-side loop of kernel
+// launches (BFS relaunches one kernel per frontier level).
+type MultiKernel struct {
+	Name  string
+	Setup func(m *mem.Memory)
+	// Next returns the kernel for iteration iter, or nil when the
+	// workload has converged. It may read functional memory to decide
+	// (e.g. BFS's continuation flag).
+	Next   func(m *mem.Memory, iter int) *sm.Kernel
+	Verify func(m *mem.Memory) error
+}
+
+// BFSConfig parameterizes the BFS workload of the paper's dynamic
+// analysis.
+type BFSConfig struct {
+	Graph    *Graph
+	Source   int
+	BlockDim int
+}
+
+// BFS builds the level-synchronous BFS workload (one thread per vertex,
+// one kernel launch per level — the classic GPU BFS formulation from the
+// GPGPU-Sim benchmark suite the paper uses). Each iteration's kernel:
+//
+//	v = global thread id; exit if v >= N
+//	exit if levels[v] != curLevel            (frontier test)
+//	for e in rowOff[v]..rowOff[v+1]:         (divergent degree loop)
+//	    w = col[e]                           (streaming load)
+//	    if levels[w] == Unreached:           (scattered load)
+//	        levels[w] = curLevel+1           (scattered store)
+//	        flag = 1
+//
+// The scattered neighbor loads are what make BFS latency-bound.
+func BFS(cfg BFSConfig) (*MultiKernel, error) {
+	g := cfg.Graph
+	if g == nil {
+		return nil, fmt.Errorf("bfs: nil graph")
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Source < 0 || cfg.Source >= g.N {
+		return nil, fmt.Errorf("bfs: source %d out of range", cfg.Source)
+	}
+	if cfg.BlockDim <= 0 {
+		cfg.BlockDim = 128
+	}
+
+	const (
+		rowBase   = regionA
+		colBase   = regionB
+		levelBase = regionC
+		flagAddr  = regionD
+	)
+
+	const (
+		rTid   = isa.Reg(1)
+		rV     = isa.Reg(2)
+		rLvl   = isa.Reg(3)
+		rCur   = isa.Reg(4)
+		rStart = isa.Reg(5)
+		rEnd   = isa.Reg(6)
+		rTmp   = isa.Reg(7)
+		rW     = isa.Reg(8)
+		rLw    = isa.Reg(9)
+		rAddr  = isa.Reg(10)
+		rOne   = isa.Reg(11)
+		rN     = isa.Reg(12)
+	)
+
+	b := isa.NewBuilder("bfs-level")
+	b.S2R(rTid, isa.SrTID).
+		S2R(rTmp, isa.SrCTAID).
+		S2R(rV, isa.SrNTID).
+		IMad(rV, rTmp, rV, rTid). // v = ctaid*ntid + tid
+		Param(rN, 4).
+		ISetp(0, isa.CmpGE, rV, rN).
+		P(0).Exit(). // out of range
+		// levels[v]
+		ShlI(rAddr, rV, 2).
+		IAddI(rAddr, rAddr, 0). // keep rAddr = 4v
+		Param(rTmp, 2).
+		IAdd(rAddr, rAddr, rTmp).
+		Ldg(rLvl, rAddr, 0).
+		Param(rCur, 3).
+		ISetp(1, isa.CmpNE, rLvl, rCur).
+		P(1).Exit(). // not on the frontier
+		// start/end from row offsets
+		ShlI(rTmp, rV, 2).
+		Param(rStart, 0).
+		IAdd(rTmp, rTmp, rStart).
+		Ldg(rStart, rTmp, 0).
+		Ldg(rEnd, rTmp, 4).
+		MovI(rOne, 1).
+		Label("edge").
+		ISetp(2, isa.CmpGE, rStart, rEnd).
+		P(2).Bra("done").
+		// w = col[start]
+		ShlI(rTmp, rStart, 2).
+		Param(rAddr, 1).
+		IAdd(rTmp, rTmp, rAddr).
+		Ldg(rW, rTmp, 0).
+		// lw = levels[w]
+		ShlI(rTmp, rW, 2).
+		Param(rAddr, 2).
+		IAdd(rTmp, rTmp, rAddr).
+		Ldg(rLw, rTmp, 0).
+		ISetpI(3, isa.CmpNE, rLw, -1).
+		P(3).Bra("next").
+		// levels[w] = cur+1 ; flag = 1
+		IAddI(rLw, rCur, 1).
+		Stg(rTmp, 0, rLw).
+		Param(rTmp, 5).
+		Stg(rTmp, 0, rOne).
+		Label("next").
+		IAddI(rStart, rStart, 1).
+		Bra("edge").
+		Label("done").
+		Exit()
+	prog := b.Build()
+
+	grid := (g.N + cfg.BlockDim - 1) / cfg.BlockDim
+	mkKernel := func(level uint32) *sm.Kernel {
+		return &sm.Kernel{
+			Program: prog,
+			Params: []uint32{
+				rowBase, colBase, levelBase, level, uint32(g.N), flagAddr,
+			},
+			BlockDim: cfg.BlockDim,
+			GridDim:  grid,
+		}
+	}
+
+	setup := func(m *mem.Memory) {
+		for i, off := range g.RowOff {
+			m.Store32(rowBase+uint64(i)*4, off)
+		}
+		for i, w := range g.Col {
+			m.Store32(colBase+uint64(i)*4, w)
+		}
+		for v := 0; v < g.N; v++ {
+			m.Store32(levelBase+uint64(v)*4, Unreached)
+		}
+		m.Store32(levelBase+uint64(cfg.Source)*4, 0)
+		m.Store32(flagAddr, 0)
+	}
+
+	next := func(m *mem.Memory, iter int) *sm.Kernel {
+		if iter > 0 {
+			if m.Load32(flagAddr) == 0 {
+				return nil // frontier empty: converged
+			}
+			m.Store32(flagAddr, 0)
+		}
+		return mkKernel(uint32(iter))
+	}
+
+	want := CPUBFS(g, cfg.Source)
+	verify := func(m *mem.Memory) error {
+		for v := 0; v < g.N; v++ {
+			got := m.Load32(levelBase + uint64(v)*4)
+			if got != want[v] {
+				return fmt.Errorf("bfs: level[%d] = %#x, want %#x", v, got, want[v])
+			}
+		}
+		return nil
+	}
+
+	return &MultiKernel{
+		Name:   fmt.Sprintf("bfs/n=%d/m=%d", g.N, g.Edges()),
+		Setup:  setup,
+		Next:   next,
+		Verify: verify,
+	}, nil
+}

@@ -1,0 +1,68 @@
+package kernels
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Scale selects workload input sizes for the catalog.
+type Scale int
+
+const (
+	// ScaleTest is small enough for unit tests (sub-second runs).
+	ScaleTest Scale = iota
+	// ScaleExperiment matches the sizes used for the paper's figures.
+	ScaleExperiment
+)
+
+// Catalog returns the named single-kernel workload constructors used by
+// the CLI, benchmarks and the "other workloads" experiment (E4).
+func Catalog(scale Scale, seed uint64) map[string]func() (*Workload, error) {
+	n := 1 << 12
+	grid := 32
+	if scale == ScaleExperiment {
+		n = 1 << 16
+		grid = 128
+	}
+	return map[string]func() (*Workload, error){
+		"vecadd": func() (*Workload, error) { return VecAdd(n, 128, seed), nil },
+		"saxpy":  func() (*Workload, error) { return Saxpy(n, 128, 2.5, seed), nil },
+		"copy":   func() (*Workload, error) { return Copy(n, 128, seed), nil },
+		"reduce": func() (*Workload, error) { return Reduce(n, 128, seed) },
+		"spmv":   func() (*Workload, error) { return SpMV(n/4, 8, seed) },
+		"stencil2d": func() (*Workload, error) {
+			return Stencil2D(grid, seed)
+		},
+		"transpose": func() (*Workload, error) {
+			return Transpose(grid, seed)
+		},
+		"histogram": func() (*Workload, error) {
+			return Histogram(n, 64, 128, seed)
+		},
+		"gather": func() (*Workload, error) {
+			return Gather(n, 128, false, seed)
+		},
+		"gather-sorted": func() (*Workload, error) {
+			return Gather(n, 128, true, seed)
+		},
+	}
+}
+
+// CatalogNames lists catalog workloads in stable order.
+func CatalogNames() []string {
+	names := make([]string, 0)
+	for k := range Catalog(ScaleTest, 1) {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NewByName builds a catalog workload by name.
+func NewByName(name string, scale Scale, seed uint64) (*Workload, error) {
+	ctor, ok := Catalog(scale, seed)[name]
+	if !ok {
+		return nil, fmt.Errorf("kernels: unknown workload %q (have %v)", name, CatalogNames())
+	}
+	return ctor()
+}

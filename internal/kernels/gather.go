@@ -1,0 +1,86 @@
+package kernels
+
+import (
+	"fmt"
+
+	"gpulat/internal/isa"
+	"gpulat/internal/mem"
+	"gpulat/internal/sim"
+	"gpulat/internal/sm"
+)
+
+// Gather builds an indexed-gather microbenchmark: each thread reads an
+// index from a dense table, loads data[index], and stores the value —
+// out[i] = data[idx[i]]. With random indices, every warp's data loads
+// scatter across memory, producing the worst-case uncoalesced pattern
+// that drives the dynamic latency analysis; with Sorted the gather
+// degenerates to a streaming copy, making the pair a controlled
+// coalescing experiment.
+func Gather(n, blockDim int, sorted bool, seed uint64) (*Workload, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("gather: n must be positive")
+	}
+	rng := sim.NewRNG(seed)
+	idx := make([]uint32, n)
+	for i := range idx {
+		if sorted {
+			idx[i] = uint32(i)
+		} else {
+			idx[i] = uint32(rng.Intn(n))
+		}
+	}
+	data := make([]uint32, n)
+	for i := range data {
+		data[i] = rng.Uint32()
+	}
+
+	const (
+		rGid  = isa.Reg(1)
+		rOff  = isa.Reg(2)
+		rIdx  = isa.Reg(3)
+		rV    = isa.Reg(4)
+		rAddr = isa.Reg(5)
+	)
+	b := isa.NewBuilder("gather")
+	gidPrologue(b, rGid, n)
+	b.ShlI(rOff, rGid, 2).
+		Param(rAddr, 0). // index table
+		IAdd(rAddr, rAddr, rOff).
+		Ldg(rIdx, rAddr, 0).
+		ShlI(rIdx, rIdx, 2).
+		Param(rAddr, 1). // data
+		IAdd(rAddr, rAddr, rIdx).
+		Ldg(rV, rAddr, 0).
+		Param(rAddr, 2). // out
+		IAdd(rAddr, rAddr, rOff).
+		Stg(rAddr, 0, rV).
+		Exit()
+
+	k := &sm.Kernel{
+		Program:  b.Build(),
+		Params:   []uint32{regionA, regionB, regionC},
+		BlockDim: blockDim,
+		GridDim:  gridFor(n, blockDim),
+	}
+	mode := "random"
+	if sorted {
+		mode = "sorted"
+	}
+	return &Workload{
+		Name:   fmt.Sprintf("gather-%s/n=%d", mode, n),
+		Kernel: k,
+		Setup: func(m *mem.Memory) {
+			m.Store32Slice(regionA, idx)
+			m.Store32Slice(regionB, data)
+		},
+		Verify: func(m *mem.Memory) error {
+			for i := 0; i < n; i++ {
+				want := data[idx[i]]
+				if got := m.Load32(regionC + uint64(i)*4); got != want {
+					return fmt.Errorf("gather: out[%d] = %d, want %d", i, got, want)
+				}
+			}
+			return nil
+		},
+	}, nil
+}

@@ -1,0 +1,71 @@
+package kernels
+
+import (
+	"fmt"
+
+	"gpulat/internal/isa"
+	"gpulat/internal/mem"
+	"gpulat/internal/sim"
+	"gpulat/internal/sm"
+)
+
+// Histogram builds a global-atomic histogram: each thread reads one
+// input value and atomically increments its bin. Atomics serialize at
+// the memory partitions, producing heavy DRAM-side queueing — a stress
+// case for the paper's arbitration latency component. bins must be a
+// power of two.
+func Histogram(n, bins, blockDim int, seed uint64) (*Workload, error) {
+	if bins < 2 || bins&(bins-1) != 0 {
+		return nil, fmt.Errorf("histogram: bins must be a power of two >= 2")
+	}
+	const (
+		rGid  = isa.Reg(1)
+		rV    = isa.Reg(2)
+		rAddr = isa.Reg(3)
+		rTmp  = isa.Reg(4)
+		rOne  = isa.Reg(5)
+		rOld  = isa.Reg(6)
+	)
+	b := isa.NewBuilder("histogram")
+	gidPrologue(b, rGid, n)
+	b.ShlI(rAddr, rGid, 2).
+		Param(rTmp, 0).
+		IAdd(rAddr, rAddr, rTmp).
+		Ldg(rV, rAddr, 0).
+		AndI(rV, rV, int32(bins-1)).
+		ShlI(rV, rV, 2).
+		Param(rTmp, 1).
+		IAdd(rV, rV, rTmp).
+		MovI(rOne, 1).
+		Atom(rOld, rV, 0, rOne).
+		Exit()
+
+	rng := sim.NewRNG(seed)
+	in := make([]uint32, n)
+	for i := range in {
+		in[i] = rng.Uint32()
+	}
+	k := &sm.Kernel{
+		Program:  b.Build(),
+		Params:   []uint32{regionA, regionB},
+		BlockDim: blockDim,
+		GridDim:  gridFor(n, blockDim),
+	}
+	return &Workload{
+		Name:   fmt.Sprintf("histogram/n=%d/bins=%d", n, bins),
+		Kernel: k,
+		Setup: func(m *mem.Memory) {
+			m.Store32Slice(regionA, in)
+			for b := 0; b < bins; b++ {
+				m.Store32(regionB+uint64(b)*4, 0)
+			}
+		},
+		Verify: func(m *mem.Memory) error {
+			want := make([]uint32, bins)
+			for _, v := range in {
+				want[v%uint32(bins)]++
+			}
+			return verifyWords(m, regionB, want, "histogram")
+		},
+	}, nil
+}

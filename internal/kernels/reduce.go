@@ -1,0 +1,108 @@
+package kernels
+
+import (
+	"fmt"
+
+	"gpulat/internal/isa"
+	"gpulat/internal/mem"
+	"gpulat/internal/sim"
+	"gpulat/internal/sm"
+)
+
+// Reduce builds a block-wise tree sum using shared memory and barriers:
+// each block loads blockDim elements into the scratchpad, halves the
+// active range per step with a barrier between steps, and thread 0
+// stores the block's partial sum. It exercises shared memory, barriers,
+// and progressive warp retirement. n must be a multiple of blockDim and
+// blockDim a power of two.
+func Reduce(n, blockDim int, seed uint64) (*Workload, error) {
+	if blockDim <= 0 || blockDim&(blockDim-1) != 0 {
+		return nil, fmt.Errorf("reduce: blockDim must be a power of two")
+	}
+	if n%blockDim != 0 {
+		return nil, fmt.Errorf("reduce: n must be a multiple of blockDim")
+	}
+	const (
+		rTid   = isa.Reg(1)
+		rGid   = isa.Reg(2)
+		rAddr  = isa.Reg(3)
+		rV     = isa.Reg(4)
+		rS     = isa.Reg(5) // current stride
+		rOff   = isa.Reg(6)
+		rTmp   = isa.Reg(7)
+		rPart  = isa.Reg(8)
+		rCtaid = isa.Reg(9)
+	)
+	b := isa.NewBuilder("reduce")
+	b.S2R(rTid, isa.SrTID).
+		S2R(rCtaid, isa.SrCTAID).
+		S2R(rTmp, isa.SrNTID).
+		IMad(rGid, rCtaid, rTmp, rTid).
+		// shared[tid] = in[gid]
+		ShlI(rAddr, rGid, 2).
+		Param(rTmp, 0).
+		IAdd(rAddr, rAddr, rTmp).
+		Ldg(rV, rAddr, 0).
+		ShlI(rOff, rTid, 2).
+		Sts(rOff, 0, rV).
+		Bar().
+		// for s = blockDim/2; s > 0; s >>= 1
+		MovI(rS, int32(blockDim/2)).
+		Label("step").
+		ISetpI(0, isa.CmpEQ, rS, 0).
+		P(0).Bra("fini").
+		// if tid < s: shared[tid] += shared[tid+s]
+		ISetp(1, isa.CmpGE, rTid, rS).
+		P(1).Bra("skip").
+		IAdd(rTmp, rTid, rS).
+		ShlI(rTmp, rTmp, 2).
+		Lds(rPart, rTmp, 0).
+		Lds(rV, rOff, 0).
+		IAdd(rV, rV, rPart).
+		Sts(rOff, 0, rV).
+		Label("skip").
+		Bar().
+		ShrI(rS, rS, 1).
+		Bra("step").
+		Label("fini").
+		// thread 0 stores the block sum
+		ISetpI(2, isa.CmpNE, rTid, 0).
+		P(2).Exit().
+		Lds(rV, isa.RZ, 0).
+		ShlI(rTmp, rCtaid, 2).
+		Param(rAddr, 1).
+		IAdd(rAddr, rAddr, rTmp).
+		Stg(rAddr, 0, rV).
+		Exit()
+
+	rng := sim.NewRNG(seed)
+	in := make([]uint32, n)
+	for i := range in {
+		in[i] = rng.Uint32() % 4096
+	}
+	grid := n / blockDim
+	k := &sm.Kernel{
+		Program:     b.Build(),
+		Params:      []uint32{regionA, regionB},
+		BlockDim:    blockDim,
+		GridDim:     grid,
+		SharedBytes: uint32(blockDim) * 4,
+	}
+	return &Workload{
+		Name:   fmt.Sprintf("reduce/n=%d/b=%d", n, blockDim),
+		Kernel: k,
+		Setup:  func(m *mem.Memory) { m.Store32Slice(regionA, in) },
+		Verify: func(m *mem.Memory) error {
+			for blk := 0; blk < grid; blk++ {
+				var want uint32
+				for i := 0; i < blockDim; i++ {
+					want += in[blk*blockDim+i]
+				}
+				if got := m.Load32(regionB + uint64(blk)*4); got != want {
+					return fmt.Errorf("reduce: block %d sum = %d, want %d", blk, got, want)
+				}
+			}
+			return nil
+		},
+	}, nil
+}

@@ -1,0 +1,49 @@
+package kernels
+
+import (
+	"fmt"
+
+	"gpulat/internal/gpu"
+	"gpulat/internal/sim"
+)
+
+// Run executes a single-kernel workload on g: setup, launch, verify.
+// It returns the cycles spent in the kernel.
+func Run(g *gpu.GPU, wl *Workload) (sim.Cycle, error) {
+	wl.Setup(g.Memory)
+	cycles, err := g.RunKernel(wl.Kernel)
+	if err != nil {
+		return cycles, fmt.Errorf("%s: %w", wl.Name, err)
+	}
+	if err := wl.Verify(g.Memory); err != nil {
+		return cycles, err
+	}
+	return cycles, nil
+}
+
+// RunMulti executes a host-loop workload on g until convergence,
+// returning total kernel cycles and the number of launches.
+func RunMulti(g *gpu.GPU, mk *MultiKernel) (sim.Cycle, int, error) {
+	mk.Setup(g.Memory)
+	var total sim.Cycle
+	iters := 0
+	for {
+		k := mk.Next(g.Memory, iters)
+		if k == nil {
+			break
+		}
+		c, err := g.RunKernel(k)
+		total += c
+		if err != nil {
+			return total, iters, fmt.Errorf("%s iteration %d: %w", mk.Name, iters, err)
+		}
+		iters++
+		if iters > 1_000_000 {
+			return total, iters, fmt.Errorf("%s: did not converge", mk.Name)
+		}
+	}
+	if err := mk.Verify(g.Memory); err != nil {
+		return total, iters, err
+	}
+	return total, iters, nil
+}

@@ -1,0 +1,110 @@
+package kernels
+
+import (
+	"fmt"
+
+	"gpulat/internal/isa"
+	"gpulat/internal/mem"
+	"gpulat/internal/sim"
+	"gpulat/internal/sm"
+)
+
+// SpMV builds y = A·x for a CSR sparse matrix with integer values, one
+// thread per row (the scalar-CSR formulation): irregular row lengths
+// cause divergence and the x-vector gathers are data-dependent scattered
+// loads — the same latency-critical properties as BFS, with denser
+// arithmetic.
+func SpMV(rows, avgNnz int, seed uint64) (*Workload, error) {
+	if rows <= 1 || avgNnz < 1 {
+		return nil, fmt.Errorf("spmv: need rows > 1 and avgNnz >= 1")
+	}
+	rng := sim.NewRNG(seed)
+	rowOff := make([]uint32, rows+1)
+	var cols []uint32
+	var vals []uint32
+	for r := 0; r < rows; r++ {
+		rowOff[r] = uint32(len(cols))
+		nnz := 1 + rng.Intn(2*avgNnz-1)
+		for e := 0; e < nnz; e++ {
+			cols = append(cols, uint32(rng.Intn(rows)))
+			vals = append(vals, uint32(rng.Intn(16)))
+		}
+	}
+	rowOff[rows] = uint32(len(cols))
+	x := make([]uint32, rows)
+	for i := range x {
+		x[i] = uint32(rng.Intn(64))
+	}
+
+	const (
+		rGid  = isa.Reg(1)
+		rE    = isa.Reg(2)
+		rEnd  = isa.Reg(3)
+		rAcc  = isa.Reg(4)
+		rTmp  = isa.Reg(5)
+		rCol  = isa.Reg(6)
+		rVal  = isa.Reg(7)
+		rX    = isa.Reg(8)
+		rAddr = isa.Reg(9)
+	)
+	b := isa.NewBuilder("spmv")
+	gidPrologue(b, rGid, rows)
+	b.ShlI(rTmp, rGid, 2).
+		Param(rAddr, 0). // row offsets
+		IAdd(rTmp, rTmp, rAddr).
+		Ldg(rE, rTmp, 0).
+		Ldg(rEnd, rTmp, 4).
+		MovI(rAcc, 0).
+		Label("row").
+		ISetp(0, isa.CmpGE, rE, rEnd).
+		P(0).Bra("store").
+		ShlI(rTmp, rE, 2).
+		Param(rAddr, 1). // column indices
+		IAdd(rAddr, rTmp, rAddr).
+		Ldg(rCol, rAddr, 0).
+		Param(rAddr, 2). // values
+		IAdd(rAddr, rTmp, rAddr).
+		Ldg(rVal, rAddr, 0).
+		ShlI(rTmp, rCol, 2).
+		Param(rAddr, 3). // x vector
+		IAdd(rAddr, rTmp, rAddr).
+		Ldg(rX, rAddr, 0).
+		IMad(rAcc, rVal, rX, rAcc).
+		IAddI(rE, rE, 1).
+		Bra("row").
+		Label("store").
+		ShlI(rTmp, rGid, 2).
+		Param(rAddr, 4). // y vector
+		IAdd(rAddr, rTmp, rAddr).
+		Stg(rAddr, 0, rAcc).
+		Exit()
+
+	k := &sm.Kernel{
+		Program:  b.Build(),
+		Params:   []uint32{regionA, regionB, regionC, regionD, regionE},
+		BlockDim: 128,
+		GridDim:  gridFor(rows, 128),
+	}
+	return &Workload{
+		Name:   fmt.Sprintf("spmv/rows=%d/nnz=%d", rows, len(cols)),
+		Kernel: k,
+		Setup: func(m *mem.Memory) {
+			m.Store32Slice(regionA, rowOff)
+			m.Store32Slice(regionB, cols)
+			m.Store32Slice(regionC, vals)
+			m.Store32Slice(regionD, x)
+		},
+		Verify: func(m *mem.Memory) error {
+			for r := 0; r < rows; r++ {
+				var want uint32
+				for e := rowOff[r]; e < rowOff[r+1]; e++ {
+					want += vals[e] * x[cols[e]]
+				}
+				if got := m.Load32(regionE + uint64(r)*4); got != want {
+					return fmt.Errorf("spmv: y[%d] = %d, want %d", r, got, want)
+				}
+			}
+			return nil
+		},
+	}, nil
+}

@@ -1,0 +1,77 @@
+package kernels
+
+import (
+	"fmt"
+	"math/bits"
+
+	"gpulat/internal/isa"
+	"gpulat/internal/mem"
+	"gpulat/internal/sim"
+	"gpulat/internal/sm"
+)
+
+// Transpose builds the naive out[j][i] = in[i][j] transpose of an n×n
+// uint32 matrix, one thread per element: reads are coalesced, writes are
+// strided by a full row — the canonical uncoalesced-store workload that
+// floods the memory pipeline with single-lane transactions. n must be a
+// power of two.
+func Transpose(n int, seed uint64) (*Workload, error) {
+	if n < 4 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("transpose: n must be a power of two >= 4")
+	}
+	total := n * n
+	logN := int32(bits.TrailingZeros(uint(n)))
+
+	const (
+		rGid  = isa.Reg(1)
+		rRow  = isa.Reg(2)
+		rCol  = isa.Reg(3)
+		rV    = isa.Reg(4)
+		rTmp  = isa.Reg(5)
+		rAddr = isa.Reg(6)
+	)
+	b := isa.NewBuilder("transpose")
+	gidPrologue(b, rGid, total)
+	b.ShrI(rRow, rGid, logN).
+		AndI(rCol, rGid, int32(n-1)).
+		ShlI(rAddr, rGid, 2).
+		Param(rTmp, 0).
+		IAdd(rAddr, rAddr, rTmp).
+		Ldg(rV, rAddr, 0).
+		// out index = col*n + row
+		ShlI(rTmp, rCol, logN).
+		IAdd(rTmp, rTmp, rRow).
+		ShlI(rTmp, rTmp, 2).
+		Param(rAddr, 1).
+		IAdd(rAddr, rAddr, rTmp).
+		Stg(rAddr, 0, rV).
+		Exit()
+
+	rng := sim.NewRNG(seed)
+	in := make([]uint32, total)
+	for i := range in {
+		in[i] = rng.Uint32()
+	}
+	k := &sm.Kernel{
+		Program:  b.Build(),
+		Params:   []uint32{regionA, regionB},
+		BlockDim: 128,
+		GridDim:  gridFor(total, 128),
+	}
+	return &Workload{
+		Name:   fmt.Sprintf("transpose/n=%d", n),
+		Kernel: k,
+		Setup:  func(m *mem.Memory) { m.Store32Slice(regionA, in) },
+		Verify: func(m *mem.Memory) error {
+			for r := 0; r < n; r++ {
+				for c := 0; c < n; c++ {
+					want := in[r*n+c]
+					if got := m.Load32(regionB + uint64(c*n+r)*4); got != want {
+						return fmt.Errorf("transpose: out[%d][%d] = %d, want %d", c, r, got, want)
+					}
+				}
+			}
+			return nil
+		},
+	}, nil
+}

@@ -1,0 +1,181 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"gpulat/internal/isa"
+	"gpulat/internal/mem"
+	"gpulat/internal/sim"
+	"gpulat/internal/sm"
+)
+
+// gridFor computes the 1-D grid covering n elements.
+func gridFor(n, blockDim int) int { return (n + blockDim - 1) / blockDim }
+
+// gidPrologue emits the common prologue: rGid = global thread id, with a
+// bounds check against n that exits excess threads. It returns the
+// builder for chaining.
+func gidPrologue(b *isa.Builder, rGid isa.Reg, n int) *isa.Builder {
+	const rT = isa.Reg(60)
+	b.S2R(rGid, isa.SrTID).
+		S2R(rT, isa.SrCTAID).
+		S2R(61, isa.SrNTID).
+		IMad(rGid, rT, 61, rGid).
+		ISetpI(6, isa.CmpGE, rGid, int32(n)).
+		P(6).Exit()
+	return b
+}
+
+// VecAdd builds c[i] = a[i] + b[i] over n uint32 elements — the
+// quickstart workload: fully coalesced, streaming, bandwidth-bound.
+func VecAdd(n, blockDim int, seed uint64) *Workload {
+	const (
+		rGid  = isa.Reg(1)
+		rOff  = isa.Reg(2)
+		rA    = isa.Reg(3)
+		rB    = isa.Reg(4)
+		rAddr = isa.Reg(5)
+	)
+	b := isa.NewBuilder("vecadd")
+	gidPrologue(b, rGid, n)
+	b.ShlI(rOff, rGid, 2).
+		Param(rAddr, 0).
+		IAdd(rAddr, rAddr, rOff).
+		Ldg(rA, rAddr, 0).
+		Param(rAddr, 1).
+		IAdd(rAddr, rAddr, rOff).
+		Ldg(rB, rAddr, 0).
+		IAdd(rA, rA, rB).
+		Param(rAddr, 2).
+		IAdd(rAddr, rAddr, rOff).
+		Stg(rAddr, 0, rA).
+		Exit()
+
+	rng := sim.NewRNG(seed)
+	a := make([]uint32, n)
+	bs := make([]uint32, n)
+	for i := range a {
+		a[i] = rng.Uint32() % 1_000_000
+		bs[i] = rng.Uint32() % 1_000_000
+	}
+	k := &sm.Kernel{
+		Program:  b.Build(),
+		Params:   []uint32{regionA, regionB, regionC},
+		BlockDim: blockDim,
+		GridDim:  gridFor(n, blockDim),
+	}
+	return &Workload{
+		Name:   fmt.Sprintf("vecadd/n=%d", n),
+		Kernel: k,
+		Setup: func(m *mem.Memory) {
+			m.Store32Slice(regionA, a)
+			m.Store32Slice(regionB, bs)
+		},
+		Verify: func(m *mem.Memory) error {
+			want := make([]uint32, n)
+			for i := range want {
+				want[i] = a[i] + bs[i]
+			}
+			return verifyWords(m, regionC, want, "vecadd")
+		},
+	}
+}
+
+// Saxpy builds y[i] = alpha*x[i] + y[i] over n float32 elements,
+// exercising the FP pipeline on a streaming access pattern.
+func Saxpy(n, blockDim int, alpha float32, seed uint64) *Workload {
+	const (
+		rGid   = isa.Reg(1)
+		rOff   = isa.Reg(2)
+		rX     = isa.Reg(3)
+		rY     = isa.Reg(4)
+		rAddr  = isa.Reg(5)
+		rAlpha = isa.Reg(6)
+	)
+	b := isa.NewBuilder("saxpy")
+	gidPrologue(b, rGid, n)
+	b.ShlI(rOff, rGid, 2).
+		Param(rAlpha, 2).
+		Param(rAddr, 0).
+		IAdd(rAddr, rAddr, rOff).
+		Ldg(rX, rAddr, 0).
+		Param(rAddr, 1).
+		IAdd(rAddr, rAddr, rOff).
+		Ldg(rY, rAddr, 0).
+		FFma(rY, rAlpha, rX, rY).
+		Stg(rAddr, 0, rY).
+		Exit()
+
+	rng := sim.NewRNG(seed)
+	x := make([]float32, n)
+	y := make([]float32, n)
+	for i := range x {
+		x[i] = float32(rng.Intn(1000)) / 16
+		y[i] = float32(rng.Intn(1000)) / 16
+	}
+	k := &sm.Kernel{
+		Program:  b.Build(),
+		Params:   []uint32{regionA, regionB, math.Float32bits(alpha)},
+		BlockDim: blockDim,
+		GridDim:  gridFor(n, blockDim),
+	}
+	return &Workload{
+		Name:   fmt.Sprintf("saxpy/n=%d", n),
+		Kernel: k,
+		Setup: func(m *mem.Memory) {
+			for i := 0; i < n; i++ {
+				m.Store32(regionA+uint64(i)*4, math.Float32bits(x[i]))
+				m.Store32(regionB+uint64(i)*4, math.Float32bits(y[i]))
+			}
+		},
+		Verify: func(m *mem.Memory) error {
+			for i := 0; i < n; i++ {
+				want := float32(float64(alpha)*float64(x[i]) + float64(y[i]))
+				got := math.Float32frombits(m.Load32(regionB + uint64(i)*4))
+				if got != want {
+					return fmt.Errorf("saxpy: y[%d] = %v, want %v", i, got, want)
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// Copy builds out[i] = in[i], the minimal bandwidth microbenchmark.
+func Copy(n, blockDim int, seed uint64) *Workload {
+	const (
+		rGid  = isa.Reg(1)
+		rOff  = isa.Reg(2)
+		rV    = isa.Reg(3)
+		rAddr = isa.Reg(4)
+	)
+	b := isa.NewBuilder("copy")
+	gidPrologue(b, rGid, n)
+	b.ShlI(rOff, rGid, 2).
+		Param(rAddr, 0).
+		IAdd(rAddr, rAddr, rOff).
+		Ldg(rV, rAddr, 0).
+		Param(rAddr, 1).
+		IAdd(rAddr, rAddr, rOff).
+		Stg(rAddr, 0, rV).
+		Exit()
+
+	rng := sim.NewRNG(seed)
+	in := make([]uint32, n)
+	for i := range in {
+		in[i] = rng.Uint32()
+	}
+	k := &sm.Kernel{
+		Program:  b.Build(),
+		Params:   []uint32{regionA, regionB},
+		BlockDim: blockDim,
+		GridDim:  gridFor(n, blockDim),
+	}
+	return &Workload{
+		Name:   fmt.Sprintf("copy/n=%d", n),
+		Kernel: k,
+		Setup:  func(m *mem.Memory) { m.Store32Slice(regionA, in) },
+		Verify: func(m *mem.Memory) error { return verifyWords(m, regionB, in, "copy") },
+	}
+}

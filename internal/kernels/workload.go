@@ -1,0 +1,49 @@
+// Package kernels provides the workloads used by the paper's experiments,
+// written in the simulator's SIMT ISA: the pointer-chase microbenchmark of
+// the static latency analysis (Section II), the BFS kernel of the dynamic
+// analysis (Section III), and a set of additional kernels (vector add,
+// saxpy, reduction, SpMV, 2-D stencil, transpose, histogram) backing the
+// paper's claim that "other workloads similarly showed queueing and
+// arbitration as the two key latency contributors". Every workload bundles
+// its input generator and a functional verifier so integration tests can
+// check end-to-end correctness of the simulated execution.
+package kernels
+
+import (
+	"fmt"
+
+	"gpulat/internal/mem"
+	"gpulat/internal/sm"
+)
+
+// Workload is a kernel plus its input setup and output verification.
+type Workload struct {
+	Name   string
+	Kernel *sm.Kernel
+	// Setup writes the input data into the GPU's functional memory;
+	// call before launching.
+	Setup func(m *mem.Memory)
+	// Verify checks the output after the kernel ran; it returns an
+	// error describing the first mismatch.
+	Verify func(m *mem.Memory) error
+}
+
+// Layout constants shared by the simple workloads: data regions are
+// placed on large aligned boundaries so they stripe evenly across
+// partitions and never overlap.
+const (
+	regionA = 0x0100_0000
+	regionB = 0x0200_0000
+	regionC = 0x0300_0000
+	regionD = 0x0400_0000
+	regionE = 0x0500_0000
+)
+
+func verifyWords(m *mem.Memory, base uint64, want []uint32, what string) error {
+	for i, w := range want {
+		if got := m.Load32(base + uint64(i)*4); got != w {
+			return fmt.Errorf("%s: word %d = %d, want %d", what, i, got, w)
+		}
+	}
+	return nil
+}

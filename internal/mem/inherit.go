@@ -1,0 +1,40 @@
+package mem
+
+import "gpulat/internal/sim"
+
+// InheritMarks copies the marks of points from..NumPoints-1 from src into
+// dst, clamping each inherited cycle so dst's log stays monotonic. It is
+// used when a request merged into another request's MSHR entry completes:
+// the merged request's data genuinely traveled the lower pipeline with the
+// primary request, so the primary's boundary timestamps (clamped to the
+// merge time) are the honest attribution for the merged request's wait.
+func InheritMarks(dst, src *StageLog, from Point) {
+	if dst == nil || src == nil {
+		return
+	}
+	// Find dst's latest existing mark to clamp against.
+	var floor = dst.latestMark()
+	for p := from; p < NumPoints; p++ {
+		c, ok := src.At(p)
+		if !ok {
+			continue
+		}
+		if c < floor {
+			c = floor
+		}
+		dst.Mark(p, c)
+		floor = c
+	}
+}
+
+func (l *StageLog) latestMark() (latest sim.Cycle) {
+	if l == nil {
+		return 0
+	}
+	for p := Point(0); p < NumPoints; p++ {
+		if l.set[p] && l.at[p] > latest {
+			latest = l.at[p]
+		}
+	}
+	return latest
+}

@@ -1,0 +1,229 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gpulat/internal/sim"
+)
+
+func TestMemoryLoadStore32(t *testing.T) {
+	m := NewMemory()
+	m.Store32(0x1000, 0xDEADBEEF)
+	if got := m.Load32(0x1000); got != 0xDEADBEEF {
+		t.Fatalf("Load32 = %#x", got)
+	}
+	if got := m.Load32(0x2000); got != 0 {
+		t.Fatalf("unwritten memory reads %#x, want 0", got)
+	}
+}
+
+func TestMemoryPageStraddle(t *testing.T) {
+	m := NewMemory()
+	addr := uint64(pageSize - 2) // straddles first page boundary
+	m.Store32(addr, 0x11223344)
+	if got := m.Load32(addr); got != 0x11223344 {
+		t.Fatalf("straddling Load32 = %#x", got)
+	}
+	// Byte-level check across the boundary.
+	if m.Load8(pageSize-1) != 0x33 || m.Load8(pageSize) != 0x22 {
+		t.Fatalf("straddle bytes wrong: %#x %#x", m.Load8(pageSize-1), m.Load8(pageSize))
+	}
+}
+
+func TestMemorySliceHelpers(t *testing.T) {
+	m := NewMemory()
+	vals := []uint32{1, 2, 3, 4, 5}
+	m.Store32Slice(0x100, vals)
+	got := m.Load32Slice(0x100, 5)
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("slice roundtrip[%d] = %d", i, got[i])
+		}
+	}
+}
+
+// Property: Memory agrees with a map-based reference model under random
+// 32-bit writes and reads.
+func TestMemoryMatchesReferenceModel(t *testing.T) {
+	f := func(writes []struct {
+		Addr uint16
+		Val  uint32
+	}) bool {
+		m := NewMemory()
+		ref := map[uint64]uint32{}
+		for _, w := range writes {
+			a := uint64(w.Addr) * 4 // aligned, no overlap between words
+			m.Store32(a, w.Val)
+			ref[a] = w.Val
+		}
+		for a, v := range ref {
+			if m.Load32(a) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoalesceUnitStride(t *testing.T) {
+	var acc []LaneAccess
+	for lane := 0; lane < 32; lane++ {
+		acc = append(acc, LaneAccess{Lane: lane, Addr: 0x1000 + uint64(lane)*4, Size: 4})
+	}
+	r := Coalesce(acc, 128)
+	if r.NumTransactions() != 1 {
+		t.Fatalf("unit stride coalesced into %d transactions, want 1", r.NumTransactions())
+	}
+	if r.Segments[0] != 0x1000 {
+		t.Fatalf("segment base %#x", r.Segments[0])
+	}
+	if len(r.Lanes[0]) != 32 {
+		t.Fatalf("segment covers %d lanes", len(r.Lanes[0]))
+	}
+}
+
+func TestCoalesceFullyDivergent(t *testing.T) {
+	var acc []LaneAccess
+	for lane := 0; lane < 32; lane++ {
+		acc = append(acc, LaneAccess{Lane: lane, Addr: uint64(lane) * 4096, Size: 4})
+	}
+	r := Coalesce(acc, 128)
+	if r.NumTransactions() != 32 {
+		t.Fatalf("divergent warp coalesced into %d transactions, want 32", r.NumTransactions())
+	}
+}
+
+func TestCoalesceStraddlingAccess(t *testing.T) {
+	// A 16-byte access that straddles a 128B boundary touches 2 segments.
+	r := Coalesce([]LaneAccess{{Lane: 0, Addr: 120, Size: 16}}, 128)
+	if r.NumTransactions() != 2 {
+		t.Fatalf("straddling access made %d transactions, want 2", r.NumTransactions())
+	}
+	if r.Segments[0] != 0 || r.Segments[1] != 128 {
+		t.Fatalf("segments: %v", r.Segments)
+	}
+}
+
+func TestCoalesceSegmentsSortedUnique(t *testing.T) {
+	f := func(addrs []uint32) bool {
+		var acc []LaneAccess
+		for i, a := range addrs {
+			acc = append(acc, LaneAccess{Lane: i % 32, Addr: uint64(a), Size: 4})
+		}
+		r := Coalesce(acc, 128)
+		for i := 1; i < len(r.Segments); i++ {
+			if r.Segments[i] <= r.Segments[i-1] {
+				return false
+			}
+		}
+		for _, s := range r.Segments {
+			if s%128 != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoalesceBadSegmentSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-power-of-two segment")
+		}
+	}()
+	Coalesce(nil, 100)
+}
+
+func TestStageLogMarkAndDerive(t *testing.T) {
+	l := &StageLog{}
+	l.Mark(PtIssue, 10)
+	l.Mark(PtL1Access, 30)
+	l.Mark(PtReturnSM, 55)
+	tot, ok := l.Total()
+	if !ok || tot != 45 {
+		t.Fatalf("Total = %d ok=%v, want 45", tot, ok)
+	}
+	if !l.Complete() || !l.Monotonic() {
+		t.Fatal("log should be complete and monotonic")
+	}
+	if _, ok := l.At(PtDRAMSched); ok {
+		t.Fatal("unmarked point reported as marked")
+	}
+}
+
+func TestStageLogFirstMarkWins(t *testing.T) {
+	l := &StageLog{}
+	l.Mark(PtIssue, 5)
+	l.Mark(PtIssue, 9)
+	c, _ := l.At(PtIssue)
+	if c != 5 {
+		t.Fatalf("remark overwrote first mark: %d", c)
+	}
+}
+
+func TestStageLogMonotonicDetectsViolation(t *testing.T) {
+	l := &StageLog{}
+	l.Mark(PtIssue, 100)
+	l.Mark(PtL1Access, 50)
+	if l.Monotonic() {
+		t.Fatal("non-monotonic log passed Monotonic check")
+	}
+}
+
+func TestStageLogNilSafe(t *testing.T) {
+	var l *StageLog
+	l.Mark(PtIssue, 1) // must not panic
+	if _, ok := l.At(PtIssue); ok {
+		t.Fatal("nil log reported marks")
+	}
+	if l.Monotonic() {
+		t.Fatal("nil log monotonic")
+	}
+}
+
+// Property: any sequence of Mark calls in canonical order yields a
+// monotonic log.
+func TestStageLogMonotonicProperty(t *testing.T) {
+	f := func(deltas [NumPoints]uint8) bool {
+		l := &StageLog{}
+		c := sim.Cycle(1)
+		for p := Point(0); p < NumPoints; p++ {
+			c += sim.Cycle(deltas[p])
+			l.Mark(p, c)
+		}
+		return l.Monotonic() && l.Complete()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRequestTrackedAndString(t *testing.T) {
+	r := &Request{ID: 1, Addr: 0x80, Size: 32, SM: 2, Warp: 3, Log: &StageLog{}}
+	if !r.Tracked() {
+		t.Fatal("request with log not tracked")
+	}
+	if r.String() == "" {
+		t.Fatal("empty String()")
+	}
+	wb := &Request{ID: 2, Kind: KindStore}
+	if wb.Tracked() {
+		t.Fatal("untracked request reports tracked")
+	}
+}
+
+func TestLineAddr(t *testing.T) {
+	if LineAddr(0x1FF, 128) != 0x180 {
+		t.Fatalf("LineAddr = %#x", LineAddr(0x1FF, 128))
+	}
+	if LineAddr(0x200, 128) != 0x200 {
+		t.Fatal("aligned address changed")
+	}
+}

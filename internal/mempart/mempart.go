@@ -1,0 +1,353 @@
+// Package mempart models one GPU memory partition: the ROP (raster
+// operations) delay stage requests traverse on arrival, the L2 access
+// queue, one L2 cache slice, and one DRAM channel, plus the return queue
+// toward the reply network. The partition stamps the PtROPArrive,
+// PtL2QArrive and PtDRAMQArrive boundaries of the paper's latency
+// breakdown; the DRAM channel stamps scheduling and completion.
+package mempart
+
+import (
+	"fmt"
+
+	"gpulat/internal/cache"
+	"gpulat/internal/dram"
+	"gpulat/internal/mem"
+	"gpulat/internal/sim"
+)
+
+// Config describes one memory partition.
+type Config struct {
+	ID int
+	// ROPLatency is the fixed delay from interconnect ejection to L2
+	// queue eligibility; ROPQueueDepth bounds the stage.
+	ROPLatency    sim.Cycle
+	ROPQueueDepth int
+	// L2QueueDepth bounds the L2 access queue.
+	L2QueueDepth int
+	// L2Enabled selects whether the partition has an L2 slice at all;
+	// the Tesla (GT200) generation has no cache in the global memory
+	// pipeline, so requests flow ROP → DRAM directly.
+	L2Enabled bool
+	// L2 is the cache slice geometry; L2.HitLatency is applied to every
+	// L2 lookup (hit or miss detection). Ignored when L2Enabled is
+	// false.
+	L2 cache.Config
+	// DRAM is the attached channel.
+	DRAM dram.Config
+	// ReturnQueueDepth bounds the reply queue toward the interconnect.
+	ReturnQueueDepth int
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.ROPQueueDepth <= 0:
+		return fmt.Errorf("mempart %d: ROP queue depth must be positive", c.ID)
+	case c.L2QueueDepth <= 0:
+		return fmt.Errorf("mempart %d: L2 queue depth must be positive", c.ID)
+	case c.ReturnQueueDepth <= 0:
+		return fmt.Errorf("mempart %d: return queue depth must be positive", c.ID)
+	}
+	return nil
+}
+
+// Partition is one memory partition instance.
+type Partition struct {
+	cfg Config
+
+	rop  *sim.Queue[*mem.Request]
+	l2q  *sim.Queue[*mem.Request]
+	l2   *cache.Cache
+	hit  *sim.Queue[*mem.Request] // L2 hit pipeline (latency = L2 hit latency)
+	dram *dram.Channel
+	ret  *sim.Queue[*mem.Request]
+
+	// pendingWB buffers a dirty-eviction writeback that could not enter
+	// the DRAM queue the cycle it was produced.
+	pendingWB *mem.Request
+
+	stats Stats
+}
+
+// Stats counts partition activity.
+type Stats struct {
+	Arrivals      uint64
+	L2Hits        uint64
+	L2Misses      uint64
+	L2Stalls      uint64 // L2 access blocked (reservation fail / downstream full)
+	StoresDrained uint64
+	Writebacks    uint64
+}
+
+// New constructs a partition; it panics on invalid configuration.
+func New(cfg Config) *Partition {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	name := fmt.Sprintf("part%d", cfg.ID)
+	// The hit pipe also absorbs fill bursts that overflow the return
+	// queue, so size it for the worst case: every MSHR entry filling at
+	// maximum merge plus everything buffered upstream.
+	hitCap := cfg.L2.MSHREntries*cfg.L2.MSHRMaxMerge + cfg.L2QueueDepth + cfg.ReturnQueueDepth
+	// A queue with traversal latency L holds its in-flight entries for L
+	// cycles, so sustaining one request per cycle requires capacity > L;
+	// widen the configured depths accordingly (the configured depth is
+	// the *buffering* beyond the pipeline occupancy).
+	ropCap := cfg.ROPQueueDepth + int(cfg.ROPLatency)
+	// The L2 lookup pipeline latency is charged in the L2 queue so both
+	// hits and misses pay the tag-access time exactly once; the hit pipe
+	// then only buffers completed hits toward the return queue.
+	l2qLat := cfg.L2.HitLatency
+	var l2 *cache.Cache
+	if cfg.L2Enabled {
+		l2 = cache.New(cfg.L2)
+	} else {
+		l2qLat = 0
+	}
+	return &Partition{
+		cfg:  cfg,
+		rop:  sim.NewQueue[*mem.Request](name+".rop", ropCap, cfg.ROPLatency),
+		l2q:  sim.NewQueue[*mem.Request](name+".l2q", cfg.L2QueueDepth+int(l2qLat), l2qLat),
+		l2:   l2,
+		hit:  sim.NewQueue[*mem.Request](name+".l2hit", hitCap, 0),
+		dram: dram.NewChannel(cfg.DRAM),
+		ret:  sim.NewQueue[*mem.Request](name+".ret", cfg.ReturnQueueDepth, 0),
+	}
+}
+
+// Config returns the partition configuration.
+func (p *Partition) Config() Config { return p.cfg }
+
+// L2 exposes the cache slice for statistics and tests.
+func (p *Partition) L2() *cache.Cache { return p.l2 }
+
+// DRAM exposes the channel for statistics and tests.
+func (p *Partition) DRAM() *dram.Channel { return p.dram }
+
+// Stats returns a snapshot of the partition counters.
+func (p *Partition) Stats() Stats { return p.stats }
+
+// CanAccept reports whether the ROP stage can take another request.
+func (p *Partition) CanAccept() bool { return p.rop.CanPush() }
+
+// Accept receives a request ejected from the request network at cycle c,
+// stamping its ROP arrival.
+func (p *Partition) Accept(c sim.Cycle, r *mem.Request) {
+	if r.Log != nil {
+		r.Log.Mark(mem.PtROPArrive, c)
+	}
+	p.rop.Push(c, r)
+	p.stats.Arrivals++
+}
+
+// PopReturn removes the next reply headed to the SMs, if any.
+func (p *Partition) PopReturn(c sim.Cycle) (*mem.Request, bool) {
+	return p.ret.Pop(c)
+}
+
+// PeekReturn inspects the next reply without removing it.
+func (p *Partition) PeekReturn(c sim.Cycle) (*mem.Request, bool) {
+	return p.ret.Peek(c)
+}
+
+// Tick advances the partition one cycle. Stage order is downstream-first
+// so a request cannot traverse more than one stage per cycle.
+func (p *Partition) Tick(c sim.Cycle) {
+	p.drainDRAM(c)
+	p.drainHitPipe(c)
+	p.accessL2(c)
+	p.moveROPToL2Q(c)
+	p.dram.Tick(c)
+}
+
+// drainDRAM retires completed DRAM transactions: fills for reads (which
+// complete all requests merged at the L2 MSHRs) and silent completion for
+// writeback stores.
+func (p *Partition) drainDRAM(c sim.Cycle) {
+	for _, r := range p.dram.Completed(c) {
+		if !p.cfg.L2Enabled {
+			// No L2: every completion is a direct load return or a
+			// store drain; finish handles both.
+			p.finish(c, r)
+			continue
+		}
+		if r.Kind == mem.KindStore {
+			// Eviction writeback drained to DRAM; no reply.
+			continue
+		}
+		block := p.l2.BlockAddr(r.Addr)
+		merged := p.l2.Fill(c, block)
+		for _, m := range merged {
+			if m != r {
+				m.MergedInto = r
+				if m.Log != nil {
+					m.Log.MergedAtL2 = true
+					mem.InheritMarks(m.Log, r.Log, mem.PtDRAMQArrive)
+				}
+			}
+			p.finish(c, m)
+		}
+		// A fill carrier created for a store miss is not among the
+		// merged requests' replies; nothing further to do for it.
+	}
+}
+
+// finish routes a completed request: loads return to the SM, stores
+// complete silently at the partition (GPU global stores are fire-and-
+// forget from the SM's perspective).
+func (p *Partition) finish(c sim.Cycle, r *mem.Request) {
+	if r.Kind == mem.KindStore {
+		p.stats.StoresDrained++
+		return
+	}
+	// The return queue was reserved before the L2 access/DRAM fill, but
+	// fills can deliver bursts; tolerate transient overflow by a grow-
+	// safe fallback: if full, requeue through the hit pipe with zero
+	// effective extra latency next cycle.
+	if p.ret.CanPush() {
+		p.ret.Push(c, r)
+	} else {
+		p.hit.Push(c, r)
+	}
+}
+
+// drainHitPipe moves L2-hit (and overflow) responses into the return
+// queue as space allows.
+func (p *Partition) drainHitPipe(c sim.Cycle) {
+	for p.ret.CanPush() {
+		r, ok := p.hit.Pop(c)
+		if !ok {
+			return
+		}
+		p.ret.Push(c, r)
+	}
+	if p.hit.Len() > 0 {
+		p.ret.NoteStall()
+	}
+}
+
+// accessL2 performs at most one L2 lookup per cycle on the L2 queue head.
+// When the partition has no L2 (Tesla), requests pass straight to DRAM.
+func (p *Partition) accessL2(c sim.Cycle) {
+	r, ok := p.l2q.Peek(c)
+	if !ok {
+		return
+	}
+	if !p.cfg.L2Enabled {
+		if !p.dram.CanPush() {
+			p.dram.NoteStall()
+			p.stats.L2Stalls++
+			return
+		}
+		p.l2q.Pop(c)
+		if r.Log != nil {
+			r.Log.Mark(mem.PtDRAMQArrive, c)
+		}
+		p.dram.Push(c, r)
+		return
+	}
+	// A previously deferred eviction writeback takes priority for DRAM
+	// queue space.
+	if p.pendingWB != nil {
+		if !p.dram.CanPush() {
+			p.dram.NoteStall()
+			return
+		}
+		p.dram.Push(c, p.pendingWB)
+		p.pendingWB = nil
+	}
+
+	// Space checks so an access never strands its result: a load hit
+	// needs hit-pipe space; misses need a DRAM slot (plus one for a
+	// possible dirty eviction). A side-effect-free tag probe tells the
+	// two cases apart so DRAM backpressure never blocks L2 hits.
+	if r.Kind == mem.KindLoad && !p.hit.CanPush() {
+		p.stats.L2Stalls++
+		return
+	}
+	wouldHit := p.l2.Probe(r.Addr) != cache.Miss
+	if !wouldHit && p.dram.FreeSlots() < 2 {
+		p.stats.L2Stalls++
+		p.dram.NoteStall()
+		return
+	}
+
+	res := p.l2.Access(c, r)
+	switch res.Status {
+	case cache.Hit:
+		p.l2q.Pop(c)
+		p.stats.L2Hits++
+		if r.Kind == mem.KindLoad {
+			p.hit.Push(c, r)
+		} else {
+			p.stats.StoresDrained++
+		}
+	case cache.HitReserved:
+		// Parked on the MSHR; completes at fill time.
+		p.l2q.Pop(c)
+		p.stats.L2Misses++
+	case cache.Miss:
+		p.l2q.Pop(c)
+		p.stats.L2Misses++
+		if res.Writeback != nil {
+			p.stats.Writebacks++
+			wb := &mem.Request{
+				Addr: res.Writeback.Addr,
+				Size: res.Writeback.Size,
+				Kind: mem.KindStore,
+				SM:   -1, Warp: -1,
+			}
+			if p.dram.CanPush() {
+				p.dram.Push(c, wb)
+			} else {
+				p.pendingWB = wb
+			}
+		}
+		fetch := r
+		if r.Kind == mem.KindStore {
+			// Write-allocate: fetch the line with an untracked read
+			// carrier; the store completes when the fill arrives.
+			fetch = &mem.Request{
+				Addr: p.l2.BlockAddr(r.Addr),
+				Size: p.cfg.L2.LineSize,
+				Kind: mem.KindLoad,
+				SM:   -1, Warp: -1,
+			}
+		}
+		if fetch.Log != nil {
+			fetch.Log.Mark(mem.PtDRAMQArrive, c)
+		}
+		p.dram.Push(c, fetch)
+	case cache.ReservationFail:
+		p.stats.L2Stalls++
+	}
+}
+
+// moveROPToL2Q advances requests from the ROP stage into the L2 queue,
+// stamping PtL2QArrive.
+func (p *Partition) moveROPToL2Q(c sim.Cycle) {
+	for p.l2q.CanPush() {
+		r, ok := p.rop.Pop(c)
+		if !ok {
+			return
+		}
+		if r.Log != nil {
+			r.Log.Mark(mem.PtL2QArrive, c)
+		}
+		p.l2q.Push(c, r)
+	}
+	if p.rop.Len() > 0 {
+		p.l2q.NoteStall()
+	}
+}
+
+// Drained reports whether no request remains anywhere in the partition.
+func (p *Partition) Drained() bool {
+	mshrs := 0
+	if p.l2 != nil {
+		mshrs = p.l2.MSHRsInUse()
+	}
+	return p.rop.Len() == 0 && p.l2q.Len() == 0 && p.hit.Len() == 0 &&
+		p.ret.Len() == 0 && p.pendingWB == nil &&
+		p.dram.QueueLen() == 0 && p.dram.InflightLen() == 0 &&
+		mshrs == 0
+}

@@ -1,0 +1,287 @@
+package mempart
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gpulat/internal/cache"
+	"gpulat/internal/dram"
+	"gpulat/internal/mem"
+	"gpulat/internal/sim"
+)
+
+func testConfig() Config {
+	return Config{
+		ID:            0,
+		ROPLatency:    20,
+		ROPQueueDepth: 8,
+		L2QueueDepth:  8,
+		L2Enabled:     true,
+		L2: cache.Config{
+			Name: "l2", Sets: 64, Ways: 8, LineSize: 128,
+			Replacement: cache.LRU, Write: cache.WriteBackAlloc,
+			MSHREntries: 16, MSHRMaxMerge: 8, HitLatency: 30,
+		},
+		DRAM: dram.Config{
+			Name: "dram", Banks: 8, RowBytes: 2048,
+			TRCD: 12, TRP: 12, TCL: 12, TRAS: 28, TWR: 10,
+			BurstCycles: 4, QueueDepth: 16, Scheduler: dram.FRFCFS,
+		},
+		ReturnQueueDepth: 8,
+	}
+}
+
+func load(id uint64, addr uint64) *mem.Request {
+	r := &mem.Request{ID: id, Addr: addr, Size: 128, Kind: mem.KindLoad, Log: &mem.StageLog{}}
+	r.Log.Mark(mem.PtIssue, 0)
+	r.Log.Mark(mem.PtL1Access, 0)
+	r.Log.Mark(mem.PtICNTInject, 0)
+	return r
+}
+
+func store(id uint64, addr uint64) *mem.Request {
+	return &mem.Request{ID: id, Addr: addr, Size: 128, Kind: mem.KindStore, SM: -1, Warp: -1}
+}
+
+// runPart ticks until n loads return or the cycle limit is hit.
+func runPart(p *Partition, n int, limit sim.Cycle) map[uint64]sim.Cycle {
+	out := map[uint64]sim.Cycle{}
+	for c := sim.Cycle(0); c < limit && len(out) < n; c++ {
+		p.Tick(c)
+		for {
+			r, ok := p.PopReturn(c)
+			if !ok {
+				break
+			}
+			out[r.ID] = c
+		}
+	}
+	return out
+}
+
+func TestLoadMissTraversesAllStages(t *testing.T) {
+	p := New(testConfig())
+	r := load(1, 0x4000)
+	p.Accept(0, r)
+	done := runPart(p, 1, 10000)
+	if len(done) != 1 {
+		t.Fatal("load did not return")
+	}
+	for _, pt := range []mem.Point{mem.PtROPArrive, mem.PtL2QArrive, mem.PtDRAMQArrive, mem.PtDRAMSched, mem.PtDRAMDone} {
+		if _, ok := r.Log.At(pt); !ok {
+			t.Fatalf("point %v not marked", pt)
+		}
+	}
+	if !r.Log.Monotonic() {
+		t.Fatalf("log not monotonic: %v", r.Log)
+	}
+	// ROP latency respected.
+	rop := r.Log.MustAt(mem.PtROPArrive)
+	l2q := r.Log.MustAt(mem.PtL2QArrive)
+	if l2q-rop < testConfig().ROPLatency {
+		t.Fatalf("ROP stage took %d, want >= %d", l2q-rop, testConfig().ROPLatency)
+	}
+}
+
+func TestSecondLoadHitsInL2(t *testing.T) {
+	p := New(testConfig())
+	a := load(1, 0x4000)
+	p.Accept(0, a)
+	done := runPart(p, 1, 10000)
+	first := done[1]
+
+	b := load(2, 0x4000)
+	p.Accept(first+1, b)
+	for c := first + 1; c < first+10000; c++ {
+		p.Tick(c)
+		if r, ok := p.PopReturn(c); ok {
+			if r.ID != 2 {
+				t.Fatalf("unexpected return %d", r.ID)
+			}
+			// L2 hit: no DRAM points.
+			if _, bad := r.Log.At(mem.PtDRAMQArrive); bad {
+				t.Fatal("L2 hit went to DRAM")
+			}
+			hitLat := c - (first + 1)
+			missLat := first - sim.Cycle(0)
+			if hitLat >= missLat {
+				t.Fatalf("L2 hit latency %d not faster than miss %d", hitLat, missLat)
+			}
+			return
+		}
+	}
+	t.Fatal("second load never returned")
+}
+
+func TestL2MergeInheritsMarks(t *testing.T) {
+	p := New(testConfig())
+	a := load(1, 0x8000)
+	b := load(2, 0x8040) // same 128B line
+	p.Accept(0, a)
+	p.Accept(1, b)
+	done := runPart(p, 2, 20000)
+	if len(done) != 2 {
+		t.Fatalf("returned %d of 2", len(done))
+	}
+	if !b.Log.MergedAtL2 {
+		t.Fatal("second load not flagged as L2 merge")
+	}
+	if b.MergedInto != a {
+		t.Fatal("MergedInto not set to primary")
+	}
+	// Inherited DRAM points must exist and be monotonic.
+	if _, ok := b.Log.At(mem.PtDRAMSched); !ok {
+		t.Fatal("merged load missing inherited DRAM sched mark")
+	}
+	if !b.Log.Monotonic() {
+		t.Fatalf("merged log not monotonic: %v", b.Log)
+	}
+}
+
+func TestStoreMissFillsLineForLaterLoad(t *testing.T) {
+	p := New(testConfig())
+	s := store(1, 0xA000)
+	p.Accept(0, s)
+	// Drain the store (no reply); then a load to the same line must hit.
+	for c := sim.Cycle(0); c < 5000; c++ {
+		p.Tick(c)
+		if p.Drained() {
+			break
+		}
+	}
+	if !p.Drained() {
+		t.Fatal("store never drained")
+	}
+	if p.Stats().StoresDrained != 1 {
+		t.Fatalf("stats: %+v", p.Stats())
+	}
+	l := load(2, 0xA000)
+	p.Accept(6000, l)
+	for c := sim.Cycle(6000); c < 12000; c++ {
+		p.Tick(c)
+		if r, ok := p.PopReturn(c); ok {
+			if _, wentToDRAM := r.Log.At(mem.PtDRAMQArrive); wentToDRAM {
+				t.Fatal("load after store-allocate missed L2")
+			}
+			return
+		}
+	}
+	t.Fatal("load never returned")
+}
+
+func TestDirtyEvictionWritesBack(t *testing.T) {
+	cfg := testConfig()
+	// Tiny L2 so evictions happen quickly: 2 sets x 1 way x 128B.
+	cfg.L2.Sets = 2
+	cfg.L2.Ways = 1
+	p := New(cfg)
+	// Dirty line 0 via store, then displace it with loads mapping to
+	// the same set (set stride = 2*128).
+	p.Accept(0, store(1, 0))
+	for c := sim.Cycle(0); c < 5000 && !p.Drained(); c++ {
+		p.Tick(c)
+	}
+	l := load(2, 2*128)
+	p.Accept(5000, l)
+	for c := sim.Cycle(5000); c < 20000; c++ {
+		p.Tick(c)
+		if _, ok := p.PopReturn(c); ok {
+			break
+		}
+	}
+	if p.Stats().Writebacks != 1 {
+		t.Fatalf("expected 1 writeback, stats: %+v", p.Stats())
+	}
+}
+
+func TestPartitionBackpressure(t *testing.T) {
+	cfg := testConfig()
+	cfg.ROPQueueDepth = 2
+	p := New(cfg)
+	// The ROP stage holds ROPQueueDepth buffered entries on top of its
+	// pipeline occupancy (ROPLatency in-flight slots).
+	capacity := cfg.ROPQueueDepth + int(cfg.ROPLatency)
+	for i := 0; i < capacity; i++ {
+		if !p.CanAccept() {
+			t.Fatalf("ROP full after %d of %d", i, capacity)
+		}
+		p.Accept(0, load(uint64(i+1), uint64(i)*128))
+	}
+	if p.CanAccept() {
+		t.Fatal("ROP queue should be full")
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	cases := []func(*Config){
+		func(c *Config) { c.ROPQueueDepth = 0 },
+		func(c *Config) { c.L2QueueDepth = 0 },
+		func(c *Config) { c.ReturnQueueDepth = 0 },
+	}
+	for i, mutate := range cases {
+		cfg := testConfig()
+		mutate(&cfg)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+// Property: any mix of loads and stores to random lines drains completely,
+// every load returns exactly once with a monotonic, complete-below-ROP
+// stage log.
+func TestPartitionDrainProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		p := New(testConfig())
+		if len(ops) > 48 {
+			ops = ops[:48]
+		}
+		wantLoads := 0
+		accepted := 0
+		pending := ops
+		got := map[uint64]bool{}
+		id := uint64(0)
+		for c := sim.Cycle(0); c < 200000; c++ {
+			// Feed as backpressure allows.
+			for len(pending) > 0 && p.CanAccept() {
+				op := pending[0]
+				pending = pending[1:]
+				id++
+				addr := uint64(op%512) * 64
+				if op&0x8000 != 0 {
+					p.Accept(c, store(id, addr))
+				} else {
+					p.Accept(c, load(id, addr))
+					wantLoads++
+				}
+				accepted++
+			}
+			p.Tick(c)
+			for {
+				r, ok := p.PopReturn(c)
+				if !ok {
+					break
+				}
+				if got[r.ID] {
+					return false // duplicate return
+				}
+				got[r.ID] = true
+				if !r.Log.Monotonic() {
+					return false
+				}
+			}
+			if len(pending) == 0 && len(got) == wantLoads && p.Drained() {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,49 @@
+package sim
+
+// Calendar delivers items at arbitrary future cycles, unlike Pipeline
+// whose depth is constant. Insertion keeps items sorted by readiness, so
+// Ready pops an ordered prefix. Ties preserve insertion order.
+type Calendar[T any] struct {
+	name  string
+	items []queueEntry[T]
+}
+
+// NewCalendar returns an empty calendar.
+func NewCalendar[T any](name string) *Calendar[T] {
+	return &Calendar[T]{name: name}
+}
+
+// Name returns the calendar's diagnostic name.
+func (cl *Calendar[T]) Name() string { return cl.name }
+
+// Schedule inserts an item that becomes ready at cycle at.
+func (cl *Calendar[T]) Schedule(at Cycle, item T) {
+	pos := len(cl.items)
+	for pos > 0 && cl.items[pos-1].readyAt > at {
+		pos--
+	}
+	cl.items = append(cl.items, queueEntry[T]{})
+	copy(cl.items[pos+1:], cl.items[pos:])
+	cl.items[pos] = queueEntry[T]{item: item, readyAt: at}
+}
+
+// Ready removes and returns all items ready by cycle c.
+func (cl *Calendar[T]) Ready(c Cycle) []T {
+	n := 0
+	for n < len(cl.items) && cl.items[n].readyAt <= c {
+		n++
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]T, n)
+	for i := 0; i < n; i++ {
+		out[i] = cl.items[i].item
+	}
+	copy(cl.items, cl.items[n:])
+	cl.items = cl.items[:len(cl.items)-n]
+	return out
+}
+
+// Len returns the number of scheduled items.
+func (cl *Calendar[T]) Len() int { return len(cl.items) }

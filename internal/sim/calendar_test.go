@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCalendarOrdering(t *testing.T) {
+	cl := NewCalendar[int]("t")
+	cl.Schedule(30, 3)
+	cl.Schedule(10, 1)
+	cl.Schedule(20, 2)
+	if got := cl.Ready(5); got != nil {
+		t.Fatalf("early delivery: %v", got)
+	}
+	if got := cl.Ready(15); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("at 15: %v", got)
+	}
+	if got := cl.Ready(30); len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("at 30: %v", got)
+	}
+	if cl.Len() != 0 {
+		t.Fatal("not drained")
+	}
+}
+
+func TestCalendarTiesPreserveInsertionOrder(t *testing.T) {
+	cl := NewCalendar[string]("t")
+	cl.Schedule(5, "a")
+	cl.Schedule(5, "b")
+	cl.Schedule(5, "c")
+	got := cl.Ready(5)
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("tie order: %v", got)
+	}
+}
+
+// Property: items emerge in non-decreasing readiness order regardless of
+// insertion order, and nothing is lost.
+func TestCalendarSortedDeliveryProperty(t *testing.T) {
+	f := func(delays []uint8) bool {
+		cl := NewCalendar[int]("p")
+		for i, d := range delays {
+			cl.Schedule(Cycle(d), i)
+		}
+		seen := 0
+		var lastAt Cycle
+		for c := Cycle(0); c <= 256; c++ {
+			for range cl.Ready(c) {
+				if c < lastAt {
+					return false
+				}
+				lastAt = c
+				seen++
+			}
+		}
+		return seen == len(delays) && cl.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCalendarInterleavedScheduleAndDrain(t *testing.T) {
+	cl := NewCalendar[int]("t")
+	cl.Schedule(10, 1)
+	if got := cl.Ready(10); len(got) != 1 {
+		t.Fatalf("first drain: %v", got)
+	}
+	// Scheduling in the past delivers on next Ready.
+	cl.Schedule(3, 2)
+	if got := cl.Ready(10); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("past schedule: %v", got)
+	}
+}

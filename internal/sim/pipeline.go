@@ -1,0 +1,61 @@
+package sim
+
+// Pipeline models a fully pipelined unit with a fixed depth: an item
+// entered at cycle c emerges at cycle c+depth, and one item may enter per
+// cycle without limit on in-flight count. It is used for execution-unit
+// result latency and fixed wire delays where backpressure cannot occur.
+type Pipeline[T any] struct {
+	name  string
+	depth Cycle
+	items []queueEntry[T]
+}
+
+// NewPipeline returns a pipeline with the given depth in cycles.
+func NewPipeline[T any](name string, depth Cycle) *Pipeline[T] {
+	return &Pipeline[T]{name: name, depth: depth}
+}
+
+// Name returns the pipeline's diagnostic name.
+func (p *Pipeline[T]) Name() string { return p.name }
+
+// Depth returns the pipeline depth in cycles.
+func (p *Pipeline[T]) Depth() Cycle { return p.depth }
+
+// Enter inserts an item at cycle c; it becomes available at c+depth.
+func (p *Pipeline[T]) Enter(c Cycle, item T) {
+	p.items = append(p.items, queueEntry[T]{item: item, readyAt: c + p.depth})
+}
+
+// Ready removes and returns all items that have completed by cycle c.
+// Items complete in insertion order (depth is constant, so FIFO holds).
+func (p *Pipeline[T]) Ready(c Cycle) []T {
+	n := 0
+	for n < len(p.items) && p.items[n].readyAt <= c {
+		n++
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]T, n)
+	for i := 0; i < n; i++ {
+		out[i] = p.items[i].item
+	}
+	copy(p.items, p.items[n:])
+	p.items = p.items[:len(p.items)-n]
+	return out
+}
+
+// PopReady removes and returns the single front item if complete at c.
+func (p *Pipeline[T]) PopReady(c Cycle) (T, bool) {
+	var zero T
+	if len(p.items) == 0 || p.items[0].readyAt > c {
+		return zero, false
+	}
+	it := p.items[0].item
+	copy(p.items, p.items[1:])
+	p.items = p.items[:len(p.items)-1]
+	return it, true
+}
+
+// Len returns the number of in-flight items.
+func (p *Pipeline[T]) Len() int { return len(p.items) }

@@ -1,0 +1,28 @@
+// Package sim provides the low-level building blocks of the cycle-level
+// GPU timing simulator: the simulation clock, bounded latency queues,
+// fixed-depth pipelines, and deterministic pseudo-random number generation.
+//
+// Every timed component in the simulator implements Ticker and is advanced
+// once per cycle by its owner in a fixed order, which makes whole-GPU
+// simulations fully deterministic and therefore exactly reproducible in
+// tests and experiments.
+package sim
+
+// Cycle is a point in simulated time, measured in core ("hot") clock cycles.
+// The whole simulator runs in a single clock domain; clock-domain ratios of
+// real hardware are folded into component latencies by the configuration
+// presets (see internal/config).
+type Cycle uint64
+
+// Ticker is implemented by every component that performs work each cycle.
+type Ticker interface {
+	// Tick advances the component to cycle c. Tick is called exactly once
+	// per cycle with strictly increasing values of c.
+	Tick(c Cycle)
+}
+
+// TickFunc adapts a function to the Ticker interface.
+type TickFunc func(c Cycle)
+
+// Tick implements Ticker.
+func (f TickFunc) Tick(c Cycle) { f(c) }

@@ -1,0 +1,210 @@
+package sm
+
+import (
+	"gpulat/internal/isa"
+	"gpulat/internal/sim"
+)
+
+// issue runs the warp scheduler(s): up to IssueWidth instructions from
+// distinct ready warps per cycle.
+func (s *SM) issue(c sim.Cycle) {
+	if s.ActiveBlocks() == 0 {
+		return
+	}
+	issuedWarp := make(map[int]bool, s.cfg.IssueWidth)
+	for slot := 0; slot < s.cfg.IssueWidth; slot++ {
+		ws := s.pickWarp(c, issuedWarp)
+		if ws < 0 {
+			s.stats.IssueStallEmpty++
+			continue
+		}
+		s.issueFrom(c, ws)
+		issuedWarp[ws] = true
+		s.lastSched = ws
+		s.greedyWarp = ws
+	}
+}
+
+// canIssue reports whether warp slot ws can issue its next instruction.
+func (s *SM) canIssue(c sim.Cycle, ws int) bool {
+	w := s.warps[ws]
+	if w == nil || w.Done() || w.AtBarrier || s.blockedTo[ws] > c {
+		return false
+	}
+	prog := s.blocks[w.BlockSlot].kernel.Program
+	in := prog.At(w.PC())
+
+	// Scoreboard: all sources and the destination must be clear, plus
+	// the guard predicate and any predicate operands.
+	var regMask uint64
+	var buf [4]isa.Reg
+	for _, r := range in.SrcRegs(buf[:0]) {
+		regMask |= 1 << r
+	}
+	if in.Op.WritesDst() && in.Dst != isa.RZ {
+		regMask |= 1 << in.Dst
+	}
+	if s.sbRegs[ws]&regMask != 0 {
+		return false
+	}
+	var predMask uint8
+	if in.Pred != isa.PT {
+		predMask |= 1 << in.Pred
+	}
+	if (in.Op == isa.OpISETP || in.Op == isa.OpSELP) && in.PDst != isa.PT {
+		predMask |= 1 << in.PDst
+	}
+	if s.sbPreds[ws]&predMask != 0 {
+		return false
+	}
+
+	// Structural: memory instructions need LDST queue space.
+	if in.Op.IsMemory() && !s.ldstQ.CanPush() {
+		return false
+	}
+	return true
+}
+
+// pickWarp selects the next warp per the configured policy.
+func (s *SM) pickWarp(c sim.Cycle, exclude map[int]bool) int {
+	n := s.cfg.MaxWarps
+	switch s.cfg.Scheduler {
+	case LRR:
+		for k := 1; k <= n; k++ {
+			ws := (s.lastSched + k) % n
+			if !exclude[ws] && s.canIssue(c, ws) {
+				return ws
+			}
+		}
+	case GTO:
+		if g := s.greedyWarp; g >= 0 && g < n && !exclude[g] && s.canIssue(c, g) {
+			return g
+		}
+		best, bestSeq := -1, ^uint64(0)
+		for ws := 0; ws < n; ws++ {
+			if exclude[ws] || s.warps[ws] == nil || !s.canIssue(c, ws) {
+				continue
+			}
+			if s.warpSeq[ws] < bestSeq {
+				best, bestSeq = ws, s.warpSeq[ws]
+			}
+		}
+		return best
+	}
+	return -1
+}
+
+// issueFrom issues one instruction from warp slot ws. The caller has
+// verified readiness via canIssue.
+func (s *SM) issueFrom(c sim.Cycle, ws int) {
+	w := s.warps[ws]
+	bs := &s.blocks[w.BlockSlot]
+	prog := bs.kernel.Program
+	pc := w.PC()
+	in := prog.At(pc)
+	active := w.ActiveMask()
+
+	// Per-lane guard evaluation.
+	var passMask uint32
+	for l := 0; l < s.cfg.WarpSize; l++ {
+		if active&(1<<l) == 0 {
+			continue
+		}
+		if w.Threads[l].GuardPasses(in) {
+			passMask |= 1 << l
+		}
+	}
+
+	s.stats.InstIssued++
+	s.issuedThisCycle++
+	w.InstRetired++
+	s.instSeq++
+
+	switch {
+	case in.Op == isa.OpBRA:
+		reconv := prog.Reconv[pc]
+		w.Branch(pc, in.TargetPC, reconv, prog.Len(), passMask)
+		s.blockedTo[ws] = c + s.cfg.BranchLatency
+	case in.Op == isa.OpEXIT:
+		if passMask == 0 {
+			w.Advance(pc + 1)
+			break
+		}
+		w.ExitLanes(passMask, pc+1)
+		s.retireWarpIfDone(ws)
+	case in.Op == isa.OpBAR:
+		w.Advance(pc + 1)
+		if passMask != 0 {
+			w.AtBarrier = true
+			bs.barrierArrived++
+			s.releaseBarrierIfComplete(w.BlockSlot)
+		}
+	case in.Op.IsMemory():
+		s.issueMemInst(c, ws, in, passMask)
+		w.Advance(pc + 1)
+	default:
+		// Arithmetic / moves / predicates: functional execution now,
+		// result latency via the exec pipeline.
+		for l := 0; l < s.cfg.WarpSize; l++ {
+			if passMask&(1<<l) == 0 {
+				continue
+			}
+			t := &w.Threads[l]
+			if in.Op == isa.OpS2R && in.Special == isa.SrClock {
+				t.Clock = uint32(c)
+			}
+			t.Eval(in)
+		}
+		var regMask uint64
+		var predMask uint8
+		if in.Op.WritesDst() && in.Dst != isa.RZ {
+			regMask = 1 << in.Dst
+		}
+		if in.Op == isa.OpISETP && in.PDst != isa.PT {
+			predMask = 1 << in.PDst
+		}
+		if regMask != 0 || predMask != 0 {
+			s.sbRegs[ws] |= regMask
+			s.sbPreds[ws] |= predMask
+			s.exec.Enter(c, wbEvent{warpSlot: ws, regMask: regMask, predMask: predMask})
+		}
+		w.Advance(pc + 1)
+	}
+}
+
+// releaseBarrierIfComplete opens the barrier when every live warp of the
+// block has arrived.
+func (s *SM) releaseBarrierIfComplete(blockSlot int) {
+	bs := &s.blocks[blockSlot]
+	if !bs.active || bs.barrierArrived == 0 || bs.barrierArrived < bs.liveWarps {
+		return
+	}
+	for _, ws := range bs.warps {
+		if w := s.warps[ws]; w != nil && w.AtBarrier {
+			w.AtBarrier = false
+		}
+	}
+	bs.barrierArrived = 0
+}
+
+// readyWarpExists reports whether any warp could issue this cycle
+// (diagnostics for exposure analysis).
+func (s *SM) readyWarpExists(c sim.Cycle) bool {
+	for ws := range s.warps {
+		if s.canIssue(c, ws) {
+			return true
+		}
+	}
+	return false
+}
+
+// activeWarpCount returns resident, unfinished warps (diagnostics).
+func (s *SM) activeWarpCount() int {
+	n := 0
+	for _, w := range s.warps {
+		if w != nil && !w.Done() {
+			n++
+		}
+	}
+	return n
+}

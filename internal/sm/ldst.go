@@ -1,0 +1,353 @@
+package sm
+
+import (
+	"gpulat/internal/cache"
+	"gpulat/internal/isa"
+	"gpulat/internal/mem"
+	"gpulat/internal/sim"
+)
+
+// memInst is one warp memory instruction traveling through the LDST unit.
+type memInst struct {
+	warpSlot  int
+	blockSlot int
+	op        isa.Opcode
+	dst       isa.Reg
+	space     mem.Space
+	kind      mem.Kind
+	seq       uint64
+	issuedAt  sim.Cycle
+
+	// accesses holds per-lane effective addresses (global address space
+	// for global/local ops; scratchpad offsets for shared ops).
+	accesses []mem.LaneAccess
+
+	// txns is the coalesced transaction list (global/local only).
+	txns    mem.CoalesceResult
+	nextTxn int
+	// pendingReq is the generated-but-not-yet-accepted transaction
+	// (retried across cycles under structural stalls).
+	pendingReq *mem.Request
+	// outstanding counts transactions issued to the memory system but
+	// not yet written back; issuedAll marks that every transaction has
+	// been generated.
+	outstanding int
+	issuedAll   bool
+}
+
+// issueMemInst is called at instruction issue: functional effects happen
+// now (stores write memory, loads read it into registers), addresses are
+// captured, and the instruction enters the LDST queue for timing.
+func (s *SM) issueMemInst(c sim.Cycle, ws int, in *isa.Instruction, passMask uint32) {
+	w := s.warps[ws]
+	bs := &s.blocks[w.BlockSlot]
+	k := bs.kernel
+
+	var space mem.Space
+	switch in.Op {
+	case isa.OpLDG, isa.OpSTG, isa.OpATOM:
+		space = mem.SpaceGlobal
+	case isa.OpLDL, isa.OpSTL:
+		space = mem.SpaceLocal
+	case isa.OpLDS, isa.OpSTS:
+		space = mem.SpaceShared
+	}
+	kind := mem.KindLoad
+	if in.Op.IsStore() {
+		kind = mem.KindStore
+	}
+
+	mi := &memInst{
+		warpSlot:  ws,
+		blockSlot: w.BlockSlot,
+		op:        in.Op,
+		dst:       in.Dst,
+		space:     space,
+		kind:      kind,
+		seq:       s.instSeq,
+		issuedAt:  c,
+	}
+
+	for l := 0; l < s.cfg.WarpSize; l++ {
+		if passMask&(1<<l) == 0 {
+			continue
+		}
+		t := &w.Threads[l]
+		r := t.Eval(in)
+		addr := r.MemAddr
+		switch space {
+		case mem.SpaceLocal:
+			addr = s.localToGlobal(k, t, r.MemAddr)
+			fallthrough
+		case mem.SpaceGlobal:
+			switch {
+			case in.Op == isa.OpATOM:
+				old := s.memory.Load32(addr)
+				s.memory.Store32(addr, old+r.StoreVal)
+				t.WriteReg(in.Dst, old)
+			case kind == mem.KindStore:
+				s.memory.Store32(addr, r.StoreVal)
+			default:
+				t.WriteReg(in.Dst, s.memory.Load32(addr))
+			}
+		case mem.SpaceShared:
+			if len(bs.shared) == 0 {
+				if kind == mem.KindLoad {
+					t.WriteReg(in.Dst, 0)
+				}
+				break
+			}
+			word := (r.MemAddr / 4) % uint64(len(bs.shared))
+			if kind == mem.KindStore {
+				bs.shared[word] = r.StoreVal
+			} else {
+				t.WriteReg(in.Dst, bs.shared[word])
+			}
+		}
+		mi.accesses = append(mi.accesses, mem.LaneAccess{Lane: l, Addr: addr, Size: r.MemSize})
+	}
+
+	if kind == mem.KindLoad {
+		s.stats.LoadsIssued++
+		if in.Dst != isa.RZ {
+			s.sbRegs[ws] |= 1 << in.Dst
+		}
+	} else {
+		s.stats.StoresIssued++
+	}
+
+	// An all-lanes-predicated-off memory instruction still flows through
+	// the LDST queue with zero transactions (it releases immediately).
+	s.ldstQ.Push(c, mi)
+}
+
+// localToGlobal places thread-private local memory in the global address
+// space with per-word interleaving across all threads of the grid, so
+// that lanes accessing the same local offset touch consecutive words —
+// the hardware layout that makes local traffic coalesce.
+func (s *SM) localToGlobal(k *Kernel, t *isa.ThreadCtx, offset uint64) uint64 {
+	gtid := uint64(t.CTAID)*uint64(t.NTID) + uint64(t.TID)
+	word := offset / 4
+	total := uint64(k.TotalThreads())
+	return k.LocalBase + (word*total+gtid)*4
+}
+
+// tickLDST processes the head of the LDST queue: shared-memory accesses
+// complete locally; global/local accesses coalesce into transactions and
+// access the L1 (or bypass it) at one transaction per cycle.
+func (s *SM) tickLDST(c sim.Cycle) {
+	mi, ok := s.ldstQ.Peek(c)
+	if !ok {
+		return
+	}
+
+	if mi.space == mem.SpaceShared {
+		s.processShared(c, mi)
+		s.ldstQ.Pop(c)
+		return
+	}
+
+	// Lazy coalescing on first service.
+	if mi.txns.Segments == nil && !mi.issuedAll {
+		if len(mi.accesses) == 0 {
+			mi.issuedAll = true
+			s.finishMemInst(mi)
+			s.ldstQ.Pop(c)
+			return
+		}
+		mi.txns = mem.Coalesce(mi.accesses, s.cfg.CoalesceSegment)
+	}
+
+	// Issue the next transaction.
+	if mi.nextTxn < len(mi.txns.Segments) {
+		if !s.issueTransaction(c, mi) {
+			return // structural stall; retry next cycle
+		}
+		mi.nextTxn++
+	}
+	if mi.nextTxn == len(mi.txns.Segments) {
+		mi.issuedAll = true
+		s.ldstQ.Pop(c)
+		if mi.outstanding == 0 {
+			// All transactions were L1 hits already written back, or a
+			// pure store that needed no acknowledgment.
+			s.finishMemInst(mi)
+		}
+	}
+}
+
+// issueTransaction sends one coalesced transaction into the memory
+// system. It returns false on a structural stall (retry next cycle);
+// the generated request persists across retries so its creation
+// timestamp is honest.
+func (s *SM) issueTransaction(c sim.Cycle, mi *memInst) bool {
+	useL1 := (mi.space == mem.SpaceGlobal && s.cfg.L1Enabled) ||
+		(mi.space == mem.SpaceLocal && s.cfg.L1LocalEnabled)
+	if mi.op == isa.OpATOM {
+		// Atomics execute at the L2; they never hit the L1.
+		useL1 = false
+	}
+
+	// Build the request once per transaction. Loads are tracked (carry
+	// a stage log); stores are fire-and-forget per the paper's load-
+	// latency methodology.
+	req := mi.pendingReq
+	if req == nil {
+		req = &mem.Request{
+			ID:    s.newReqID(),
+			Addr:  mi.txns.Segments[mi.nextTxn],
+			Size:  mi.txns.SegmentSize,
+			Kind:  mi.kind,
+			Space: mi.space,
+			SM:    s.cfg.ID,
+			Warp:  mi.warpSlot,
+			Inst:  mi.seq,
+		}
+		if mi.kind == mem.KindLoad {
+			req.Log = &mem.StageLog{}
+			req.Log.Mark(mem.PtIssue, mi.issuedAt)
+			req.Log.Mark(mem.PtCreated, c)
+		}
+		mi.pendingReq = req
+	}
+
+	if !useL1 {
+		// No L1 for this space: the request goes straight to the miss
+		// queue. PtL1Access marks the coalescer exit (where the L1
+		// lookup would have happened).
+		if !s.missQ.CanPush() {
+			s.missQ.NoteStall()
+			return false
+		}
+		req.Log.Mark(mem.PtL1Access, c)
+		if mi.kind == mem.KindLoad {
+			mi.outstanding++
+			s.outstanding[req.ID] = &txnCtx{mi: mi, fillL1: false}
+		}
+		s.missQ.Push(c, req)
+		mi.pendingReq = nil
+		return true
+	}
+
+	// L1 path. A miss needs a miss-queue slot; reserve conservatively
+	// before accessing so an allocated MSHR is never stranded.
+	if !s.missQ.CanPush() {
+		s.missQ.NoteStall()
+		return false
+	}
+	res := s.l1.Access(c, req)
+	if res.Status != cache.ReservationFail {
+		req.Log.Mark(mem.PtL1Access, c)
+		mi.pendingReq = nil
+	}
+	switch res.Status {
+	case cache.Hit:
+		s.stats.L1Hits++
+		if mi.kind == mem.KindLoad {
+			mi.outstanding++
+			s.retire.Schedule(c+s.cfg.L1.HitLatency+s.cfg.WritebackLatency, completion{mi: mi, req: req})
+		} else {
+			// Write-through: the store is forwarded below the hit.
+			s.missQ.Push(c, req)
+		}
+		return true
+	case cache.HitReserved:
+		s.stats.L1MergedMisses++
+		if req.Log != nil {
+			req.Log.MergedAtL1 = true
+		}
+		mi.outstanding++
+		s.outstanding[req.ID] = &txnCtx{mi: mi, fillL1: false}
+		// Completion arrives via the primary's fill.
+		return true
+	case cache.Miss:
+		s.stats.L1Misses++
+		if mi.kind == mem.KindLoad {
+			mi.outstanding++
+			s.outstanding[req.ID] = &txnCtx{mi: mi, fillL1: true, blockAddr: s.l1.BlockAddr(req.Addr)}
+		}
+		s.missQ.Push(c, req)
+		return true
+	case cache.ReservationFail:
+		return false
+	}
+	return false
+}
+
+// processShared completes a shared-memory access with bank-conflict
+// serialization: the latency grows by one cycle per extra pass.
+func (s *SM) processShared(c sim.Cycle, mi *memInst) {
+	passes := s.sharedPasses(mi.accesses)
+	if passes > 1 {
+		s.stats.SharedConflicts += uint64(passes - 1)
+	}
+	lat := s.cfg.SharedLatency + sim.Cycle(passes-1)
+	if mi.kind == mem.KindLoad {
+		mi.outstanding++
+		mi.issuedAll = true
+		// Local completion: no tracked request, latency only.
+		s.retire.Schedule(c+lat, completion{mi: mi})
+	} else {
+		mi.issuedAll = true
+		s.finishMemInst(mi)
+	}
+}
+
+// sharedPasses computes the number of serialized passes caused by bank
+// conflicts: lanes touching distinct words in the same bank serialize;
+// lanes reading the same word broadcast.
+func (s *SM) sharedPasses(acc []mem.LaneAccess) int {
+	perBank := make(map[int]map[uint64]bool)
+	passes := 1
+	for _, a := range acc {
+		word := a.Addr / 4
+		bank := int(word % uint64(s.cfg.SharedBanks))
+		set := perBank[bank]
+		if set == nil {
+			set = make(map[uint64]bool)
+			perBank[bank] = set
+		}
+		set[word] = true
+		if len(set) > passes {
+			passes = len(set)
+		}
+	}
+	return passes
+}
+
+// processResponses drains the response queue: replies fill the L1 (when
+// the miss allocated there) and complete their transactions.
+func (s *SM) processResponses(c sim.Cycle) {
+	for {
+		r, ok := s.respQ.Pop(c)
+		if !ok {
+			return
+		}
+		ctx := s.outstanding[r.ID]
+		if ctx == nil {
+			// A reply for an untracked or already-completed request is
+			// a protocol error.
+			panic("sm: response for unknown request")
+		}
+		delete(s.outstanding, r.ID)
+		if ctx.fillL1 && s.l1 != nil {
+			merged := s.l1.Fill(c, ctx.blockAddr)
+			for _, m := range merged {
+				if m == r {
+					continue
+				}
+				mctx := s.outstanding[m.ID]
+				if mctx == nil {
+					continue
+				}
+				delete(s.outstanding, m.ID)
+				if m.Log != nil {
+					m.MergedInto = r
+					mem.InheritMarks(m.Log, r.Log, mem.PtICNTInject)
+				}
+				s.retire.Schedule(c+s.cfg.WritebackLatency, completion{mi: mctx.mi, req: m})
+			}
+		}
+		s.retire.Schedule(c+s.cfg.WritebackLatency, completion{mi: ctx.mi, req: r})
+	}
+}

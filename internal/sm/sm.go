@@ -1,0 +1,435 @@
+// Package sm models one streaming multiprocessor: warp residency and
+// block slots, warp schedulers (loose round-robin and greedy-then-oldest),
+// a register scoreboard, fixed-latency execution pipelines, and the LDST
+// unit with address coalescing, the L1 data cache, and the miss queue
+// toward the interconnect. The time an instruction-generated memory
+// request spends inside the SM before its L1 access is the paper's
+// "SM Base" latency component; the time a miss waits in the miss queue
+// before network injection is "L1toICNT".
+package sm
+
+import (
+	"fmt"
+
+	"gpulat/internal/cache"
+	"gpulat/internal/isa"
+	"gpulat/internal/mem"
+	"gpulat/internal/sim"
+	"gpulat/internal/warp"
+)
+
+// SchedPolicy selects the warp scheduling policy.
+type SchedPolicy uint8
+
+const (
+	// LRR is loose round-robin: rotate through ready warps.
+	LRR SchedPolicy = iota
+	// GTO is greedy-then-oldest: keep issuing the same warp until it
+	// stalls, then switch to the oldest ready warp.
+	GTO
+)
+
+// String names the policy.
+func (p SchedPolicy) String() string {
+	if p == LRR {
+		return "LRR"
+	}
+	return "GTO"
+}
+
+// Config describes one SM.
+type Config struct {
+	ID        int
+	WarpSize  int
+	MaxWarps  int
+	MaxBlocks int
+	Scheduler SchedPolicy
+	// IssueWidth is the number of instructions issued per cycle
+	// (distinct warps).
+	IssueWidth int
+
+	// ALULatency is the dependent-use latency of arithmetic results;
+	// BranchLatency stalls the issuing warp after a branch while it
+	// resolves.
+	ALULatency    sim.Cycle
+	BranchLatency sim.Cycle
+
+	// LDSTIssueLatency is the pipeline depth from instruction issue to
+	// the coalescer/L1 access (the front part of "SM Base").
+	LDSTIssueLatency sim.Cycle
+	// LDSTQueueDepth bounds in-flight warp memory instructions.
+	LDSTQueueDepth int
+	// CoalesceSegment is the memory transaction size in bytes.
+	CoalesceSegment uint32
+
+	// L1Enabled routes global accesses through the L1; L1LocalEnabled
+	// routes local (thread-private) accesses through it. On Fermi both
+	// are true; on Kepler only locals may use L1; on Tesla and Maxwell
+	// the L1 is absent for both.
+	L1Enabled      bool
+	L1LocalEnabled bool
+	L1             cache.Config
+
+	// MissQueueDepth bounds requests waiting to enter the network;
+	// ResponseQueueDepth bounds replies waiting to be processed.
+	MissQueueDepth     int
+	ResponseQueueDepth int
+	// WritebackLatency is the return-path depth from data arrival (or
+	// L1 hit) to register writeback (the tail of a load's lifetime).
+	WritebackLatency sim.Cycle
+
+	// SharedLatency is the base shared-memory access latency;
+	// SharedBanks is the bank count for conflict modeling.
+	SharedLatency sim.Cycle
+	SharedBanks   int
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.WarpSize <= 0 || c.WarpSize > 32:
+		return fmt.Errorf("sm %d: warp size must be in 1..32", c.ID)
+	case c.MaxWarps <= 0 || c.MaxBlocks <= 0:
+		return fmt.Errorf("sm %d: warp/block capacity must be positive", c.ID)
+	case c.IssueWidth <= 0:
+		return fmt.Errorf("sm %d: issue width must be positive", c.ID)
+	case c.LDSTQueueDepth <= 0 || c.MissQueueDepth <= 0 || c.ResponseQueueDepth <= 0:
+		return fmt.Errorf("sm %d: queue depths must be positive", c.ID)
+	case c.CoalesceSegment == 0 || c.CoalesceSegment&(c.CoalesceSegment-1) != 0:
+		return fmt.Errorf("sm %d: coalesce segment must be a power of two", c.ID)
+	case c.SharedBanks <= 0:
+		return fmt.Errorf("sm %d: shared banks must be positive", c.ID)
+	}
+	return nil
+}
+
+// Kernel bundles everything needed to launch a grid.
+type Kernel struct {
+	Program *isa.Program
+	// Params are the launch parameters readable via S2R PARAM.
+	Params []uint32
+	// BlockDim is threads per block; GridDim is blocks per grid (1-D).
+	BlockDim int
+	GridDim  int
+	// SharedBytes is the per-block scratchpad allocation.
+	SharedBytes uint32
+	// LocalBase and LocalBytesPerThread place thread-private "local"
+	// memory in the global address space with word interleaving across
+	// threads (so unit-offset local accesses coalesce, as on hardware).
+	LocalBase           uint64
+	LocalBytesPerThread uint32
+}
+
+// TotalThreads returns GridDim*BlockDim.
+func (k *Kernel) TotalThreads() int { return k.BlockDim * k.GridDim }
+
+// WarpsPerBlock returns the warps needed to cover BlockDim.
+func (k *Kernel) WarpsPerBlock(warpSize int) int {
+	return (k.BlockDim + warpSize - 1) / warpSize
+}
+
+// blockSlot is one resident block's bookkeeping.
+type blockSlot struct {
+	active         bool
+	ctaid          int
+	kernel         *Kernel
+	warps          []int // warp slot indices
+	shared         []uint32
+	barrierArrived int
+	liveWarps      int
+	launchSeq      uint64
+}
+
+// wbEvent is an execution-pipe writeback releasing scoreboard entries.
+type wbEvent struct {
+	warpSlot int
+	regMask  uint64
+	predMask uint8
+}
+
+// completion finishes one memory transaction for a warp mem instruction.
+type completion struct {
+	mi  *memInst
+	req *mem.Request
+}
+
+// SM is one streaming multiprocessor instance.
+type SM struct {
+	cfg    Config
+	memory *mem.Memory
+
+	warps     []*warp.Warp // indexed by warp slot; nil when free
+	warpSeq   []uint64     // launch sequence for GTO oldest ordering
+	sbRegs    []uint64     // scoreboard: pending dst registers per warp slot
+	sbPreds   []uint8      // scoreboard: pending predicate dsts
+	blockedTo []sim.Cycle  // warp issue blocked until cycle (branch delay)
+	blocks    []blockSlot
+
+	ldstQ  *sim.Queue[*memInst]
+	missQ  *sim.Queue[*mem.Request]
+	respQ  *sim.Queue[*mem.Request]
+	l1     *cache.Cache
+	exec   *sim.Pipeline[wbEvent]
+	retire *sim.Calendar[completion] // delivers at writeback time
+
+	// outstanding maps request ID → transaction bookkeeping.
+	outstanding map[uint64]*txnCtx
+
+	newReqID func() uint64
+	observer mem.Observer
+
+	lastSched  int
+	greedyWarp int
+	launchSeq  uint64
+	instSeq    uint64
+
+	stats Stats
+
+	// issuedThisCycle is exported to the GPU for exposure accounting.
+	issuedThisCycle int
+}
+
+type txnCtx struct {
+	mi        *memInst
+	fillL1    bool
+	blockAddr uint64
+}
+
+// Stats counts SM activity.
+type Stats struct {
+	Cycles          uint64
+	InstIssued      uint64
+	LoadsIssued     uint64
+	StoresIssued    uint64
+	IssueStallSB    uint64 // scoreboard hazard
+	IssueStallLDST  uint64 // LDST queue full
+	IssueStallEmpty uint64 // no ready warp at all
+	L1Hits          uint64
+	L1Misses        uint64
+	L1MergedMisses  uint64
+	SharedConflicts uint64
+	BlocksRetired   uint64
+}
+
+// New constructs an SM. memory is the functional global store shared by
+// the whole GPU; newReqID must return unique request IDs; observer
+// receives tracked-request completions (may be nil).
+func New(cfg Config, memory *mem.Memory, newReqID func() uint64, observer mem.Observer) *SM {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	if observer == nil {
+		observer = mem.NopObserver{}
+	}
+	name := fmt.Sprintf("sm%d", cfg.ID)
+	s := &SM{
+		cfg:         cfg,
+		memory:      memory,
+		warps:       make([]*warp.Warp, cfg.MaxWarps),
+		warpSeq:     make([]uint64, cfg.MaxWarps),
+		sbRegs:      make([]uint64, cfg.MaxWarps),
+		sbPreds:     make([]uint8, cfg.MaxWarps),
+		blockedTo:   make([]sim.Cycle, cfg.MaxWarps),
+		blocks:      make([]blockSlot, cfg.MaxBlocks),
+		ldstQ:       sim.NewQueue[*memInst](name+".ldst", cfg.LDSTQueueDepth, cfg.LDSTIssueLatency),
+		missQ:       sim.NewQueue[*mem.Request](name+".miss", cfg.MissQueueDepth, 0),
+		respQ:       sim.NewQueue[*mem.Request](name+".resp", cfg.ResponseQueueDepth, 0),
+		exec:        sim.NewPipeline[wbEvent](name+".exec", cfg.ALULatency),
+		retire:      sim.NewCalendar[completion](name + ".retire"),
+		outstanding: make(map[uint64]*txnCtx),
+		newReqID:    newReqID,
+		observer:    observer,
+	}
+	if cfg.L1Enabled || cfg.L1LocalEnabled {
+		s.l1 = cache.New(cfg.L1)
+	}
+	return s
+}
+
+// Config returns the SM configuration.
+func (s *SM) Config() Config { return s.cfg }
+
+// Stats returns a snapshot of the counters.
+func (s *SM) Stats() Stats { return s.stats }
+
+// L1 exposes the data cache (nil when absent).
+func (s *SM) L1() *cache.Cache { return s.l1 }
+
+// FreeBlockSlot returns a free block slot index, or -1.
+func (s *SM) FreeBlockSlot() int {
+	for i := range s.blocks {
+		if !s.blocks[i].active {
+			return i
+		}
+	}
+	return -1
+}
+
+// freeWarpSlots returns up to n free warp slot indices.
+func (s *SM) freeWarpSlots(n int) []int {
+	var out []int
+	for i := range s.warps {
+		if s.warps[i] == nil {
+			out = append(out, i)
+			if len(out) == n {
+				return out
+			}
+		}
+	}
+	return nil
+}
+
+// CanLaunch reports whether a block of kernel k fits right now.
+func (s *SM) CanLaunch(k *Kernel) bool {
+	return s.FreeBlockSlot() >= 0 && s.freeWarpSlots(k.WarpsPerBlock(s.cfg.WarpSize)) != nil
+}
+
+// LaunchBlock makes block ctaid of kernel k resident. It panics if the
+// block does not fit; call CanLaunch first.
+func (s *SM) LaunchBlock(k *Kernel, ctaid int) {
+	slot := s.FreeBlockSlot()
+	nw := k.WarpsPerBlock(s.cfg.WarpSize)
+	warpSlots := s.freeWarpSlots(nw)
+	if slot < 0 || warpSlots == nil {
+		panic(fmt.Sprintf("sm %d: block does not fit", s.cfg.ID))
+	}
+	s.launchSeq++
+	bs := &s.blocks[slot]
+	*bs = blockSlot{
+		active:    true,
+		ctaid:     ctaid,
+		kernel:    k,
+		warps:     warpSlots,
+		shared:    make([]uint32, (k.SharedBytes+3)/4),
+		liveWarps: nw,
+		launchSeq: s.launchSeq,
+	}
+	for wi, ws := range warpSlots {
+		lanes := s.cfg.WarpSize
+		if rem := k.BlockDim - wi*s.cfg.WarpSize; rem < lanes {
+			lanes = rem
+		}
+		w := warp.New(ws, slot, s.cfg.WarpSize, lanes)
+		for l := 0; l < lanes; l++ {
+			t := &w.Threads[l]
+			t.TID = uint32(wi*s.cfg.WarpSize + l)
+			t.NTID = uint32(k.BlockDim)
+			t.CTAID = uint32(ctaid)
+			t.NCTAID = uint32(k.GridDim)
+			t.LaneID = uint32(l)
+			t.WarpID = uint32(wi)
+			t.SMID = uint32(s.cfg.ID)
+			t.Params = k.Params
+		}
+		s.warps[ws] = w
+		s.warpSeq[ws] = s.launchSeq*1024 + uint64(wi)
+		s.sbRegs[ws] = 0
+		s.sbPreds[ws] = 0
+		s.blockedTo[ws] = 0
+	}
+}
+
+// ActiveBlocks returns the number of resident blocks.
+func (s *SM) ActiveBlocks() int {
+	n := 0
+	for i := range s.blocks {
+		if s.blocks[i].active {
+			n++
+		}
+	}
+	return n
+}
+
+// Busy reports whether any warp is resident or any memory transaction is
+// outstanding.
+func (s *SM) Busy() bool {
+	if s.ActiveBlocks() > 0 || len(s.outstanding) > 0 {
+		return true
+	}
+	return s.ldstQ.Len() > 0 || s.missQ.Len() > 0 || s.respQ.Len() > 0 ||
+		s.exec.Len() > 0 || s.retire.Len() > 0
+}
+
+// HasResidentWarps reports whether any warp is resident (exposure
+// accounting denominator).
+func (s *SM) HasResidentWarps() bool { return s.ActiveBlocks() > 0 }
+
+// IssuedThisCycle returns the instructions issued in the current cycle
+// (valid after Tick).
+func (s *SM) IssuedThisCycle() int { return s.issuedThisCycle }
+
+// PopMiss removes the next outbound memory request for network injection.
+func (s *SM) PopMiss(c sim.Cycle) (*mem.Request, bool) { return s.missQ.Pop(c) }
+
+// PeekMiss inspects the next outbound request.
+func (s *SM) PeekMiss(c sim.Cycle) (*mem.Request, bool) { return s.missQ.Peek(c) }
+
+// CanAcceptResponse reports whether the response queue has room.
+func (s *SM) CanAcceptResponse() bool { return s.respQ.CanPush() }
+
+// AcceptResponse receives a reply from the network.
+func (s *SM) AcceptResponse(c sim.Cycle, r *mem.Request) { s.respQ.Push(c, r) }
+
+// Tick advances the SM one cycle: writeback, memory responses, the LDST
+// unit, then instruction issue (downstream-first ordering).
+func (s *SM) Tick(c sim.Cycle) {
+	s.stats.Cycles++
+	s.issuedThisCycle = 0
+	s.drainExec(c)
+	s.drainRetire(c)
+	s.processResponses(c)
+	s.tickLDST(c)
+	s.issue(c)
+}
+
+func (s *SM) drainExec(c sim.Cycle) {
+	for _, wb := range s.exec.Ready(c) {
+		s.sbRegs[wb.warpSlot] &^= wb.regMask
+		s.sbPreds[wb.warpSlot] &^= wb.predMask
+	}
+}
+
+func (s *SM) drainRetire(c sim.Cycle) {
+	for _, comp := range s.retire.Ready(c) {
+		s.completeTransaction(c, comp)
+	}
+}
+
+// completeTransaction finishes one memory transaction at writeback time.
+func (s *SM) completeTransaction(c sim.Cycle, comp completion) {
+	if comp.req != nil && comp.req.Log != nil {
+		comp.req.Log.Mark(mem.PtReturnSM, c)
+		s.observer.RequestDone(c, comp.req)
+	}
+	mi := comp.mi
+	if mi == nil {
+		return
+	}
+	mi.outstanding--
+	if mi.outstanding == 0 && mi.issuedAll {
+		s.finishMemInst(mi)
+	}
+}
+
+// finishMemInst releases the scoreboard entries of a completed warp
+// memory instruction.
+func (s *SM) finishMemInst(mi *memInst) {
+	if mi.op.WritesDst() && mi.dst != isa.RZ {
+		s.sbRegs[mi.warpSlot] &^= 1 << mi.dst
+	}
+}
+
+// retireWarpIfDone updates block bookkeeping when a warp completes.
+func (s *SM) retireWarpIfDone(ws int) {
+	w := s.warps[ws]
+	if w == nil || !w.Done() {
+		return
+	}
+	bs := &s.blocks[w.BlockSlot]
+	bs.liveWarps--
+	s.warps[ws] = nil
+	s.releaseBarrierIfComplete(w.BlockSlot)
+	if bs.liveWarps == 0 {
+		bs.active = false
+		s.stats.BlocksRetired++
+	}
+}

@@ -1,0 +1,181 @@
+// Package stats provides the small statistics and report-rendering
+// toolkit used by the latency analysis: histograms, bucketizers, and
+// aligned text/CSV table writers that format the reproduction's tables
+// and figures for the terminal and for plotting.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary holds order statistics of a sample.
+type Summary struct {
+	Count          int
+	Min, Max       float64
+	Mean           float64
+	P50, P90, P99  float64
+	StdDev         float64
+	Sum            float64
+	negativeInputs int
+}
+
+// Summarize computes summary statistics; an empty sample returns zeros.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	var sum, sq float64
+	for _, v := range s {
+		sum += v
+		sq += v * v
+	}
+	n := float64(len(s))
+	mean := sum / n
+	variance := sq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	q := func(p float64) float64 {
+		idx := int(math.Ceil(p*n)) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(s) {
+			idx = len(s) - 1
+		}
+		return s[idx]
+	}
+	return Summary{
+		Count: len(s), Min: s[0], Max: s[len(s)-1], Mean: mean,
+		P50: q(0.50), P90: q(0.90), P99: q(0.99),
+		StdDev: math.Sqrt(variance), Sum: sum,
+	}
+}
+
+// Histogram is a fixed-width bucket histogram over [Lo, Hi).
+type Histogram struct {
+	Lo, Width float64
+	Counts    []uint64
+	under     uint64
+	over      uint64
+}
+
+// NewHistogram builds a histogram with n buckets of the given width
+// starting at lo.
+func NewHistogram(lo, width float64, n int) *Histogram {
+	if width <= 0 || n <= 0 {
+		panic("stats: histogram width and bucket count must be positive")
+	}
+	return &Histogram{Lo: lo, Width: width, Counts: make([]uint64, n)}
+}
+
+// Add records a value.
+func (h *Histogram) Add(v float64) {
+	idx := int(math.Floor((v - h.Lo) / h.Width))
+	switch {
+	case idx < 0:
+		h.under++
+	case idx >= len(h.Counts):
+		h.over++
+	default:
+		h.Counts[idx]++
+	}
+}
+
+// Total returns all recorded values including out-of-range.
+func (h *Histogram) Total() uint64 {
+	t := h.under + h.over
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// Bounds returns bucket i's [lo, hi) range.
+func (h *Histogram) Bounds(i int) (lo, hi float64) {
+	return h.Lo + float64(i)*h.Width, h.Lo + float64(i+1)*h.Width
+}
+
+// OutOfRange returns the counts below Lo and at/above the last bucket.
+func (h *Histogram) OutOfRange() (under, over uint64) { return h.under, h.over }
+
+// Table renders aligned text tables.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.1f", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Render writes the aligned table.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+}
+
+// RenderCSV writes the table as CSV (no quoting; values are numeric or
+// simple identifiers by construction).
+func (t *Table) RenderCSV(w io.Writer) {
+	fmt.Fprintln(w, strings.Join(t.header, ","))
+	for _, r := range t.rows {
+		fmt.Fprintln(w, strings.Join(r, ","))
+	}
+}
+
+// Bar renders a proportional ASCII bar of at most width chars.
+func Bar(frac float64, width int) string {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	n := int(frac*float64(width) + 0.5)
+	return strings.Repeat("#", n) + strings.Repeat(".", width-n)
+}

@@ -1,0 +1,172 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2, 5})
+	if s.Count != 5 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("summary: %+v", s)
+	}
+	if s.Mean != 3 {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+	if s.P50 != 3 {
+		t.Fatalf("p50 = %v", s.P50)
+	}
+	if s.Sum != 15 {
+		t.Fatalf("sum = %v", s.Sum)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Count != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary: %+v", s)
+	}
+}
+
+func TestSummarizeSingleValue(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.Min != 7 || s.Max != 7 || s.P99 != 7 || s.StdDev != 0 {
+		t.Fatalf("single summary: %+v", s)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Summarize(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatal("input mutated")
+	}
+}
+
+// Property: percentiles are order statistics — P50 <= P90 <= P99 <= Max,
+// Min <= Mean <= Max.
+func TestSummaryOrderingProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		s := Summarize(xs)
+		return s.Min <= s.Mean+1e-9 && s.Mean <= s.Max+1e-9 &&
+			s.P50 <= s.P90 && s.P90 <= s.P99 && s.P99 <= s.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the median matches a direct computation.
+func TestMedianMatchesSortProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		s := Summarize(xs)
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		want := sorted[int(math.Ceil(0.5*float64(len(sorted))))-1]
+		return s.P50 == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, v := range []float64{-1, 0, 5, 9.99, 10, 49, 50, 1000} {
+		h.Add(v)
+	}
+	if h.Counts[0] != 3 { // 0, 5, 9.99
+		t.Fatalf("bucket 0 = %d", h.Counts[0])
+	}
+	if h.Counts[1] != 1 || h.Counts[4] != 1 {
+		t.Fatalf("buckets: %v", h.Counts)
+	}
+	under, over := h.OutOfRange()
+	if under != 1 || over != 2 {
+		t.Fatalf("out of range: %d %d", under, over)
+	}
+	if h.Total() != 8 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	lo, hi := h.Bounds(2)
+	if lo != 20 || hi != 30 {
+		t.Fatalf("bounds(2) = %v %v", lo, hi)
+	}
+}
+
+func TestHistogramBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHistogram(0, 0, 5)
+}
+
+// Property: histogram conserves all added samples.
+func TestHistogramConservationProperty(t *testing.T) {
+	f := func(vals []int16) bool {
+		h := NewHistogram(-100, 25, 8)
+		for _, v := range vals {
+			h.Add(float64(v))
+		}
+		return h.Total() == uint64(len(vals))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRenderAlignment(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("a", 1)
+	tb.AddRow("longer-name", 123.5)
+	var sb strings.Builder
+	tb.Render(&sb)
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines: %q", lines)
+	}
+	if !strings.HasPrefix(lines[0], "name") {
+		t.Fatalf("header: %q", lines[0])
+	}
+	if !strings.Contains(lines[3], "123.5") {
+		t.Fatalf("row: %q", lines[3])
+	}
+}
+
+func TestTableRenderCSV(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.AddRow(1, 2.5)
+	var sb strings.Builder
+	tb.RenderCSV(&sb)
+	if sb.String() != "a,b\n1,2.5\n" {
+		t.Fatalf("csv: %q", sb.String())
+	}
+}
+
+func TestBar(t *testing.T) {
+	if Bar(0.5, 10) != "#####....." {
+		t.Fatalf("bar: %q", Bar(0.5, 10))
+	}
+	if Bar(-1, 4) != "...." || Bar(2, 4) != "####" {
+		t.Fatal("bar clamping broken")
+	}
+}
