@@ -1,0 +1,50 @@
+# One entry point for humans and CI: the workflow in
+# .github/workflows/ci.yml runs exactly these targets.
+
+GO      ?= go
+JOBS    ?= 0   # 0 = GOMAXPROCS
+
+.PHONY: all build test vet fmt bench repro repro-quick determinism clean
+
+all: build vet fmt test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Fails when any file is not gofmt-clean.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Short smoke benchmark (CI); `make bench BENCH=. BENCHTIME=3x` for more.
+BENCH     ?= SimulatorThroughput
+BENCHTIME ?= 1x
+bench:
+	$(GO) test -bench=$(BENCH) -benchtime=$(BENCHTIME) -run='^$$' .
+
+# Full paper-reproduction grid on the parallel runner.
+repro:
+	$(GO) run ./cmd/gpulat bench-suite -j $(JOBS)
+
+# CI-sized reproduction: every suite section at smoke scale.
+repro-quick:
+	$(GO) run ./cmd/gpulat bench-suite -quick -j $(JOBS)
+
+# Proves the runner's core contract: -j 1 and -j 8 exports are
+# byte-identical.
+determinism:
+	$(GO) build -o /tmp/gpulat-ci ./cmd/gpulat
+	/tmp/gpulat-ci bench-suite -quick -quiet -j 1 -csv > /tmp/gpulat-j1.csv
+	/tmp/gpulat-ci bench-suite -quick -quiet -j 8 -csv > /tmp/gpulat-j8.csv
+	cmp /tmp/gpulat-j1.csv /tmp/gpulat-j8.csv
+	@echo "determinism: -j 1 and -j 8 byte-identical"
+
+clean:
+	$(GO) clean
+	rm -f /tmp/gpulat-ci /tmp/gpulat-j1.csv /tmp/gpulat-j8.csv

@@ -16,6 +16,9 @@ package gpulat
 //	BenchmarkSimulatorThroughput       — simulator speed baseline
 
 import (
+	"context"
+	"fmt"
+	"runtime"
 	"testing"
 
 	"gpulat/internal/config"
@@ -23,6 +26,7 @@ import (
 	"gpulat/internal/dram"
 	"gpulat/internal/gpu"
 	"gpulat/internal/kernels"
+	"gpulat/internal/runner"
 	"gpulat/internal/sm"
 )
 
@@ -179,6 +183,36 @@ func BenchmarkAblationMSHR(b *testing.B) {
 			}
 			b.ReportMetric(float64(res.Cycles), "sim-cycles")
 			b.ReportMetric(res.IPC(), "IPC")
+		})
+	}
+}
+
+// BenchmarkRunnerParallelSweep measures the experiment runner on a
+// multi-arch × multi-kernel grid at one worker versus GOMAXPROCS
+// workers. The grid is the runner's bread-and-butter shape (every
+// paper sweep expands to one); the j1/jN wall-clock ratio is the
+// subsystem's speedup on the host. Results are identical across worker
+// counts — only the wall time differs.
+func BenchmarkRunnerParallelSweep(b *testing.B) {
+	grid := runner.Grid{
+		Kind:     runner.KindDynamic,
+		Archs:    []string{"GF106", "GK104", "GM107"},
+		Kernels:  []string{"vecadd", "histogram", "stencil2d", "reduce"},
+		Variants: []runner.Options{{TestScale: true}},
+	}
+	jobs := grid.Jobs()
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("j%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				set, err := runner.New(workers).Run(context.Background(), jobs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := set.Err(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(jobs)), "jobs/op")
 		})
 	}
 }

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"gpulat/internal/core"
+	"gpulat/internal/gpu"
+	"gpulat/internal/kernels"
+	"gpulat/internal/stats"
+)
+
+// dumpDeviceStats reruns the workload against a fresh device to collect
+// per-component counters (the DynamicResult does not retain the device).
+// vertices must match the headline run's BFS graph size.
+func dumpDeviceStats(cfg gpu.Config, res *core.DynamicResult, vertices int) {
+	// Rerun is cheap relative to interpretation value; determinism makes
+	// it exact.
+	g := gpu.NewWithObservers(cfg, nil, nil)
+	var err error
+	if res.Launches > 1 {
+		gr := kernels.GenScaleFree(vertices, 4, 42)
+		mk, e := kernels.BFS(kernels.BFSConfig{Graph: gr, Source: 0, BlockDim: 128})
+		if e != nil {
+			return
+		}
+		_, _, err = kernels.RunMulti(g, mk)
+	} else {
+		var wl *kernels.Workload
+		name := res.Workload
+		if i := strings.IndexByte(name, '/'); i > 0 {
+			name = name[:i]
+		}
+		wl, err = kernels.NewByName(name, kernels.ScaleExperiment, 42)
+		if err == nil {
+			_, err = kernels.Run(g, wl)
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stats rerun:", err)
+		return
+	}
+	smTab := stats.NewTable("SM", "inst", "loads", "stores", "L1 hit", "L1 miss", "merged", "blocks")
+	for _, s := range g.SMs() {
+		st := s.Stats()
+		if st.InstIssued == 0 {
+			continue
+		}
+		smTab.AddRow(s.Config().ID, st.InstIssued, st.LoadsIssued, st.StoresIssued,
+			st.L1Hits, st.L1Misses, st.L1MergedMisses, st.BlocksRetired)
+	}
+	smTab.Render(os.Stdout)
+	fmt.Println()
+	pTab := stats.NewTable("part", "arrivals", "L2 hit", "L2 miss", "stalls", "wb", "row hit", "row conf", "dram sched")
+	for i, p := range g.Partitions() {
+		ps := p.Stats()
+		ds := p.DRAM().Stats()
+		pTab.AddRow(i, ps.Arrivals, ps.L2Hits, ps.L2Misses, ps.L2Stalls,
+			ps.Writebacks, ds.RowHits, ds.RowConflicts, ds.Scheduled)
+	}
+	pTab.Render(os.Stdout)
+}

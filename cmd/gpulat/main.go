@@ -4,40 +4,50 @@
 //
 // Usage:
 //
-//	gpulat table1  [-accesses N] [-archs list]         Table I
-//	gpulat sweep   [-arch A] [-strides s,..] [-footprints f,..]
+//	gpulat table1  [-accesses N] [-archs list] [-j N]    Table I
+//	gpulat sweep   [-arch A] [-strides s,..] [-footprints f,..] [-j N]
 //	gpulat fig1    [-arch A] [-kernel K] [-buckets N] [-csv]
 //	gpulat fig2    [-arch A] [-kernel K] [-buckets N] [-csv]
-//	gpulat ablate-dram   [-kernel K]         FR-FCFS vs FR-FCFS-cap vs FCFS
-//	gpulat ablate-sched  [-kernel K]         LRR vs GTO
-//	gpulat ablate-mshr   [-kernel K]         L1 MSHR sweep
-//	gpulat ablate-occupancy                  latency hiding vs warps/SM
-//	gpulat loadcurve                         latency vs offered load
+//	gpulat ablate-dram   [-kernel K] [-j N]    FR-FCFS vs FR-FCFS-cap vs FCFS
+//	gpulat ablate-sched  [-kernel K] [-j N]    LRR vs GTO
+//	gpulat ablate-mshr   [-kernel K] [-j N]    L1 MSHR sweep
+//	gpulat ablate-occupancy [-j N]             latency hiding vs warps/SM
+//	gpulat load-curve    [-j N]                latency vs offered load
+//	gpulat bench-suite   [-j N] [-quick] [-json] [-csv]  full paper grid
 //	gpulat simrun  [-arch A] [-kernel K] [-v]  stats dump
-//	gpulat export  [-arch A] [-kernel K]     per-load records CSV
-//	gpulat config  [-arch A]                 preset as editable JSON
-//	gpulat list                              presets and kernels
+//	gpulat export  [-arch A] [-kernel K]       per-load records CSV
+//	gpulat config  [-arch A]                   preset as editable JSON
+//	gpulat list                                presets and kernels
 //
 // Every -arch flag accepts a preset name or "file:<path>" for a JSON
-// configuration produced by `gpulat config`.
+// configuration produced by `gpulat config`. Every sweep-shaped command
+// takes -j N to bound the experiment worker pool (default GOMAXPROCS);
+// per-job seeding is deterministic, so -j 1 and -j 8 produce identical
+// results.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
 	"gpulat/internal/config"
-	"gpulat/internal/core"
-	"gpulat/internal/dram"
 	"gpulat/internal/gpu"
-	"gpulat/internal/kernels"
-	"gpulat/internal/sim"
-	"gpulat/internal/sm"
-	"gpulat/internal/stats"
+	"gpulat/internal/runner"
 )
+
+// usageError marks a bad-invocation failure so main can exit 2 (usage)
+// instead of 1 (runtime error), mirroring flag's convention.
+type usageError struct{ error }
+
+func usagef(format string, args ...any) error {
+	return usageError{fmt.Errorf(format, args...)}
+}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -45,44 +55,51 @@ func main() {
 		os.Exit(2)
 	}
 	cmd, args := os.Args[1], os.Args[2:]
-	var err error
-	switch cmd {
-	case "table1":
-		err = cmdTable1(args)
-	case "sweep":
-		err = cmdSweep(args)
-	case "fig1":
-		err = cmdFig(args, false)
-	case "fig2":
-		err = cmdFig(args, true)
-	case "ablate-dram":
-		err = cmdAblateDRAM(args)
-	case "ablate-sched":
-		err = cmdAblateSched(args)
-	case "ablate-mshr":
-		err = cmdAblateMSHR(args)
-	case "ablate-occupancy":
-		err = cmdAblateOccupancy(args)
-	case "loadcurve":
-		err = cmdLoadCurve(args)
-	case "simrun":
-		err = cmdSimRun(args)
-	case "export":
-		err = cmdExport(args)
-	case "config":
-		err = cmdConfig(args)
-	case "list":
-		err = cmdList(args)
-	case "-h", "--help", "help":
-		usage()
-	default:
+	run, ok := commands()[cmd]
+	if !ok {
+		if cmd == "-h" || cmd == "--help" || cmd == "help" {
+			usage()
+			return
+		}
 		fmt.Fprintf(os.Stderr, "gpulat: unknown command %q\n\n", cmd)
 		usage()
 		os.Exit(2)
 	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "gpulat:", err)
+	// Uniform exit-code hygiene: every subcommand returns its failure
+	// instead of exiting; errors go to stderr; -h exits 0, usage errors
+	// exit 2, runtime failures exit 1.
+	if err := run(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		if !errors.Is(err, errFlagReported) {
+			fmt.Fprintln(os.Stderr, "gpulat:", err)
+		}
+		var ue usageError
+		if errors.As(err, &ue) {
+			os.Exit(2)
+		}
 		os.Exit(1)
+	}
+}
+
+func commands() map[string]func([]string) error {
+	return map[string]func([]string) error{
+		"table1":           cmdTable1,
+		"sweep":            cmdSweep,
+		"fig1":             func(a []string) error { return cmdFig(a, false) },
+		"fig2":             func(a []string) error { return cmdFig(a, true) },
+		"ablate-dram":      cmdAblateDRAM,
+		"ablate-sched":     cmdAblateSched,
+		"ablate-mshr":      cmdAblateMSHR,
+		"ablate-occupancy": cmdAblateOccupancy,
+		"load-curve":       cmdLoadCurve,
+		"loadcurve":        cmdLoadCurve, // pre-runner spelling
+		"bench-suite":      cmdBenchSuite,
+		"simrun":           cmdSimRun,
+		"export":           cmdExport,
+		"config":           cmdConfig,
+		"list":             cmdList,
 	}
 }
 
@@ -98,12 +115,74 @@ commands:
   ablate-sched  warp scheduler ablation: LRR vs GTO
   ablate-mshr   L1 MSHR capacity ablation
   ablate-occupancy  latency hiding vs resident warps per SM
-  loadcurve     memory-system latency vs offered load (idle → saturated)
+  load-curve    memory-system latency vs offered load (idle → saturated)
+  bench-suite   the whole paper-reproduction grid, in parallel
   simrun        run a workload and dump device statistics
   export        run a workload and dump per-load records as CSV
   config        dump a preset as editable JSON (use with -arch file:<path>)
   list          available architectures and workloads
+
+sweep-shaped commands take -j N (parallel experiment workers).
 `)
+}
+
+// newFlags builds a flag set that reports errors instead of exiting, so
+// all failures funnel through main's single exit path.
+func newFlags(name string) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	return fs
+}
+
+// errFlagReported stands in for flag-parse failures the FlagSet has
+// already printed, so main exits 2 without repeating the message.
+var errFlagReported = usageError{errors.New("invalid flags")}
+
+// parseFlags parses args, normalizing failures into the uniform exit
+// scheme (-h → 0, bad flags → 2).
+func parseFlags(fs *flag.FlagSet, args []string) error {
+	err := fs.Parse(args)
+	if err == nil || errors.Is(err, flag.ErrHelp) {
+		return err
+	}
+	return errFlagReported
+}
+
+// jobsFlag registers the shared -j worker-count flag.
+func jobsFlag(fs *flag.FlagSet) *int {
+	return fs.Int("j", 0, "parallel experiment workers (0 = GOMAXPROCS)")
+}
+
+// runJobs executes a job list on a bounded pool with progress reporting
+// on stderr and Ctrl-C cancellation. Job errors are aggregated into the
+// returned error; the partial ResultSet is always returned.
+func runJobs(jobs []runner.Job, workers int, progress bool) (*runner.ResultSet, error) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	// After the first interrupt, unregister the handler: in-flight
+	// simulations are not preemptible, so a second Ctrl-C must take the
+	// default action (kill) instead of being swallowed here.
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+	r := runner.New(workers)
+	if progress {
+		r.Progress = func(ev runner.ProgressEvent) {
+			status := ""
+			if ev.Result.Failed() {
+				status = "  FAILED"
+			}
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s (%s)%s\n",
+				ev.Done, ev.Total, ev.Result.Job.Name(),
+				ev.Result.Elapsed.Round(1_000_000), status)
+		}
+	}
+	set, err := r.Run(ctx, jobs)
+	if err != nil {
+		return set, err
+	}
+	return set, set.Err()
 }
 
 // mustConfig resolves an architecture preset name or a "file:<path>"
@@ -112,433 +191,14 @@ func mustConfig(name string) (gpu.Config, error) {
 	return config.ByNameOrFile(name)
 }
 
-func cmdTable1(args []string) error {
-	fs := flag.NewFlagSet("table1", flag.ExitOnError)
-	accesses := fs.Int("accesses", 256, "timed loads per measurement point")
-	archs := fs.String("archs", "GT200,GF106,GK104,GM107", "comma-separated presets")
-	fs.Parse(args)
-
-	opt := core.DefaultStaticOptions()
-	opt.Accesses = *accesses
-	var rows []core.StaticResult
-	for _, name := range strings.Split(*archs, ",") {
-		cfg, err := mustConfig(strings.TrimSpace(name))
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(os.Stderr, "measuring %s...\n", cfg.Name)
-		res, err := core.MeasureStatic(cfg, opt)
-		if err != nil {
-			return err
-		}
-		rows = append(rows, res)
-	}
-	fmt.Println("Table I — latencies of memory loads through the global memory pipeline")
-	fmt.Println("(simulated reproduction; paper values: GT200 DRAM 440, GF106 45/310/685,")
-	fmt.Println(" GK104 30/175/300, GM107 194/350)")
-	fmt.Println()
-	core.TableI(os.Stdout, rows)
-	return nil
-}
-
 func parseU32List(s string) ([]uint32, error) {
 	var out []uint32
 	for _, part := range strings.Split(s, ",") {
 		v, err := strconv.ParseUint(strings.TrimSpace(part), 10, 32)
 		if err != nil {
-			return nil, err
+			return nil, usagef("bad list element %q: %v", part, err)
 		}
 		out = append(out, uint32(v))
 	}
 	return out, nil
-}
-
-func cmdSweep(args []string) error {
-	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
-	arch := fs.String("arch", "GF106", "architecture preset")
-	strides := fs.String("strides", "128,256,512,1024", "strides in bytes")
-	foot := fs.String("footprints", "8192,16384,32768,65536,131072,262144,524288,1048576,4194304", "footprints in bytes")
-	accesses := fs.Int("accesses", 128, "timed loads per point")
-	detect := fs.Bool("detect", false, "detect hierarchy-level plateaus instead of raw CSV")
-	fs.Parse(args)
-
-	cfg, err := mustConfig(*arch)
-	if err != nil {
-		return err
-	}
-	st, err := parseU32List(*strides)
-	if err != nil {
-		return err
-	}
-	fp, err := parseU32List(*foot)
-	if err != nil {
-		return err
-	}
-	opt := core.DefaultStaticOptions()
-	opt.Accesses = *accesses
-	points, err := core.Sweep(cfg, st, fp, opt)
-	if err != nil {
-		return err
-	}
-	if *detect {
-		for _, stride := range st {
-			levels := core.DetectLevels(points, stride, 0.08)
-			core.RenderLevels(os.Stdout, cfg.Name, stride, levels)
-		}
-		return nil
-	}
-	fmt.Println("arch,stride,footprint,mean_latency")
-	for _, p := range points {
-		fmt.Printf("%s,%d,%d,%.1f\n", cfg.Name, p.Stride, p.Footprint, p.MeanLat)
-	}
-	return nil
-}
-
-// runKernelArg executes the selected workload with instrumentation.
-func runKernelArg(cfg gpu.Config, kernel string, vertices int, seed uint64) (*core.DynamicResult, error) {
-	if kernel == "bfs" {
-		g := kernels.GenScaleFree(vertices, 4, seed)
-		mk, err := kernels.BFS(kernels.BFSConfig{Graph: g, Source: 0, BlockDim: 128})
-		if err != nil {
-			return nil, err
-		}
-		return core.RunDynamicMulti(cfg, mk)
-	}
-	wl, err := kernels.NewByName(kernel, kernels.ScaleExperiment, seed)
-	if err != nil {
-		return nil, err
-	}
-	return core.RunDynamic(cfg, wl)
-}
-
-func cmdFig(args []string, exposure bool) error {
-	name := "fig1"
-	if exposure {
-		name = "fig2"
-	}
-	fs := flag.NewFlagSet(name, flag.ExitOnError)
-	arch := fs.String("arch", "GF100", "architecture preset")
-	kernel := fs.String("kernel", "bfs", "workload (bfs or a catalog kernel)")
-	buckets := fs.Int("buckets", 48, "latency buckets")
-	vertices := fs.Int("vertices", 1<<13, "BFS graph size")
-	seed := fs.Uint64("seed", 42, "input seed")
-	csv := fs.Bool("csv", false, "emit CSV instead of a table")
-	chart := fs.Bool("chart", false, "draw an ASCII stacked-bar chart like the paper's figure")
-	fs.Parse(args)
-
-	cfg, err := mustConfig(*arch)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(os.Stderr, "running %s on %s...\n", *kernel, cfg.Name)
-	res, err := runKernelArg(cfg, *kernel, *vertices, *seed)
-	if err != nil {
-		return err
-	}
-	if exposure {
-		rep := res.Exposure(*buckets)
-		switch {
-		case *chart:
-			rep.RenderChart(os.Stdout, 25)
-		case *csv:
-			rep.RenderCSV(os.Stdout)
-		default:
-			rep.Render(os.Stdout)
-		}
-		return nil
-	}
-	rep := res.Breakdown(*buckets)
-	switch {
-	case *chart:
-		rep.RenderChart(os.Stdout, 25)
-	case *csv:
-		rep.RenderCSV(os.Stdout)
-	default:
-		rep.Render(os.Stdout)
-	}
-	return nil
-}
-
-func cmdAblateDRAM(args []string) error {
-	fs := flag.NewFlagSet("ablate-dram", flag.ExitOnError)
-	arch := fs.String("arch", "GF100", "architecture preset")
-	kernel := fs.String("kernel", "bfs", "workload")
-	vertices := fs.Int("vertices", 1<<13, "BFS graph size")
-	fs.Parse(args)
-
-	// Two views: (a) synthetic traffic near the saturation knee via the
-	// memory-subsystem testbench — the controlled latency measurement;
-	// (b) the end-to-end workload, where the scheduler matters only when
-	// DRAM is the bottleneck.
-	tbSynth := stats.NewTable("scheduler", "mean lat", "p99 lat", "achieved/port")
-	for _, sched := range []dram.SchedPolicy{dram.FRFCFS, dram.FRFCFSCap, dram.FCFS} {
-		cfg, err := mustConfig(*arch)
-		if err != nil {
-			return err
-		}
-		cfg.Partition.DRAM.Scheduler = sched
-		pts, err := core.LoadedLatency(cfg, []float64{0.04}, core.LoadedOptions{Cycles: 30_000})
-		if err != nil {
-			return err
-		}
-		tbSynth.AddRow(sched.String(), pts[0].MeanLatency, pts[0].P99Latency,
-			fmt.Sprintf("%.3f", pts[0].AchievedLoad))
-	}
-	fmt.Printf("DRAM scheduler ablation — synthetic random traffic near saturation on %s\n", *arch)
-	tbSynth.Render(os.Stdout)
-	fmt.Println()
-
-	tb := stats.NewTable("scheduler", "cycles", "IPC", "mean load lat", "p99 load lat")
-	for _, sched := range []dram.SchedPolicy{dram.FRFCFS, dram.FRFCFSCap, dram.FCFS} {
-		cfg, err := mustConfig(*arch)
-		if err != nil {
-			return err
-		}
-		cfg.Partition.DRAM.Scheduler = sched
-		res, err := runKernelArg(cfg, *kernel, *vertices, 42)
-		if err != nil {
-			return err
-		}
-		sum := summarizeLoads(res)
-		tb.AddRow(sched.String(), uint64(res.Cycles), fmt.Sprintf("%.3f", res.IPC()),
-			sum.Mean, sum.P99)
-	}
-	fmt.Printf("DRAM scheduler ablation — %s on %s\n", *kernel, *arch)
-	tb.Render(os.Stdout)
-	return nil
-}
-
-func cmdAblateSched(args []string) error {
-	fs := flag.NewFlagSet("ablate-sched", flag.ExitOnError)
-	arch := fs.String("arch", "GF100", "architecture preset")
-	kernel := fs.String("kernel", "bfs", "workload")
-	vertices := fs.Int("vertices", 1<<13, "BFS graph size")
-	fs.Parse(args)
-
-	tb := stats.NewTable("scheduler", "cycles", "IPC", "exposed%", "loads>50% exposed")
-	for _, sched := range []sm.SchedPolicy{sm.LRR, sm.GTO} {
-		cfg, err := mustConfig(*arch)
-		if err != nil {
-			return err
-		}
-		cfg.SM.Scheduler = sched
-		res, err := runKernelArg(cfg, *kernel, *vertices, 42)
-		if err != nil {
-			return err
-		}
-		er := res.Exposure(24)
-		tb.AddRow(sched.String(), uint64(res.Cycles), fmt.Sprintf("%.3f", res.IPC()),
-			er.OverallExposedPct(), er.MostlyExposedPct())
-	}
-	fmt.Printf("Warp scheduler ablation — %s on %s\n", *kernel, *arch)
-	tb.Render(os.Stdout)
-	return nil
-}
-
-func cmdAblateMSHR(args []string) error {
-	fs := flag.NewFlagSet("ablate-mshr", flag.ExitOnError)
-	arch := fs.String("arch", "GF100", "architecture preset")
-	kernel := fs.String("kernel", "bfs", "workload")
-	vertices := fs.Int("vertices", 1<<13, "BFS graph size")
-	fs.Parse(args)
-
-	tb := stats.NewTable("L1 MSHRs", "cycles", "IPC", "mean load lat", "p99 load lat")
-	for _, mshrs := range []int{4, 8, 16, 32, 64} {
-		cfg, err := mustConfig(*arch)
-		if err != nil {
-			return err
-		}
-		cfg.SM.L1.MSHREntries = mshrs
-		res, err := runKernelArg(cfg, *kernel, *vertices, 42)
-		if err != nil {
-			return err
-		}
-		sum := summarizeLoads(res)
-		tb.AddRow(mshrs, uint64(res.Cycles), fmt.Sprintf("%.3f", res.IPC()),
-			sum.Mean, sum.P99)
-	}
-	fmt.Printf("L1 MSHR ablation — %s on %s\n", *kernel, *arch)
-	tb.Render(os.Stdout)
-	return nil
-}
-
-func cmdAblateOccupancy(args []string) error {
-	fs := flag.NewFlagSet("ablate-occupancy", flag.ExitOnError)
-	arch := fs.String("arch", "GF100", "architecture preset")
-	vertices := fs.Int("vertices", 1<<13, "BFS graph size")
-	fs.Parse(args)
-
-	cfg, err := mustConfig(*arch)
-	if err != nil {
-		return err
-	}
-	build := func() (*kernels.MultiKernel, error) {
-		g := kernels.GenScaleFree(*vertices, 4, 42)
-		return kernels.BFS(kernels.BFSConfig{Graph: g, Source: 0, BlockDim: 128})
-	}
-	points, err := core.OccupancySweep(cfg, []int{4, 8, 16, 32, 48}, build)
-	if err != nil {
-		return err
-	}
-	core.RenderOccupancy(os.Stdout, "bfs", cfg.Name, points)
-	return nil
-}
-
-func cmdLoadCurve(args []string) error {
-	fs := flag.NewFlagSet("loadcurve", flag.ExitOnError)
-	arch := fs.String("arch", "GF100", "architecture preset")
-	cycles := fs.Int("cycles", 50_000, "measurement cycles per point")
-	fs.Parse(args)
-
-	cfg, err := mustConfig(*arch)
-	if err != nil {
-		return err
-	}
-	loads := []float64{0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.4}
-	opt := core.LoadedOptions{Cycles: sim.Cycle(*cycles)}
-	points, err := core.LoadedLatency(cfg, loads, opt)
-	if err != nil {
-		return err
-	}
-	core.RenderLoadedCurve(os.Stdout, cfg.Name, points)
-	return nil
-}
-
-func summarizeLoads(res *core.DynamicResult) stats.Summary {
-	recs := res.Tracker.Records()
-	xs := make([]float64, len(recs))
-	for i, r := range recs {
-		xs[i] = float64(r.InstTotal)
-	}
-	return stats.Summarize(xs)
-}
-
-func cmdSimRun(args []string) error {
-	fs := flag.NewFlagSet("simrun", flag.ExitOnError)
-	arch := fs.String("arch", "GF100", "architecture preset (or file:<path>)")
-	kernel := fs.String("kernel", "vecadd", "workload")
-	vertices := fs.Int("vertices", 1<<13, "BFS graph size")
-	verbose := fs.Bool("v", false, "dump per-SM and per-partition counters")
-	fs.Parse(args)
-
-	cfg, err := mustConfig(*arch)
-	if err != nil {
-		return err
-	}
-	res, err := runKernelArg(cfg, *kernel, *vertices, 42)
-	if err != nil {
-		return err
-	}
-	sum := summarizeLoads(res)
-	fmt.Printf("workload:        %s\n", res.Workload)
-	fmt.Printf("architecture:    %s\n", res.Arch)
-	fmt.Printf("cycles:          %d\n", res.Cycles)
-	fmt.Printf("kernel launches: %d\n", res.Launches)
-	fmt.Printf("instructions:    %d\n", res.Instructions)
-	fmt.Printf("IPC:             %.3f\n", res.IPC())
-	fmt.Printf("tracked loads:   %d\n", sum.Count)
-	fmt.Printf("load latency:    mean %.1f  p50 %.0f  p90 %.0f  p99 %.0f  max %.0f\n",
-		sum.Mean, sum.P50, sum.P90, sum.P99, sum.Max)
-	er := res.Exposure(24)
-	fmt.Printf("exposed latency: %.1f%% overall; %.1f%% of loads >50%% exposed\n",
-		er.OverallExposedPct(), er.MostlyExposedPct())
-	if *verbose {
-		fmt.Println()
-		dumpDeviceStats(cfg, res)
-	}
-	return nil
-}
-
-// dumpDeviceStats reruns the workload against a fresh device to collect
-// per-component counters (the DynamicResult does not retain the device).
-func dumpDeviceStats(cfg gpu.Config, res *core.DynamicResult) {
-	// Rerun is cheap relative to interpretation value; determinism makes
-	// it exact.
-	g := gpu.NewWithObservers(cfg, nil, nil)
-	var err error
-	if res.Launches > 1 {
-		gr := kernels.GenScaleFree(1<<13, 4, 42)
-		mk, e := kernels.BFS(kernels.BFSConfig{Graph: gr, Source: 0, BlockDim: 128})
-		if e != nil {
-			return
-		}
-		_, _, err = kernels.RunMulti(g, mk)
-	} else {
-		var wl *kernels.Workload
-		name := res.Workload
-		if i := strings.IndexByte(name, '/'); i > 0 {
-			name = name[:i]
-		}
-		wl, err = kernels.NewByName(name, kernels.ScaleExperiment, 42)
-		if err == nil {
-			_, err = kernels.Run(g, wl)
-		}
-	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "stats rerun:", err)
-		return
-	}
-	smTab := stats.NewTable("SM", "inst", "loads", "stores", "L1 hit", "L1 miss", "merged", "blocks")
-	for _, s := range g.SMs() {
-		st := s.Stats()
-		if st.InstIssued == 0 {
-			continue
-		}
-		smTab.AddRow(s.Config().ID, st.InstIssued, st.LoadsIssued, st.StoresIssued,
-			st.L1Hits, st.L1Misses, st.L1MergedMisses, st.BlocksRetired)
-	}
-	smTab.Render(os.Stdout)
-	fmt.Println()
-	pTab := stats.NewTable("part", "arrivals", "L2 hit", "L2 miss", "stalls", "wb", "row hit", "row conf", "dram sched")
-	for i, p := range g.Partitions() {
-		ps := p.Stats()
-		ds := p.DRAM().Stats()
-		pTab.AddRow(i, ps.Arrivals, ps.L2Hits, ps.L2Misses, ps.L2Stalls,
-			ps.Writebacks, ds.RowHits, ds.RowConflicts, ds.Scheduled)
-	}
-	pTab.Render(os.Stdout)
-}
-
-func cmdExport(args []string) error {
-	fs := flag.NewFlagSet("export", flag.ExitOnError)
-	arch := fs.String("arch", "GF100", "architecture preset")
-	kernel := fs.String("kernel", "bfs", "workload")
-	vertices := fs.Int("vertices", 1<<13, "BFS graph size")
-	fs.Parse(args)
-
-	cfg, err := mustConfig(*arch)
-	if err != nil {
-		return err
-	}
-	res, err := runKernelArg(cfg, *kernel, *vertices, 42)
-	if err != nil {
-		return err
-	}
-	return core.WriteRecordsCSV(os.Stdout, res.Tracker.Records())
-}
-
-func cmdConfig(args []string) error {
-	fs := flag.NewFlagSet("config", flag.ExitOnError)
-	arch := fs.String("arch", "GF100", "architecture preset (or file:<path>)")
-	fs.Parse(args)
-	cfg, err := mustConfig(*arch)
-	if err != nil {
-		return err
-	}
-	data, err := config.ToJSON(cfg)
-	if err != nil {
-		return err
-	}
-	fmt.Println(string(data))
-	return nil
-}
-
-func cmdList(args []string) error {
-	fmt.Println("architectures:")
-	for _, a := range config.Names() {
-		cfg, _ := config.ByName(a)
-		fmt.Printf("  %-7s %2d SMs, %d partitions\n", a, cfg.NumSMs, cfg.NumPartitions)
-	}
-	fmt.Println("workloads: bfs (dynamic analysis),", strings.Join(kernels.CatalogNames(), ", "))
-	return nil
 }

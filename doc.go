@@ -24,5 +24,7 @@
 //	res.Exposure(24).Render(os.Stdout)  // Figure 2
 //
 // The cmd/gpulat command regenerates every table and figure of the
-// paper; see README.md and EXPERIMENTS.md for the experiment index.
+// paper, and `gpulat bench-suite -j N` runs the whole reproduction grid
+// on the parallel experiment runner; see README.md for the experiment
+// index and the runner's determinism contract.
 package gpulat

@@ -1,0 +1,3 @@
+module gpulat
+
+go 1.24

@@ -8,6 +8,7 @@ import (
 	"gpulat/internal/core"
 	"gpulat/internal/gpu"
 	"gpulat/internal/kernels"
+	"gpulat/internal/runner"
 	"gpulat/internal/sim"
 )
 
@@ -49,7 +50,36 @@ type (
 	OccupancyPoint = core.OccupancyPoint
 	// Level is a latency plateau detected in a chase sweep.
 	Level = core.Level
+
+	// Job is one independent experiment execution for the parallel
+	// runner (architecture × workload × options × seed).
+	Job = runner.Job
+	// JobOptions carries a Job's per-kind parameters and overrides.
+	JobOptions = runner.Options
+	// Grid expands an experiment sweep into a deterministic job list.
+	Grid = runner.Grid
+	// Runner executes job lists on a bounded worker pool; results are
+	// identical for any worker count.
+	Runner = runner.Runner
+	// ResultSet aggregates a sweep's results with JSON/CSV export.
+	ResultSet = runner.ResultSet
+	// ConfigOverrides are the ablation knobs a Job can apply to a
+	// preset (schedulers, MSHRs, warp limit).
+	ConfigOverrides = config.Overrides
 )
+
+// Experiment kinds for Job and Grid.
+const (
+	KindDynamic   = runner.KindDynamic
+	KindStatic    = runner.KindStatic
+	KindChase     = runner.KindChase
+	KindLoaded    = runner.KindLoaded
+	KindOccupancy = runner.KindOccupancy
+)
+
+// NewRunner builds a parallel experiment runner with the given worker
+// bound (<=0 selects GOMAXPROCS).
+func NewRunner(workers int) *Runner { return runner.New(workers) }
 
 // The eight latency components of the paper's Figure 1.
 const (

@@ -1,6 +1,7 @@
 package gpulat
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -70,5 +71,39 @@ func TestNewBFSBuilds(t *testing.T) {
 	// Uniform variant too.
 	if _, err := NewBFS(BFSOptions{Vertices: 256, Uniform: true}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestPublicRunnerSurface drives a tiny grid through the re-exported
+// runner API end to end.
+func TestPublicRunnerSurface(t *testing.T) {
+	grid := Grid{
+		Kind:     KindDynamic,
+		Archs:    []string{"GF106"},
+		Kernels:  []string{"vecadd", "reduce"},
+		Variants: []JobOptions{{TestScale: true}},
+	}
+	jobs := grid.Jobs()
+	if len(jobs) != 2 {
+		t.Fatalf("grid expanded to %d jobs, want 2", len(jobs))
+	}
+	set, err := NewRunner(2).Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := set.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range set.Results {
+		if _, ok := r.Metric("ipc"); !ok {
+			t.Errorf("%s: missing ipc metric", r.Job.Name())
+		}
+	}
+	var csv strings.Builder
+	if err := set.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csv.String(), "vecadd") {
+		t.Errorf("CSV export missing job rows:\n%s", csv.String())
 	}
 }

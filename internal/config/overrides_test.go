@@ -1,0 +1,79 @@
+package config
+
+import (
+	"strings"
+	"testing"
+
+	"gpulat/internal/dram"
+	"gpulat/internal/sm"
+)
+
+func TestOverridesApply(t *testing.T) {
+	base := GF100()
+	o := Overrides{WarpSched: "GTO", DRAMSched: "FCFS", L1MSHRs: 8, MaxWarps: 16}
+	cfg, err := o.Apply(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.SM.Scheduler != sm.GTO {
+		t.Errorf("warp scheduler not applied: %v", cfg.SM.Scheduler)
+	}
+	if cfg.Partition.DRAM.Scheduler != dram.FCFS {
+		t.Errorf("DRAM scheduler not applied: %v", cfg.Partition.DRAM.Scheduler)
+	}
+	if cfg.SM.L1.MSHREntries != 8 {
+		t.Errorf("MSHR override not applied: %d", cfg.SM.L1.MSHREntries)
+	}
+	if cfg.SM.MaxWarps != 16 {
+		t.Errorf("warp limit not applied: %d", cfg.SM.MaxWarps)
+	}
+	if cfg.SM.MaxBlocks > 4 {
+		t.Errorf("block slots should shrink with the warp limit, got %d", cfg.SM.MaxBlocks)
+	}
+	// The source preset must be untouched (Apply copies).
+	if base.SM.Scheduler != sm.LRR || base.SM.MaxWarps == 16 {
+		t.Error("Apply mutated its input config")
+	}
+}
+
+func TestOverridesZeroIsIdentity(t *testing.T) {
+	base := GF106()
+	cfg, err := Overrides{}.Apply(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg != base {
+		t.Error("zero overrides changed the config")
+	}
+}
+
+func TestOverridesRejectBadValues(t *testing.T) {
+	base := GF100()
+	cases := []Overrides{
+		{WarpSched: "nope"},
+		{DRAMSched: "nope"},
+		{L1MSHRs: -1},
+		{MaxWarps: -1},
+		{MaxWarps: base.SM.MaxWarps + 1},
+	}
+	for _, o := range cases {
+		if _, err := o.Apply(base); err == nil {
+			t.Errorf("Apply(%+v) should fail", o)
+		}
+	}
+}
+
+func TestParseSchedulerNames(t *testing.T) {
+	if p, err := ParseWarpSched("gto"); err != nil || p != sm.GTO {
+		t.Errorf("gto: %v %v", p, err)
+	}
+	if p, err := ParseDRAMSched("fr-fcfs-cap"); err != nil || p != dram.FRFCFSCap {
+		t.Errorf("fr-fcfs-cap: %v %v", p, err)
+	}
+	if p, err := ParseDRAMSched("FRFCFS"); err != nil || p != dram.FRFCFS {
+		t.Errorf("FRFCFS: %v %v", p, err)
+	}
+	if _, err := ParseWarpSched("fifo"); err == nil || !strings.Contains(err.Error(), "unknown") {
+		t.Errorf("bad warp sched accepted: %v", err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"gpulat/internal/gpu"
 	"gpulat/internal/kernels"
 	"gpulat/internal/sim"
+	"gpulat/internal/stats"
 )
 
 // DynamicResult is the outcome of an instrumented workload run: the
@@ -28,6 +29,17 @@ func (r *DynamicResult) Breakdown(buckets int) *BreakdownReport {
 // Exposure builds the Figure 2 report over the run's tracked loads.
 func (r *DynamicResult) Exposure(buckets int) *ExposureReport {
 	return r.Tracker.Exposure(r.Workload, r.Arch, buckets)
+}
+
+// LoadSummary summarizes the instruction-visible latency of the run's
+// tracked loads.
+func (r *DynamicResult) LoadSummary() stats.Summary {
+	recs := r.Tracker.Records()
+	xs := make([]float64, len(recs))
+	for i, rec := range recs {
+		xs[i] = float64(rec.InstTotal)
+	}
+	return stats.Summarize(xs)
 }
 
 // IPC returns device-wide instructions per cycle.

@@ -1,0 +1,117 @@
+package runner
+
+import "testing"
+
+func TestGridExpansionOrderAndSize(t *testing.T) {
+	g := Grid{
+		Kind:    KindDynamic,
+		Archs:   []string{"GF106", "GK104"},
+		Kernels: []string{"vecadd", "reduce", "histogram"},
+		Variants: []Options{
+			{Label: "a"},
+			{Label: "b"},
+		},
+		Repeats: 2,
+	}
+	jobs := g.Jobs()
+	if got, want := len(jobs), 2*3*2*2; got != want {
+		t.Fatalf("expanded %d jobs, want %d", got, want)
+	}
+	if g.Size() != len(jobs) {
+		t.Fatalf("Size() = %d, len(Jobs()) = %d", g.Size(), len(jobs))
+	}
+	// Arch-major, then kernel, then variant, then repeat.
+	if jobs[0].Arch != "GF106" || jobs[0].Kernel != "vecadd" || jobs[0].Options.Label != "a" {
+		t.Fatalf("unexpected first job %+v", jobs[0])
+	}
+	last := jobs[len(jobs)-1]
+	if last.Arch != "GK104" || last.Kernel != "histogram" || last.Options.Label != "b" {
+		t.Fatalf("unexpected last job %+v", last)
+	}
+	for i, j := range jobs {
+		if j.Kind != KindDynamic {
+			t.Fatalf("job %d kind %q", i, j.Kind)
+		}
+		if j.Seed == 0 {
+			t.Fatalf("job %d has zero seed", i)
+		}
+	}
+}
+
+func TestGridExpansionIsDeterministic(t *testing.T) {
+	g := Grid{
+		Kind:    KindDynamic,
+		Archs:   []string{"GF106"},
+		Kernels: []string{"vecadd", "reduce"},
+		Repeats: 3,
+	}
+	a, b := g.Jobs(), g.Jobs()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("job %d differs between expansions: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// Repeats of the same grid point get distinct seed streams.
+	if a[0].Seed == a[1].Seed {
+		t.Fatalf("repeat seeds collide: %d", a[0].Seed)
+	}
+}
+
+func TestGridFixedSeed(t *testing.T) {
+	g := Grid{
+		Kind:      KindDynamic,
+		Kernels:   []string{"vecadd", "reduce"},
+		BaseSeed:  99,
+		FixedSeed: true,
+	}
+	for i, j := range g.Jobs() {
+		if j.Seed != 99 {
+			t.Fatalf("job %d seed %d, want fixed 99", i, j.Seed)
+		}
+	}
+}
+
+func TestGridVariantSeedPinsJob(t *testing.T) {
+	g := Grid{
+		Kind:     KindDynamic,
+		Kernels:  []string{"vecadd"},
+		Variants: []Options{{Seed: 7}, {}},
+	}
+	jobs := g.Jobs()
+	if jobs[0].Seed != 7 {
+		t.Fatalf("pinned variant seed ignored: got %d", jobs[0].Seed)
+	}
+	if jobs[1].Seed == 7 || jobs[1].Seed == 0 {
+		t.Fatalf("unpinned variant should draw from the stream, got %d", jobs[1].Seed)
+	}
+}
+
+func TestGridEmptyAxesYieldOneJob(t *testing.T) {
+	jobs := Grid{Kind: KindStatic, Archs: []string{"GT200"}}.Jobs()
+	if len(jobs) != 1 {
+		t.Fatalf("got %d jobs, want 1", len(jobs))
+	}
+	if jobs[0].Kernel != "" {
+		t.Fatalf("kernel-less grid produced kernel %q", jobs[0].Kernel)
+	}
+}
+
+func TestJobSeedStream(t *testing.T) {
+	seen := map[uint64]int{}
+	for i := 0; i < 10_000; i++ {
+		s := JobSeed(42, i)
+		if s == 0 {
+			t.Fatalf("index %d yields zero seed", i)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("seed collision between indices %d and %d", prev, i)
+		}
+		seen[s] = i
+	}
+	if JobSeed(42, 3) != JobSeed(42, 3) {
+		t.Fatal("JobSeed is not a pure function")
+	}
+	if JobSeed(42, 3) == JobSeed(43, 3) {
+		t.Fatal("different bases should produce different streams")
+	}
+}

@@ -1,0 +1,257 @@
+package runner
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"gpulat/internal/config"
+)
+
+// testGrid is a small but heterogeneous sweep that runs at unit-test
+// scale: two real workloads on the 4-SM Fermi preset plus two
+// pointer-chase points.
+func testGrid() []Job {
+	dyn := Grid{
+		Kind:     KindDynamic,
+		Archs:    []string{"GF106"},
+		Kernels:  []string{"vecadd", "histogram"},
+		Variants: []Options{{TestScale: true}},
+	}
+	chase := Grid{
+		Kind:  KindChase,
+		Archs: []string{"GF106"},
+		Variants: []Options{
+			{Stride: 128, Footprint: 8192, Accesses: 32},
+			{Stride: 256, Footprint: 16384, Accesses: 32},
+		},
+	}
+	return append(dyn.Jobs(), chase.Jobs()...)
+}
+
+// TestRunDeterministicAcrossWorkerCounts is the core contract: the same
+// job list must produce byte-identical JSON and CSV exports whether it
+// runs serially or on eight workers.
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	jobs := testGrid()
+	export := func(workers int) (string, string) {
+		t.Helper()
+		set, err := New(workers).Run(context.Background(), jobs)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if err := set.Err(); err != nil {
+			t.Fatalf("workers=%d job failures: %v", workers, err)
+		}
+		var j, c bytes.Buffer
+		if err := set.WriteJSON(&j); err != nil {
+			t.Fatal(err)
+		}
+		if err := set.WriteCSV(&c); err != nil {
+			t.Fatal(err)
+		}
+		return j.String(), c.String()
+	}
+	j1, c1 := export(1)
+	j8, c8 := export(8)
+	if j1 != j8 {
+		t.Errorf("JSON export differs between -j 1 and -j 8:\n--- j1 ---\n%s\n--- j8 ---\n%s", j1, j8)
+	}
+	if c1 != c8 {
+		t.Errorf("CSV export differs between -j 1 and -j 8:\n--- j1 ---\n%s\n--- j8 ---\n%s", c1, c8)
+	}
+	if !strings.Contains(c1, "mean_lat") {
+		t.Errorf("CSV export missing chase metrics:\n%s", c1)
+	}
+}
+
+// TestRunJobErrorPropagation checks that one failing job does not abort
+// the sweep: the rest complete, the failure is captured per-result, and
+// ResultSet.Err aggregates it.
+func TestRunJobErrorPropagation(t *testing.T) {
+	jobs := Grid{
+		Kind:     KindDynamic,
+		Archs:    []string{"GF106"},
+		Kernels:  []string{"vecadd", "no-such-kernel", "histogram"},
+		Variants: []Options{{TestScale: true}},
+	}.Jobs()
+	set, err := New(4).Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(set.Results) != 3 {
+		t.Fatalf("got %d results, want 3", len(set.Results))
+	}
+	if got := len(set.Failed()); got != 1 {
+		t.Fatalf("got %d failed jobs, want 1: %v", got, set.Err())
+	}
+	bad := set.Failed()[0]
+	if bad.Job.Kernel != "no-such-kernel" || !strings.Contains(bad.Err, "unknown workload") {
+		t.Fatalf("unexpected failure %+v", bad)
+	}
+	aggErr := set.Err()
+	if aggErr == nil || !strings.Contains(aggErr.Error(), "no-such-kernel") {
+		t.Fatalf("aggregate error should name the failed job, got %v", aggErr)
+	}
+	for _, r := range set.Results {
+		if r.Failed() {
+			continue
+		}
+		if _, ok := r.Metric("cycles"); !ok {
+			t.Errorf("%s: healthy job missing metrics", r.Job.Name())
+		}
+		if r.Payload == nil {
+			t.Errorf("%s: healthy job missing payload", r.Job.Name())
+		}
+	}
+	// Error messages contain commas ("unknown workload ... [copy gather
+	// ...]"); the CSV export must quote them so every row keeps the
+	// 8-column shape.
+	var csv bytes.Buffer
+	if err := set.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(csv.String()), "\n") {
+		if strings.Contains(line, "error") && !strings.Contains(line, `"`) {
+			t.Errorf("error row not quoted: %s", line)
+		}
+	}
+}
+
+// TestRunContextCancellation cancels a sweep mid-flight and checks that
+// Run stops feeding jobs, reports the cancellation, and returns the
+// partial results gathered so far.
+func TestRunContextCancellation(t *testing.T) {
+	const total = 64
+	jobs := make([]Job, total)
+	for i := range jobs {
+		jobs[i] = Job{Kind: KindDynamic, Arch: "GF106", Kernel: "vecadd"}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var executed atomic.Int32
+	r := New(2)
+	r.exec = func(ctx context.Context, job Job) Result {
+		if executed.Add(1) == 3 {
+			cancel()
+		}
+		if ctx.Err() != nil {
+			return Result{Job: job, Err: ctx.Err().Error()}
+		}
+		return Result{Job: job, Metrics: []Metric{{Name: "ok", Value: 1}}}
+	}
+	set, err := r.Run(ctx, jobs)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run after cancel: err = %v, want context.Canceled", err)
+	}
+	if len(set.Results) >= total {
+		t.Fatalf("all %d jobs ran despite cancellation", total)
+	}
+	if int(executed.Load()) >= total {
+		t.Fatalf("executor saw all jobs despite cancellation")
+	}
+}
+
+// TestRunPanicIsCapturedPerJob ensures a panicking job surfaces as a
+// captured error rather than tearing down the pool.
+func TestRunPanicIsCapturedPerJob(t *testing.T) {
+	jobs := []Job{
+		{Kind: KindDynamic, Kernel: "a"},
+		{Kind: KindDynamic, Kernel: "boom"},
+		{Kind: KindDynamic, Kernel: "c"},
+	}
+	r := New(2)
+	r.exec = func(_ context.Context, job Job) Result {
+		if job.Kernel == "boom" {
+			panic("kaboom")
+		}
+		return Result{Job: job}
+	}
+	set, err := r.Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := len(set.Failed()); got != 1 {
+		t.Fatalf("got %d failures, want 1", got)
+	}
+	if !strings.Contains(set.Failed()[0].Err, "kaboom") {
+		t.Fatalf("panic message lost: %+v", set.Failed()[0])
+	}
+}
+
+// TestRunBoundsConcurrency verifies the pool never exceeds Workers
+// in-flight jobs.
+func TestRunBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	jobs := make([]Job, 50)
+	var active, peak atomic.Int32
+	r := New(workers)
+	r.exec = func(_ context.Context, job Job) Result {
+		n := active.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		// Let other workers pile in before releasing the slot.
+		for i := 0; i < 1000; i++ {
+			_ = i
+		}
+		active.Add(-1)
+		return Result{Job: job}
+	}
+	if _, err := r.Run(context.Background(), jobs); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent jobs, bound is %d", p, workers)
+	}
+}
+
+// TestProgressReporting checks the callback fires once per job with
+// monotonically complete accounting.
+func TestProgressReporting(t *testing.T) {
+	jobs := testGrid()[:2]
+	var mu sync.Mutex
+	var events []ProgressEvent
+	r := New(2)
+	r.Progress = func(ev ProgressEvent) {
+		mu.Lock()
+		events = append(events, ev)
+		mu.Unlock()
+	}
+	if _, err := r.Run(context.Background(), jobs); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != len(jobs) {
+		t.Fatalf("got %d progress events, want %d", len(events), len(jobs))
+	}
+	last := events[len(events)-1]
+	if last.Done != len(jobs) || last.Total != len(jobs) {
+		t.Fatalf("final event %d/%d, want %d/%d", last.Done, last.Total, len(jobs), len(jobs))
+	}
+}
+
+// TestExecuteRejectsBadInputs covers the executor's validation paths.
+func TestExecuteRejectsBadInputs(t *testing.T) {
+	cases := []Job{
+		{Kind: KindDynamic, Arch: "NoSuchArch", Kernel: "vecadd"},
+		{Kind: KindDynamic, Arch: "GF106", Kernel: "no-such-kernel"},
+		{Kind: "bogus", Arch: "GF106"},
+		{Kind: KindChase, Arch: "GF106"},     // missing stride/footprint
+		{Kind: KindLoaded, Arch: "GF106"},    // missing offered load
+		{Kind: KindOccupancy, Arch: "GF106"}, // missing warp limit
+		{Kind: KindDynamic, Arch: "GF106", Kernel: "vecadd",
+			Options: Options{Overrides: config.Overrides{WarpSched: "no-such-policy"}}},
+	}
+	for _, job := range cases {
+		res := Execute(context.Background(), job)
+		if !res.Failed() {
+			t.Errorf("Execute(%+v) should fail", job)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -114,11 +115,18 @@ type Table struct {
 // NewTable creates a table with the given column headers.
 func NewTable(header ...string) *Table { return &Table{header: header} }
 
+// Precise wraps a float64 cell so AddRow renders it with full %g
+// precision instead of the display default of one decimal — used for
+// machine-readable CSV exports where rounding would lose information.
+type Precise float64
+
 // AddRow appends a row; values are formatted with %v.
 func (t *Table) AddRow(cells ...any) {
 	row := make([]string, len(cells))
 	for i, c := range cells {
 		switch v := c.(type) {
+		case Precise:
+			row[i] = strconv.FormatFloat(float64(v), 'g', -1, 64)
 		case float64:
 			row[i] = fmt.Sprintf("%.1f", v)
 		default:
