@@ -4,7 +4,7 @@
 GO      ?= go
 JOBS    ?= 0   # 0 = GOMAXPROCS
 
-.PHONY: all build test vet fmt bench repro repro-quick determinism clean
+.PHONY: all build test vet fmt bench bench-baseline repro repro-quick determinism engine-determinism clean
 
 all: build vet fmt test
 
@@ -23,10 +23,20 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 # Short smoke benchmark (CI); `make bench BENCH=. BENCHTIME=3x` for more.
+# Emits the tick-vs-event simulation-kernel throughput report (cycles
+# simulated per wall-second, per workload) to /tmp so the CI smoke never
+# dirties the committed baseline; `make bench-baseline` refreshes it.
 BENCH     ?= SimulatorThroughput
 BENCHTIME ?= 1x
 bench:
 	$(GO) test -bench=$(BENCH) -benchtime=$(BENCHTIME) -run='^$$' .
+	$(GO) run ./cmd/gpulat bench-kernel > /tmp/gpulat-bench-kernel.json
+
+# Refresh the committed BENCH_kernel.json baseline (wall-clock numbers
+# are machine-dependent: regenerate deliberately, not from CI).
+bench-baseline:
+	$(GO) run ./cmd/gpulat bench-kernel > BENCH_kernel.json.tmp
+	mv BENCH_kernel.json.tmp BENCH_kernel.json
 
 # Full paper-reproduction grid on the parallel runner.
 repro:
@@ -45,6 +55,20 @@ determinism:
 	cmp /tmp/gpulat-j1.csv /tmp/gpulat-j8.csv
 	@echo "determinism: -j 1 and -j 8 byte-identical"
 
+# Proves the simulation kernel's core contract: the event-driven loop's
+# exports are byte-identical to the cycle-driven reference, CSV and JSON.
+engine-determinism:
+	$(GO) build -o /tmp/gpulat-ci ./cmd/gpulat
+	/tmp/gpulat-ci bench-suite -quick -quiet -j 8 -engine=tick  -csv  > /tmp/gpulat-tick.csv
+	/tmp/gpulat-ci bench-suite -quick -quiet -j 8 -engine=event -csv  > /tmp/gpulat-event.csv
+	cmp /tmp/gpulat-tick.csv /tmp/gpulat-event.csv
+	/tmp/gpulat-ci bench-suite -quick -quiet -j 8 -engine=tick  -json > /tmp/gpulat-tick.json
+	/tmp/gpulat-ci bench-suite -quick -quiet -j 8 -engine=event -json > /tmp/gpulat-event.json
+	cmp /tmp/gpulat-tick.json /tmp/gpulat-event.json
+	@echo "engine-determinism: tick and event engines byte-identical"
+
 clean:
 	$(GO) clean
-	rm -f /tmp/gpulat-ci /tmp/gpulat-j1.csv /tmp/gpulat-j8.csv
+	rm -f /tmp/gpulat-ci /tmp/gpulat-j1.csv /tmp/gpulat-j8.csv \
+		/tmp/gpulat-tick.csv /tmp/gpulat-event.csv \
+		/tmp/gpulat-tick.json /tmp/gpulat-event.json

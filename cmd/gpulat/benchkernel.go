@@ -1,0 +1,118 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"gpulat/internal/gpu"
+	"gpulat/internal/kernels"
+	"gpulat/internal/sim"
+)
+
+// kernelBench is one (workload, engine) measurement of simulator
+// throughput: how many device cycles the simulator covers per
+// wall-clock second. The event engine's advantage is the skipped share —
+// cycles it fast-forwarded instead of stepping.
+type kernelBench struct {
+	Workload        string  `json:"workload"`
+	Engine          string  `json:"engine"`
+	Cycles          uint64  `json:"cycles"`
+	SteppedCycles   uint64  `json:"stepped_cycles"`
+	SkippedCycles   uint64  `json:"skipped_cycles"`
+	WallSeconds     float64 `json:"wall_seconds"`
+	CyclesPerSecond float64 `json:"cycles_per_second"`
+}
+
+// kernelBenchReport is the BENCH_kernel.json payload: per-workload
+// throughput under both engines plus the headline speedups.
+type kernelBenchReport struct {
+	Arch       string             `json:"arch"`
+	Benchmarks []kernelBench      `json:"benchmarks"`
+	Speedup    map[string]float64 `json:"speedup_event_over_tick"`
+}
+
+// benchWorkloads builds the measured workloads: the latency-bound
+// pointer chase (the event engine's headline case — the machine idles on
+// one DRAM access at a time), the bandwidth-bound vecadd (the stress
+// case, with almost no skippable cycles), and BFS (the paper's mixed
+// dynamic workload).
+func benchWorkloads(g *gpu.GPU, name string, seed uint64) (sim.Cycle, error) {
+	switch name {
+	case "pointerchase":
+		wl, err := kernels.PChase(kernels.PChaseConfig{
+			Base: 0x10000, StrideBytes: 512, FootprintBytes: 2 << 20, Accesses: 2000,
+		})
+		if err != nil {
+			return 0, err
+		}
+		return kernels.Run(g, wl)
+	case "vecadd":
+		wl, err := kernels.NewByName("vecadd", kernels.ScaleExperiment, seed)
+		if err != nil {
+			return 0, err
+		}
+		return kernels.Run(g, wl)
+	case "bfs":
+		graph := kernels.GenScaleFree(1<<11, 4, seed)
+		mk, err := kernels.BFS(kernels.BFSConfig{Graph: graph, Source: 0, BlockDim: 128})
+		if err != nil {
+			return 0, err
+		}
+		cycles, _, err := kernels.RunMulti(g, mk)
+		return cycles, err
+	}
+	return 0, usagef("bench-kernel: unknown workload %q", name)
+}
+
+// cmdBenchKernel measures simulation-kernel throughput (cycles simulated
+// per wall-second) for each workload under both engines and writes the
+// JSON report `make bench` commits as BENCH_kernel.json.
+func cmdBenchKernel(args []string) error {
+	fs := newFlags("bench-kernel")
+	arch := fs.String("arch", "GF100", "architecture preset (or file:<path>)")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	base, err := mustConfig(*arch)
+	if err != nil {
+		return err
+	}
+
+	report := kernelBenchReport{Arch: base.Name, Speedup: map[string]float64{}}
+	rate := map[string]map[string]float64{}
+	for _, wl := range []string{"pointerchase", "vecadd", "bfs"} {
+		rate[wl] = map[string]float64{}
+		for _, engine := range []sim.Engine{sim.EngineTick, sim.EngineEvent} {
+			cfg := base
+			cfg.Engine = engine
+			g := gpu.New(cfg)
+			begin := time.Now()
+			cycles, err := benchWorkloads(g, wl, 42)
+			if err != nil {
+				return fmt.Errorf("bench-kernel %s/%s: %w", wl, engine, err)
+			}
+			wall := time.Since(begin).Seconds()
+			st := g.Stats()
+			b := kernelBench{
+				Workload:        wl,
+				Engine:          engine.String(),
+				Cycles:          uint64(cycles),
+				SteppedCycles:   st.Cycles - st.SkippedCycles,
+				SkippedCycles:   st.SkippedCycles,
+				WallSeconds:     wall,
+				CyclesPerSecond: float64(cycles) / wall,
+			}
+			report.Benchmarks = append(report.Benchmarks, b)
+			rate[wl][engine.String()] = b.CyclesPerSecond
+			fmt.Fprintf(os.Stderr, "bench-kernel: %-12s %-5s %9d cycles (%d stepped, %d skipped) in %.3fs — %.0f cycles/s\n",
+				wl, engine, uint64(cycles), b.SteppedCycles, b.SkippedCycles, wall, b.CyclesPerSecond)
+		}
+		report.Speedup[wl] = rate[wl]["event"] / rate[wl]["tick"]
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}

@@ -22,6 +22,7 @@ func cmdTable1(args []string) error {
 	accesses := fs.Int("accesses", 256, "timed loads per measurement point")
 	archs := fs.String("archs", "GT200,GF106,GK104,GM107", "comma-separated presets")
 	jobs := jobsFlag(fs)
+	engine := engineFlag(fs)
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -35,7 +36,7 @@ func cmdTable1(args []string) error {
 		Archs:    names,
 		Variants: []runner.Options{{Accesses: *accesses}},
 	}
-	set, err := runJobs(grid.Jobs(), *jobs, true)
+	set, err := runJobs(grid.Jobs(), *jobs, true, *engine)
 	if err != nil {
 		return err
 	}
@@ -59,6 +60,7 @@ func cmdSweep(args []string) error {
 	accesses := fs.Int("accesses", 128, "timed loads per point")
 	detect := fs.Bool("detect", false, "detect hierarchy-level plateaus instead of raw CSV")
 	jobs := jobsFlag(fs)
+	engine := engineFlag(fs)
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -93,7 +95,7 @@ func cmdSweep(args []string) error {
 		return nil
 	}
 	grid := runner.Grid{Kind: runner.KindChase, Archs: []string{*arch}, Variants: variants}
-	set, err := runJobs(grid.Jobs(), *jobs, true)
+	set, err := runJobs(grid.Jobs(), *jobs, true, *engine)
 	if err != nil {
 		return err
 	}
@@ -132,6 +134,7 @@ func cmdFig(args []string, exposure bool) error {
 	seed := fs.Uint64("seed", 42, "input seed")
 	csv := fs.Bool("csv", false, "emit CSV instead of a table")
 	chart := fs.Bool("chart", false, "draw an ASCII stacked-bar chart like the paper's figure")
+	engine := engineFlag(fs)
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -147,7 +150,7 @@ func cmdFig(args []string, exposure bool) error {
 	// express a literal zero — it means "unpinned" there).
 	jobs[0].Seed = *seed
 	fmt.Fprintf(os.Stderr, "running %s on %s...\n", *kernel, *arch)
-	set, err := runJobs(jobs, 1, false)
+	set, err := runJobs(jobs, 1, false, *engine)
 	if err != nil {
 		return err
 	}
@@ -194,6 +197,7 @@ func cmdAblateDRAM(args []string) error {
 	kernel := fs.String("kernel", "bfs", "workload")
 	vertices := fs.Int("vertices", 1<<13, "BFS graph size")
 	jobs := jobsFlag(fs)
+	engine := engineFlag(fs)
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -220,7 +224,7 @@ func cmdAblateDRAM(args []string) error {
 		FixedSeed: true,
 	}
 	all := append(synth.Jobs(), dyn.Jobs()...)
-	set, err := runJobs(all, *jobs, true)
+	set, err := runJobs(all, *jobs, true, *engine)
 	if err != nil {
 		return err
 	}
@@ -254,6 +258,7 @@ func cmdAblateSched(args []string) error {
 	kernel := fs.String("kernel", "bfs", "workload")
 	vertices := fs.Int("vertices", 1<<13, "BFS graph size")
 	jobs := jobsFlag(fs)
+	engine := engineFlag(fs)
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -269,7 +274,7 @@ func cmdAblateSched(args []string) error {
 		Kind: runner.KindDynamic, Archs: []string{*arch}, Kernels: []string{*kernel},
 		Variants: variants, FixedSeed: true,
 	}
-	set, err := runJobs(grid.Jobs(), *jobs, true)
+	set, err := runJobs(grid.Jobs(), *jobs, true, *engine)
 	if err != nil {
 		return err
 	}
@@ -291,6 +296,7 @@ func cmdAblateMSHR(args []string) error {
 	kernel := fs.String("kernel", "bfs", "workload")
 	vertices := fs.Int("vertices", 1<<13, "BFS graph size")
 	jobs := jobsFlag(fs)
+	engine := engineFlag(fs)
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -306,7 +312,7 @@ func cmdAblateMSHR(args []string) error {
 		Kind: runner.KindDynamic, Archs: []string{*arch}, Kernels: []string{*kernel},
 		Variants: variants, FixedSeed: true,
 	}
-	set, err := runJobs(grid.Jobs(), *jobs, true)
+	set, err := runJobs(grid.Jobs(), *jobs, true, *engine)
 	if err != nil {
 		return err
 	}
@@ -327,6 +333,7 @@ func cmdAblateOccupancy(args []string) error {
 	arch := fs.String("arch", "GF100", "architecture preset")
 	vertices := fs.Int("vertices", 1<<13, "BFS graph size")
 	jobs := jobsFlag(fs)
+	engine := engineFlag(fs)
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -341,7 +348,7 @@ func cmdAblateOccupancy(args []string) error {
 		Kind: runner.KindOccupancy, Archs: []string{*arch},
 		Variants: variants, FixedSeed: true,
 	}
-	set, err := runJobs(grid.Jobs(), *jobs, true)
+	set, err := runJobs(grid.Jobs(), *jobs, true, *engine)
 	if err != nil {
 		return err
 	}
@@ -362,6 +369,7 @@ func cmdLoadCurve(args []string) error {
 	arch := fs.String("arch", "GF100", "architecture preset")
 	cycles := fs.Int("cycles", 50_000, "measurement cycles per point")
 	jobs := jobsFlag(fs)
+	engine := engineFlag(fs)
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -376,7 +384,7 @@ func cmdLoadCurve(args []string) error {
 		Kind: runner.KindLoaded, Archs: []string{*arch},
 		Variants: variants, BaseSeed: 1, FixedSeed: true,
 	}
-	set, err := runJobs(grid.Jobs(), *jobs, true)
+	set, err := runJobs(grid.Jobs(), *jobs, true, *engine)
 	if err != nil {
 		return err
 	}
@@ -398,12 +406,16 @@ func cmdSimRun(args []string) error {
 	kernel := fs.String("kernel", "vecadd", "workload")
 	vertices := fs.Int("vertices", 1<<13, "BFS graph size")
 	verbose := fs.Bool("v", false, "dump per-SM and per-partition counters")
+	engine := engineFlag(fs)
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 
 	cfg, err := mustConfig(*arch)
 	if err != nil {
+		return err
+	}
+	if cfg, err = applyEngineConfig(cfg, *engine); err != nil {
 		return err
 	}
 	job := runner.Job{
@@ -439,12 +451,16 @@ func cmdExport(args []string) error {
 	arch := fs.String("arch", "GF100", "architecture preset")
 	kernel := fs.String("kernel", "bfs", "workload")
 	vertices := fs.Int("vertices", 1<<13, "BFS graph size")
+	engine := engineFlag(fs)
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 
 	cfg, err := mustConfig(*arch)
 	if err != nil {
+		return err
+	}
+	if cfg, err = applyEngineConfig(cfg, *engine); err != nil {
 		return err
 	}
 	job := runner.Job{

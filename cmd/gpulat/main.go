@@ -39,6 +39,7 @@ import (
 	"gpulat/internal/config"
 	"gpulat/internal/gpu"
 	"gpulat/internal/runner"
+	"gpulat/internal/sim"
 )
 
 // usageError marks a bad-invocation failure so main can exit 2 (usage)
@@ -96,6 +97,7 @@ func commands() map[string]func([]string) error {
 		"load-curve":       cmdLoadCurve,
 		"loadcurve":        cmdLoadCurve, // pre-runner spelling
 		"bench-suite":      cmdBenchSuite,
+		"bench-kernel":     cmdBenchKernel,
 		"simrun":           cmdSimRun,
 		"export":           cmdExport,
 		"config":           cmdConfig,
@@ -117,6 +119,7 @@ commands:
   ablate-occupancy  latency hiding vs resident warps per SM
   load-curve    memory-system latency vs offered load (idle → saturated)
   bench-suite   the whole paper-reproduction grid, in parallel
+  bench-kernel  simulator throughput: tick vs event engine, per workload
   simrun        run a workload and dump device statistics
   export        run a workload and dump per-load records as CSV
   config        dump a preset as editable JSON (use with -arch file:<path>)
@@ -153,10 +156,27 @@ func jobsFlag(fs *flag.FlagSet) *int {
 	return fs.Int("j", 0, "parallel experiment workers (0 = GOMAXPROCS)")
 }
 
+// engineFlag registers the shared -engine simulation-loop flag; the two
+// engines produce identical results (CI enforces a byte-level diff), so
+// the fast-forwarding event kernel is the default. The empty default
+// inherits the config's engine, letting a file:<path> configuration pin
+// one.
+func engineFlag(fs *flag.FlagSet) *string {
+	return fs.String("engine", "", "simulation loop: event (fast-forwards provably idle cycles; default) or tick (cycle-by-cycle reference)")
+}
+
 // runJobs executes a job list on a bounded pool with progress reporting
-// on stderr and Ctrl-C cancellation. Job errors are aggregated into the
-// returned error; the partial ResultSet is always returned.
-func runJobs(jobs []runner.Job, workers int, progress bool) (*runner.ResultSet, error) {
+// on stderr and Ctrl-C cancellation, after validating the -engine
+// selection and stamping it on every job (so no command can forget it).
+// Job errors are aggregated into the returned error; the partial
+// ResultSet is always returned.
+func runJobs(jobs []runner.Job, workers int, progress bool, engine string) (*runner.ResultSet, error) {
+	if _, err := sim.ParseEngine(engine); err != nil {
+		return nil, usagef("%v", err)
+	}
+	for i := range jobs {
+		jobs[i].Engine = engine
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	// After the first interrupt, unregister the handler: in-flight
@@ -189,6 +209,21 @@ func runJobs(jobs []runner.Job, workers int, progress bool) (*runner.ResultSet, 
 // JSON configuration.
 func mustConfig(name string) (gpu.Config, error) {
 	return config.ByNameOrFile(name)
+}
+
+// applyEngineConfig overrides cfg's engine with the -engine selection;
+// the empty flag default keeps the config's own (commands that run a
+// device directly instead of through the runner use this).
+func applyEngineConfig(cfg gpu.Config, engine string) (gpu.Config, error) {
+	if engine == "" {
+		return cfg, nil
+	}
+	eng, err := sim.ParseEngine(engine)
+	if err != nil {
+		return cfg, usagef("%v", err)
+	}
+	cfg.Engine = eng
+	return cfg, nil
 }
 
 func parseU32List(s string) ([]uint32, error) {

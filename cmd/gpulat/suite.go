@@ -3,6 +3,8 @@ package main
 import (
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"gpulat/internal/runner"
@@ -139,20 +141,48 @@ func suiteJobs(quick bool) []runner.Job {
 func cmdBenchSuite(args []string) error {
 	fs := newFlags("bench-suite")
 	jobs := jobsFlag(fs)
+	engine := engineFlag(fs)
 	quick := fs.Bool("quick", false, "CI smoke scale: tiny inputs, every section still covered")
 	jsonOut := fs.Bool("json", false, "write the ResultSet as JSON to stdout")
 	csvOut := fs.Bool("csv", false, "write the ResultSet as long-form CSV to stdout")
 	quiet := fs.Bool("quiet", false, "suppress per-job progress on stderr")
+	cpuProf := fs.String("cpuprofile", "", "write a CPU profile to this file (inspect with `go tool pprof`)")
+	memProf := fs.String("memprofile", "", "write an allocation profile to this file at exit")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if *jsonOut && *csvOut {
 		return usagef("bench-suite: -json and -csv are mutually exclusive")
 	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bench-suite:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "bench-suite:", err)
+			}
+		}()
+	}
 
 	list := suiteJobs(*quick)
 	start := time.Now()
-	set, err := runJobs(list, *jobs, !*quiet)
+	set, err := runJobs(list, *jobs, !*quiet, *engine)
 	if err != nil {
 		// Partial failures still produce the summary below; hard
 		// cancellation aborts.

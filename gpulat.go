@@ -77,6 +77,17 @@ const (
 	KindOccupancy = runner.KindOccupancy
 )
 
+// Engine selects the top-level simulation loop on a Config.
+type Engine = sim.Engine
+
+// The two simulation loops: the event-driven kernel (default), which
+// fast-forwards across provably idle spans, and the cycle-driven
+// reference it is byte-identical to.
+const (
+	EngineEvent = sim.EngineEvent
+	EngineTick  = sim.EngineTick
+)
+
 // NewRunner builds a parallel experiment runner with the given worker
 // bound (<=0 selects GOMAXPROCS).
 func NewRunner(workers int) *Runner { return runner.New(workers) }

@@ -87,10 +87,16 @@ func LoadedLatency(cfg gpu.Config, offeredLoads []float64, opt LoadedOptions) ([
 		}
 		// Achieved throughput is measured over the injection window only;
 		// the drain that follows would otherwise inflate it past the
-		// service rate.
+		// service rate. The event engine fast-forwards the drain (the
+		// injection window itself cannot skip: requests arrive per
+		// cycle); clamping to the cycle bound keeps the completion set
+		// identical to the tick engine's.
 		completedInWindow := bench.Stats().Completed
 		for !bench.Drained() && bench.Cycle() < opt.Cycles*4 {
 			bench.Step()
+			if cfg.Engine == sim.EngineEvent {
+				bench.FastForward(opt.Cycles * 4)
+			}
 		}
 		sum := stats.Summarize(lats)
 		out = append(out, LoadedPoint{

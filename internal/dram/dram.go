@@ -9,6 +9,7 @@ package dram
 
 import (
 	"fmt"
+	"strings"
 
 	"gpulat/internal/mem"
 	"gpulat/internal/sim"
@@ -212,6 +213,19 @@ func (ch *Channel) busOK(c sim.Cycle, b *bankState, row uint64) bool {
 	return casStart+ch.cfg.TCL >= ch.busFreeAt
 }
 
+// fcfsHead returns the queue index of the oldest pending request — the
+// only candidate FCFS may schedule. pick and NextEvent share it so the
+// scheduler and its horizon cannot drift apart.
+func (ch *Channel) fcfsHead() int {
+	head := 0
+	for i, p := range ch.queue {
+		if p.seq < ch.queue[head].seq {
+			head = i
+		}
+	}
+	return head
+}
+
 func (ch *Channel) pick(c sim.Cycle) int {
 	if len(ch.queue) == 0 {
 		return -1
@@ -244,12 +258,7 @@ func (ch *Channel) pick(c sim.Cycle) int {
 	case FCFS:
 		// Strict arrival order: only the head may be scheduled, and only
 		// when its bank is free.
-		head := 0
-		for i, p := range ch.queue {
-			if p.seq < ch.queue[head].seq {
-				head = i
-			}
-		}
+		head := ch.fcfsHead()
 		hb := &ch.banks[ch.queue[head].bank]
 		if hb.busyUntil <= c && ch.busOK(c, hb, ch.queue[head].row) {
 			return head
@@ -366,6 +375,54 @@ func (ch *Channel) Completed(c sim.Cycle) []*mem.Request {
 
 // InflightLen returns the number of requests in service (test hook).
 func (ch *Channel) InflightLen() int { return len(ch.inflight) }
+
+// NextEvent implements the event-driven kernel's horizon contract: the
+// earliest cycle at or after now at which the channel can retire an
+// in-flight transfer or schedule a queued request. Bank busy windows are
+// exact bounds; data-bus arbitration (busOK) is deliberately ignored —
+// it can only make the true schedule time later, so omitting it wakes
+// the kernel early at worst, never late. Never means the channel is
+// drained.
+func (ch *Channel) NextEvent(now sim.Cycle) sim.Cycle {
+	h := sim.Never
+	if len(ch.inflight) > 0 {
+		// inflight is sorted by finish time.
+		h = max(now, ch.inflight[0].finish)
+	}
+	if len(ch.queue) == 0 {
+		return h
+	}
+	if ch.cfg.Scheduler == FCFS {
+		// Only the oldest request can ever be scheduled.
+		head := ch.fcfsHead()
+		return min(h, max(now, ch.banks[ch.queue[head].bank].busyUntil))
+	}
+	for _, p := range ch.queue {
+		if t := max(now, ch.banks[p.bank].busyUntil); t < h {
+			h = t
+		}
+	}
+	return h
+}
+
+// DebugState renders the channel's full semantic state — banks, queue,
+// in-flight transfers, bus — for the engine-equivalence audit: any state
+// change a simulated cycle makes is visible here.
+func (ch *Channel) DebugState() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "bus=%d seq=%d", ch.busFreeAt, ch.seq)
+	for i := range ch.banks {
+		bk := &ch.banks[i]
+		fmt.Fprintf(&b, " b%d={%v,%d,%d,%d,%d}", i, bk.rowOpen, bk.openRow, bk.busyUntil, bk.lastActAt, bk.hitStreak)
+	}
+	for _, p := range ch.queue {
+		fmt.Fprintf(&b, " q{%d,%d,%d,%d}", p.seq, p.bank, p.row, p.arrived)
+	}
+	for _, f := range ch.inflight {
+		fmt.Fprintf(&b, " f{%d,%d}", f.req.ID, f.finish)
+	}
+	return b.String()
+}
 
 // UnloadedReadLatency returns the analytic service latency of a single
 // read on an idle channel with a closed (precharged) bank: tRCD + tCL +

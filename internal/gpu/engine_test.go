@@ -1,0 +1,251 @@
+package gpu
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"gpulat/internal/dram"
+	"gpulat/internal/icnt"
+	"gpulat/internal/isa"
+	"gpulat/internal/sim"
+	"gpulat/internal/sm"
+)
+
+// chaseKernel builds a single-thread pointer chase: r1 = mem[r1],
+// repeated n times around a ring — the latency-bound extreme where the
+// whole machine idles on one in-flight load at a time, the event
+// engine's best case and the paper's motivating access pattern.
+func chaseKernel(base uint64, n int) *sm.Kernel {
+	b := isa.NewBuilder("chase")
+	b.Param(1, 0).
+		MovI(2, int32(n)).
+		Label("loop").
+		Ldg(1, 1, 0). // r1 = mem[r1]
+		IAddI(2, 2, -1).
+		ISetpI(0, isa.CmpGT, 2, 0).
+		P(0).Bra("loop").
+		Param(3, 1).
+		Stg(3, 0, 1). // publish the final pointer
+		Exit()
+	return &sm.Kernel{
+		Program:  b.Build(),
+		Params:   []uint32{uint32(base), uint32(base + 1<<20)},
+		BlockDim: 1,
+		GridDim:  1,
+	}
+}
+
+// setupRing writes a pointer ring of the given stride under the kernel's
+// base address.
+func setupRing(g *GPU, base uint64, elems int, stride uint64) {
+	for i := 0; i < elems; i++ {
+		next := base + uint64((i+1)%elems)*stride
+		g.Memory.Store32(base+uint64(i)*stride, uint32(next))
+	}
+}
+
+// engineVariants are the configurations the cross-engine checks cover:
+// every DRAM scheduler, both warp schedulers, and the cache topologies
+// of all simulated generations (Fermi with L1+L2, Tesla with neither in
+// the global path).
+func engineVariants() map[string]Config {
+	base := tinyConfig()
+
+	tesla := tinyConfig()
+	tesla.SM.L1Enabled = false
+	tesla.SM.L1LocalEnabled = false
+	tesla.Partition.L2Enabled = false
+
+	fcfs := tinyConfig()
+	fcfs.Partition.DRAM.Scheduler = dram.FCFS
+
+	capped := tinyConfig()
+	capped.Partition.DRAM.Scheduler = dram.FRFCFSCap
+	capped.Partition.DRAM.CapStreak = 2
+
+	gto := tinyConfig()
+	gto.SM.Scheduler = sm.GTO
+
+	return map[string]Config{
+		"base": base, "tesla": tesla, "fcfs": fcfs, "cap": capped, "gto": gto,
+	}
+}
+
+// runEngineWorkload launches one of the named micro-workloads on a fresh
+// device and runs it to completion.
+func runEngineWorkload(t *testing.T, cfg Config, workload string) (*GPU, sim.Cycle) {
+	t.Helper()
+	g := New(cfg)
+	var k *sm.Kernel
+	switch workload {
+	case "vecinc":
+		const n = 512
+		in, out := uint64(0x1000), uint64(0x40000)
+		for i := 0; i < n; i++ {
+			g.Memory.Store32(in+uint64(i)*4, uint32(i))
+		}
+		k = vecIncKernel(uint32(in), uint32(out), n, 64)
+	case "chase":
+		const base, elems, stride = 0x10000, 64, 512
+		setupRing(g, base, elems, stride)
+		k = chaseKernel(base, 3*elems)
+	default:
+		t.Fatalf("unknown workload %q", workload)
+	}
+	cycles, err := g.RunKernel(k)
+	if err != nil {
+		t.Fatalf("%s: %v", workload, err)
+	}
+	return g, cycles
+}
+
+// deviceSignature renders every piece of semantic device state the
+// engines must agree on. Per-cycle idle observations are excluded: the
+// device and SM cycle counters and empty-issue-slot counts advance on
+// skipped cycles by design (and are replayed by SkipIdle), and the
+// crossbar's EjectBlocked counts full-queue observations, not events.
+func deviceSignature(g *GPU) string {
+	var b strings.Builder
+	gs := g.Stats()
+	gs.Cycles, gs.SkippedCycles = 0, 0
+	fmt.Fprintf(&b, "gpu:%+v next:%d\n", gs, g.nextBlock)
+	for _, s := range g.sms {
+		ss := s.Stats()
+		ss.Cycles, ss.IssueStallEmpty = 0, 0
+		fmt.Fprintf(&b, "sm%d:%+v %s\n", s.Config().ID, ss, s.DebugState())
+		if l1 := s.L1(); l1 != nil {
+			fmt.Fprintf(&b, "  l1:%+v\n", l1.Stats())
+		}
+	}
+	for i, p := range g.parts {
+		fmt.Fprintf(&b, "part%d:%+v %s\n", i, p.Stats(), p.DebugState())
+		fmt.Fprintf(&b, "  dram:%+v %s\n", p.DRAM().Stats(), p.DRAM().DebugState())
+		if l2 := p.L2(); l2 != nil {
+			fmt.Fprintf(&b, "  l2:%+v\n", l2.Stats())
+		}
+	}
+	for _, x := range []*icnt.Crossbar{g.reqNet, g.replyNet} {
+		xs := x.Stats()
+		xs.EjectBlocked = 0
+		fmt.Fprintf(&b, "%s:%+v %s\n", x.Config().Name, xs, x.DebugState())
+	}
+	return b.String()
+}
+
+// statsSignature is the engine-comparable subset of deviceSignature: the
+// full counters including the idle observations SkipIdle replays, so the
+// test also proves the replay is exact.
+func statsSignature(g *GPU) string {
+	var b strings.Builder
+	gs := g.Stats()
+	gs.SkippedCycles = 0
+	fmt.Fprintf(&b, "gpu:%+v\n", gs)
+	for _, s := range g.sms {
+		fmt.Fprintf(&b, "sm%d:%+v\n", s.Config().ID, s.Stats())
+		if l1 := s.L1(); l1 != nil {
+			fmt.Fprintf(&b, "  l1:%+v\n", l1.Stats())
+		}
+	}
+	for i, p := range g.parts {
+		fmt.Fprintf(&b, "part%d:%+v dram:%+v\n", i, p.Stats(), p.DRAM().Stats())
+		if l2 := p.L2(); l2 != nil {
+			fmt.Fprintf(&b, "  l2:%+v\n", l2.Stats())
+		}
+	}
+	for _, x := range []*icnt.Crossbar{g.reqNet, g.replyNet} {
+		xs := x.Stats()
+		xs.EjectBlocked = 0
+		fmt.Fprintf(&b, "net:%+v\n", xs)
+	}
+	return b.String()
+}
+
+// TestEventEngineMatchesTick runs each micro-workload on each
+// configuration variant under both engines and requires identical
+// cycle counts, final semantic state, and statistics — including the
+// idle counters SkipIdle reconstructs.
+func TestEventEngineMatchesTick(t *testing.T) {
+	for vname, cfg := range engineVariants() {
+		for _, wl := range []string{"vecinc", "chase"} {
+			t.Run(vname+"/"+wl, func(t *testing.T) {
+				tickCfg := cfg
+				tickCfg.Engine = sim.EngineTick
+				eventCfg := cfg
+				eventCfg.Engine = sim.EngineEvent
+
+				gt, ct := runEngineWorkload(t, tickCfg, wl)
+				ge, ce := runEngineWorkload(t, eventCfg, wl)
+				if ct != ce {
+					t.Fatalf("cycles: tick %d, event %d", ct, ce)
+				}
+				if a, b := deviceSignature(gt), deviceSignature(ge); a != b {
+					t.Fatalf("final state diverged:\n--- tick ---\n%s--- event ---\n%s", a, b)
+				}
+				if a, b := statsSignature(gt), statsSignature(ge); a != b {
+					t.Fatalf("statistics diverged:\n--- tick ---\n%s--- event ---\n%s", a, b)
+				}
+				if ge.Stats().SkippedCycles == 0 {
+					t.Fatalf("event engine skipped nothing on %s/%s", vname, wl)
+				}
+			})
+		}
+	}
+}
+
+// TestNextEventHorizonNeverLate is the NextEvent-contract property test:
+// under the tick engine, every simulated cycle strictly before the
+// reported horizon must be a provable no-op. A state change inside a
+// reported quiescent span means a component over-reported its horizon —
+// exactly the bug that would let the event engine skip real work.
+func TestNextEventHorizonNeverLate(t *testing.T) {
+	for vname, cfg := range engineVariants() {
+		for _, wl := range []string{"vecinc", "chase"} {
+			t.Run(vname+"/"+wl, func(t *testing.T) {
+				cfg := cfg
+				cfg.Engine = sim.EngineTick
+				g := New(cfg)
+				var k *sm.Kernel
+				switch wl {
+				case "vecinc":
+					const n = 256
+					for i := 0; i < n; i++ {
+						g.Memory.Store32(0x1000+uint64(i)*4, uint32(i))
+					}
+					k = vecIncKernel(0x1000, 0x40000, n, 64)
+				case "chase":
+					setupRing(g, 0x10000, 32, 512)
+					k = chaseKernel(0x10000, 64)
+				}
+				g.Launch(k)
+				quiet, checked := 0, 0
+				for !g.Done() {
+					now := g.Cycle()
+					h := g.NextEvent(now)
+					if h == sim.Never {
+						t.Fatalf("cycle %d: Never horizon on a non-drained device", now)
+					}
+					var sig string
+					if h > now {
+						sig = deviceSignature(g)
+					}
+					g.Step()
+					if g.Cycle() > 500_000 {
+						t.Fatal("runaway simulation")
+					}
+					if h > now {
+						quiet++
+						if got := deviceSignature(g); got != sig {
+							t.Fatalf("cycle %d changed state inside reported quiescence until %d:\n--- before ---\n%s--- after ---\n%s",
+								now, h, sig, got)
+						}
+					}
+					checked++
+				}
+				if quiet == 0 {
+					t.Fatalf("horizon never exceeded now in %d cycles (nothing would be skipped)", checked)
+				}
+			})
+		}
+	}
+}

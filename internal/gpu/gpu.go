@@ -41,7 +41,20 @@ type Config struct {
 	DataPacketBytes    uint32
 	// MaxCycles aborts runaway simulations (0 = no limit).
 	MaxCycles sim.Cycle
+	// Engine selects the top-level simulation loop: the event-driven
+	// kernel (default), which fast-forwards across provably idle spans,
+	// or the cycle-driven reference loop. The two produce identical
+	// results; see the README's "Simulation kernel" section.
+	Engine sim.Engine
 }
+
+// Every timed building block of the device honors the event-driven
+// kernel's NextEvent contract.
+var (
+	_ sim.Component = (*mempart.Partition)(nil)
+	_ sim.Component = (*icnt.Crossbar)(nil)
+	_ sim.Component = (*sm.SM)(nil)
+)
 
 func (c Config) validate() error {
 	switch {
@@ -84,6 +97,16 @@ type GPU struct {
 
 	cycle sim.Cycle
 
+	// ffWait/ffBackoff pace the event kernel's horizon probes: when the
+	// machine is streaming (every probe finds work due the very next
+	// cycle), recomputing the global horizon each cycle costs more than
+	// it saves, so failed probes back off exponentially and any
+	// successful skip resets the pace. Probing less often is purely a
+	// scheduling choice — skipped spans are no-ops either way — so this
+	// cannot affect results.
+	ffWait    int
+	ffBackoff int
+
 	// Launch state.
 	kernel    *sm.Kernel
 	nextBlock int
@@ -93,9 +116,14 @@ type GPU struct {
 
 // Stats aggregates device-level counters.
 type Stats struct {
+	// Cycles is the total simulated time, identical for both engines.
 	Cycles          uint64
 	KernelsLaunched uint64
 	BlocksDispatch  uint64
+	// SkippedCycles is the portion of Cycles the event-driven kernel
+	// fast-forwarded instead of stepping (0 under the tick engine); the
+	// skip ratio is the engine's speedup lever.
+	SkippedCycles uint64
 }
 
 // New constructs a GPU with a fresh functional memory.
@@ -330,12 +358,81 @@ func (g *GPU) Done() bool {
 	return true
 }
 
+// NextEvent returns the earliest cycle at or after now at which any
+// component of the device can act, or sim.Never when the machine is
+// fully drained. Inter-component handoffs need no terms of their own:
+// each component reports now while it holds an eligible item for a
+// neighbor, so a transfer opportunity always pins the horizon.
+func (g *GPU) NextEvent(now sim.Cycle) sim.Cycle {
+	// Component horizons are >= now by contract, so now is a floor:
+	// once any component pins it there is nothing left to learn, and
+	// the remaining scans (notably per-warp issue checks in busy SMs)
+	// can be skipped — this probe sits on the Run loop's hot path.
+	h := sim.Never
+	for _, p := range g.parts {
+		if h = min(h, p.NextEvent(now)); h <= now {
+			return h
+		}
+	}
+	if h = min(h, g.reqNet.NextEvent(now), g.replyNet.NextEvent(now)); h <= now {
+		return h
+	}
+	for _, s := range g.sms {
+		if h = min(h, s.NextEvent(now)); h <= now {
+			return h
+		}
+	}
+	return h
+}
+
+// fastForward jumps the clock to the machine's next event when every
+// component reports quiescence beyond the current cycle. The skipped
+// cycles are exactly those in which Step would have moved nothing —
+// every queue head still in traversal, every bank and bus busy, every
+// warp blocked on a timed wait — so the jump is observationally
+// identical to stepping them (SkipIdle replays the per-cycle idle
+// accounting the tick loop would have recorded). A Never horizon with a
+// cycle limit jumps straight to the limit, reproducing the tick loop's
+// runaway abort at the same cycle; without a limit it falls back to
+// stepping, again matching the tick loop.
+func (g *GPU) fastForward(start sim.Cycle) bool {
+	now := g.cycle
+	h := g.NextEvent(now)
+	if g.cfg.MaxCycles > 0 {
+		h = min(h, start+g.cfg.MaxCycles+1)
+	}
+	if h == sim.Never || h <= now {
+		return false
+	}
+	delta := h - now
+	g.cycle = h
+	g.stats.Cycles += uint64(delta)
+	g.stats.SkippedCycles += uint64(delta)
+	for _, s := range g.sms {
+		s.SkipIdle(delta)
+	}
+	return true
+}
+
 // Run advances until the kernel completes, returning the cycles elapsed
-// during the run. It returns an error if MaxCycles is exceeded.
+// during the run. It returns an error if MaxCycles is exceeded. Under
+// the default event engine the loop fast-forwards across provably idle
+// spans; results are identical to the tick engine either way.
 func (g *GPU) Run() (sim.Cycle, error) {
 	start := g.cycle
 	for !g.Done() {
 		g.Step()
+		if g.cfg.Engine == sim.EngineEvent && !g.Done() {
+			switch {
+			case g.ffWait > 0:
+				g.ffWait--
+			case g.fastForward(start):
+				g.ffBackoff, g.ffWait = 0, 0
+			default:
+				g.ffBackoff = min(2*g.ffBackoff+1, 31)
+				g.ffWait = g.ffBackoff
+			}
+		}
 		if g.cfg.MaxCycles > 0 && g.cycle-start > g.cfg.MaxCycles {
 			return g.cycle - start, fmt.Errorf("gpu %s: exceeded %d cycles without completing", g.cfg.Name, g.cfg.MaxCycles)
 		}

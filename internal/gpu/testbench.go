@@ -166,6 +166,37 @@ func (ms *MemSubsystem) partitionOf(addr uint64) int {
 	return int((addr / uint64(ms.cfg.PartitionInterleave)) % uint64(ms.cfg.NumPartitions))
 }
 
+// NextEvent mirrors GPU.NextEvent for the testbench: the earliest cycle
+// at which any component can act. Synthetic injections waiting at the
+// ports pin the horizon at now.
+func (ms *MemSubsystem) NextEvent(now sim.Cycle) sim.Cycle {
+	for _, pend := range ms.pending {
+		if len(pend) > 0 {
+			return now
+		}
+	}
+	h := sim.Never
+	for _, p := range ms.parts {
+		h = min(h, p.NextEvent(now))
+	}
+	return min(h, ms.reqNet.NextEvent(now), ms.replyNet.NextEvent(now))
+}
+
+// FastForward jumps the testbench clock to its next event, clamped to
+// limit (the caller's measurement bound), and reports whether any cycles
+// were skipped. Injection-driven measurement windows cannot skip — the
+// caller injects per cycle — so this pays off in drain phases, where the
+// testbench idles on in-flight DRAM traffic exactly like the full GPU.
+func (ms *MemSubsystem) FastForward(limit sim.Cycle) bool {
+	now := ms.cycle
+	h := min(ms.NextEvent(now), limit)
+	if h == sim.Never || h <= now {
+		return false
+	}
+	ms.cycle = h
+	return true
+}
+
 // Drained reports whether every injected request has completed.
 func (ms *MemSubsystem) Drained() bool {
 	if ms.stats.Completed < ms.stats.Injected {

@@ -10,6 +10,7 @@ package icnt
 
 import (
 	"fmt"
+	"strings"
 
 	"gpulat/internal/mem"
 	"gpulat/internal/sim"
@@ -70,7 +71,11 @@ type Stats struct {
 	Injected     uint64
 	Delivered    uint64
 	InjectStalls uint64
-	EjectBlocked uint64 // output arbitration blocked by full ejection queue
+	// EjectBlocked counts per-cycle observations of a free output with a
+	// full ejection queue. It is the one counter that may differ between
+	// the tick and event engines: the event kernel can legitimately skip
+	// cycles in which the only activity is this observation.
+	EjectBlocked uint64
 }
 
 // New constructs a crossbar; it panics on invalid configuration.
@@ -179,6 +184,57 @@ func (x *Crossbar) PeekEject(c sim.Cycle, o int) (Packet, bool) {
 // EjectFree returns the free entries at output o (backpressure probe for
 // components that must guarantee sink space before injecting).
 func (x *Crossbar) EjectFree(o int) int { return x.eject[o].Free() }
+
+// NextEvent implements the event-driven kernel's horizon contract. A
+// packet inside the traversal pipeline bounds the horizon by its
+// ejection-readiness; a packet waiting at injection bounds it by its
+// output port's busy window. A head packet blocked on a full ejection
+// queue contributes nothing extra: space can only appear when the
+// ejection head is popped externally, and that head's own readiness term
+// is always the earlier bound.
+func (x *Crossbar) NextEvent(now sim.Cycle) sim.Cycle {
+	h := sim.Never
+	for _, q := range x.eject {
+		if q.Len() > 0 {
+			h = min(h, max(now, q.NextReady()))
+		}
+	}
+	for _, q := range x.inject {
+		if q.Len() == 0 {
+			continue
+		}
+		pkt, ok := q.Peek(now)
+		if !ok {
+			// Unreachable with zero-latency injection queues, but stay
+			// conservative if that ever changes.
+			h = min(h, max(now, q.NextReady()))
+			continue
+		}
+		if x.eject[pkt.Dst].CanPush() {
+			h = min(h, max(now, x.outBusy[pkt.Dst]))
+		}
+	}
+	return h
+}
+
+// DebugState renders the crossbar's full semantic state — per-port
+// occupancy and readiness, output busy windows, arbitration pointers —
+// for the engine-equivalence audit.
+func (x *Crossbar) DebugState() string {
+	var b strings.Builder
+	for i, q := range x.inject {
+		if q.Len() > 0 {
+			fmt.Fprintf(&b, "i%d=%d@%d ", i, q.Len(), q.NextReady())
+		}
+	}
+	for o, q := range x.eject {
+		if q.Len() > 0 {
+			fmt.Fprintf(&b, "e%d=%d@%d ", o, q.Len(), q.NextReady())
+		}
+	}
+	fmt.Fprintf(&b, "busy=%v rr=%v", x.outBusy, x.rr)
+	return b.String()
+}
 
 // Pending returns the total number of packets buffered anywhere in the
 // network (drain check).

@@ -340,14 +340,68 @@ func (p *Partition) moveROPToL2Q(c sim.Cycle) {
 	}
 }
 
-// Drained reports whether no request remains anywhere in the partition.
-func (p *Partition) Drained() bool {
+// NextEvent implements the event-driven kernel's horizon contract. The
+// partition can act when DRAM retires or schedules work, or when the
+// ROP/L2 queue heads finish their traversal latency. Anything already
+// eligible — a visible queue head, a buffered hit/return, a deferred
+// writeback — pins the horizon at now, because its progress depends on
+// state outside this component (DRAM slots, the reply network) that
+// NextEvent must not speculate about. L2 MSHR occupancy needs no term
+// of its own: an outstanding fetch is always physically present in the
+// DRAM queue or in flight, which the DRAM horizon covers.
+func (p *Partition) NextEvent(now sim.Cycle) sim.Cycle {
+	if p.pendingWB != nil || p.hit.Len() > 0 || p.ret.Len() > 0 {
+		return now
+	}
+	if p.rop.Len() > 0 && !p.l2q.CanPush() {
+		// ROP backed up behind a full L2 queue: the tick loop records a
+		// stall observation on every such cycle, so stay stepped to keep
+		// the queue counters engine-identical (EjectBlocked in the
+		// crossbar remains the single documented exception).
+		return now
+	}
+	h := p.dram.NextEvent(now)
+	if p.rop.Len() > 0 {
+		h = min(h, max(now, p.rop.NextReady()))
+	}
+	if p.l2q.Len() > 0 {
+		h = min(h, max(now, p.l2q.NextReady()))
+	}
+	return h
+}
+
+// Pending returns the number of requests buffered anywhere in the
+// partition, including L2 misses outstanding at the MSHRs (the Drained
+// check builds on it).
+func (p *Partition) Pending() int {
 	mshrs := 0
 	if p.l2 != nil {
 		mshrs = p.l2.MSHRsInUse()
 	}
-	return p.rop.Len() == 0 && p.l2q.Len() == 0 && p.hit.Len() == 0 &&
-		p.ret.Len() == 0 && p.pendingWB == nil &&
-		p.dram.QueueLen() == 0 && p.dram.InflightLen() == 0 &&
-		mshrs == 0
+	n := p.rop.Len() + p.l2q.Len() + p.hit.Len() + p.ret.Len() +
+		p.dram.QueueLen() + p.dram.InflightLen() + mshrs
+	if p.pendingWB != nil {
+		n++
+	}
+	return n
 }
+
+// DebugState renders the partition's buffer occupancy and readiness for
+// the engine-equivalence audit (the DRAM channel and L2 slice expose
+// their own state).
+func (p *Partition) DebugState() string {
+	wb := uint64(0)
+	if p.pendingWB != nil {
+		wb = 1
+	}
+	mshrs := 0
+	if p.l2 != nil {
+		mshrs = p.l2.MSHRsInUse()
+	}
+	return fmt.Sprintf("rop=%d@%d l2q=%d@%d hit=%d ret=%d wb=%d mshr=%d",
+		p.rop.Len(), p.rop.NextReady(), p.l2q.Len(), p.l2q.NextReady(),
+		p.hit.Len(), p.ret.Len(), wb, mshrs)
+}
+
+// Drained reports whether no request remains anywhere in the partition.
+func (p *Partition) Drained() bool { return p.Pending() == 0 }

@@ -116,7 +116,16 @@ func resolveConfig(job Job) (gpu.Config, error) {
 	if err != nil {
 		return cfg, err
 	}
-	return job.Options.Overrides.Apply(cfg)
+	cfg, err = job.Options.Overrides.Apply(cfg)
+	if err != nil {
+		return cfg, err
+	}
+	// An empty Engine inherits the config's setting (a file:<path>
+	// config may pin one); a named engine overrides it.
+	if job.Engine != "" {
+		cfg.Engine, err = sim.ParseEngine(job.Engine)
+	}
+	return cfg, err
 }
 
 // RunWorkload executes job's workload with instrumentation (the

@@ -48,6 +48,12 @@ type Job struct {
 	// deterministically from the grid's BaseSeed and the job index, so
 	// parallel and serial runs produce identical results.
 	Seed uint64 `json:"seed"`
+	// Engine selects the simulation loop ("tick" or "event"; empty =
+	// the default event engine). It is execution machinery rather than
+	// an experiment parameter — it must never change results, which the
+	// CI engine-determinism gate enforces — so it is excluded from
+	// exports and job identity.
+	Engine string `json:"-"`
 }
 
 // Name returns a stable human-readable job identifier.

@@ -1,11 +1,25 @@
 package sim
 
 // Calendar delivers items at arbitrary future cycles, unlike Pipeline
-// whose depth is constant. Insertion keeps items sorted by readiness, so
-// Ready pops an ordered prefix. Ties preserve insertion order.
+// whose depth is constant. It is backed by a stable binary min-heap
+// keyed on (readyAt, insertion sequence): Schedule is O(log n) — the
+// insertion sort it replaces was O(n) per call — and ties still emerge
+// in insertion order. Calendar is the event-driven kernel's hot path
+// (every SM retire event flows through one), so Ready reuses an internal
+// buffer instead of allocating per call.
 type Calendar[T any] struct {
-	name  string
-	items []queueEntry[T]
+	name string
+	heap []calEntry[T]
+	seq  uint64
+	// ready is the reusable delivery buffer; its contents are valid
+	// until the next Ready call.
+	ready []T
+}
+
+type calEntry[T any] struct {
+	item    T
+	readyAt Cycle
+	seq     uint64
 }
 
 // NewCalendar returns an empty calendar.
@@ -18,32 +32,79 @@ func (cl *Calendar[T]) Name() string { return cl.name }
 
 // Schedule inserts an item that becomes ready at cycle at.
 func (cl *Calendar[T]) Schedule(at Cycle, item T) {
-	pos := len(cl.items)
-	for pos > 0 && cl.items[pos-1].readyAt > at {
-		pos--
-	}
-	cl.items = append(cl.items, queueEntry[T]{})
-	copy(cl.items[pos+1:], cl.items[pos:])
-	cl.items[pos] = queueEntry[T]{item: item, readyAt: at}
+	cl.seq++
+	cl.heap = append(cl.heap, calEntry[T]{item: item, readyAt: at, seq: cl.seq})
+	cl.up(len(cl.heap) - 1)
 }
 
-// Ready removes and returns all items ready by cycle c.
+// Ready removes and returns all items ready by cycle c, ordered by
+// readiness then insertion. The returned slice aliases an internal
+// buffer: it is valid until the next Ready call and must not be
+// retained across calls.
 func (cl *Calendar[T]) Ready(c Cycle) []T {
-	n := 0
-	for n < len(cl.items) && cl.items[n].readyAt <= c {
-		n++
-	}
-	if n == 0 {
+	if len(cl.heap) == 0 || cl.heap[0].readyAt > c {
 		return nil
 	}
-	out := make([]T, n)
-	for i := 0; i < n; i++ {
-		out[i] = cl.items[i].item
+	cl.ready = cl.ready[:0]
+	for len(cl.heap) > 0 && cl.heap[0].readyAt <= c {
+		cl.ready = append(cl.ready, cl.heap[0].item)
+		cl.pop()
 	}
-	copy(cl.items, cl.items[n:])
-	cl.items = cl.items[:len(cl.items)-n]
-	return out
+	return cl.ready
+}
+
+// NextReady returns the cycle at which the earliest scheduled item
+// becomes ready, or Never when the calendar is empty (the event-driven
+// kernel's horizon hook).
+func (cl *Calendar[T]) NextReady() Cycle {
+	if len(cl.heap) == 0 {
+		return Never
+	}
+	return cl.heap[0].readyAt
 }
 
 // Len returns the number of scheduled items.
-func (cl *Calendar[T]) Len() int { return len(cl.items) }
+func (cl *Calendar[T]) Len() int { return len(cl.heap) }
+
+func (cl *Calendar[T]) less(i, j int) bool {
+	a, b := &cl.heap[i], &cl.heap[j]
+	if a.readyAt != b.readyAt {
+		return a.readyAt < b.readyAt
+	}
+	return a.seq < b.seq
+}
+
+func (cl *Calendar[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !cl.less(i, parent) {
+			return
+		}
+		cl.heap[i], cl.heap[parent] = cl.heap[parent], cl.heap[i]
+		i = parent
+	}
+}
+
+func (cl *Calendar[T]) pop() {
+	last := len(cl.heap) - 1
+	cl.heap[0] = cl.heap[last]
+	cl.heap[last] = calEntry[T]{} // release the item for GC
+	cl.heap = cl.heap[:last]
+	// Sift down.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(cl.heap) && cl.less(l, smallest) {
+			smallest = l
+		}
+		if r < len(cl.heap) && cl.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		cl.heap[i], cl.heap[smallest] = cl.heap[smallest], cl.heap[i]
+		i = smallest
+	}
+}

@@ -59,3 +59,13 @@ func (p *Pipeline[T]) PopReady(c Cycle) (T, bool) {
 
 // Len returns the number of in-flight items.
 func (p *Pipeline[T]) Len() int { return len(p.items) }
+
+// NextReady returns the cycle at which the oldest in-flight item
+// completes, or Never when the pipeline is empty (the event-driven
+// kernel's horizon hook).
+func (p *Pipeline[T]) NextReady() Cycle {
+	if len(p.items) == 0 {
+		return Never
+	}
+	return p.items[0].readyAt
+}

@@ -89,6 +89,17 @@ func (q *Queue[T]) Pop(c Cycle) (T, bool) {
 // Len returns the number of entries currently buffered (visible or not).
 func (q *Queue[T]) Len() int { return len(q.items) }
 
+// NextReady returns the cycle at which the oldest entry becomes visible
+// to Peek/Pop, or Never when the queue is empty. Entries are pushed at
+// non-decreasing cycles with a constant latency, so the head is always
+// the earliest (the event-driven kernel's horizon hook).
+func (q *Queue[T]) NextReady() Cycle {
+	if len(q.items) == 0 {
+		return Never
+	}
+	return q.items[0].readyAt
+}
+
 // Free returns the number of entries that can still be pushed.
 func (q *Queue[T]) Free() int { return q.cap - len(q.items) }
 

@@ -27,8 +27,18 @@ func (s *SM) issue(c sim.Cycle) {
 
 // canIssue reports whether warp slot ws can issue its next instruction.
 func (s *SM) canIssue(c sim.Cycle, ws int) bool {
+	return s.blockedTo[ws] <= c && s.issuableIgnoringDelay(ws)
+}
+
+// issuableIgnoringDelay reports whether warp slot ws could issue its
+// next instruction if its branch-delay window were already clear:
+// residency, scoreboard, and structural conditions only. Between state
+// changes these conditions are time-independent, which is what lets
+// NextEvent turn them into an exact issue horizon (blockedTo is the only
+// time-varying input to canIssue).
+func (s *SM) issuableIgnoringDelay(ws int) bool {
 	w := s.warps[ws]
-	if w == nil || w.Done() || w.AtBarrier || s.blockedTo[ws] > c {
+	if w == nil || w.Done() || w.AtBarrier {
 		return false
 	}
 	prog := s.blocks[w.BlockSlot].kernel.Program

@@ -10,6 +10,7 @@ package sm
 
 import (
 	"fmt"
+	"strings"
 
 	"gpulat/internal/cache"
 	"gpulat/internal/isa"
@@ -342,16 +343,87 @@ func (s *SM) ActiveBlocks() int {
 // Busy reports whether any warp is resident or any memory transaction is
 // outstanding.
 func (s *SM) Busy() bool {
-	if s.ActiveBlocks() > 0 || len(s.outstanding) > 0 {
-		return true
-	}
-	return s.ldstQ.Len() > 0 || s.missQ.Len() > 0 || s.respQ.Len() > 0 ||
-		s.exec.Len() > 0 || s.retire.Len() > 0
+	return s.ActiveBlocks() > 0 || s.Pending() > 0
 }
 
 // HasResidentWarps reports whether any warp is resident (exposure
 // accounting denominator).
 func (s *SM) HasResidentWarps() bool { return s.ActiveBlocks() > 0 }
+
+// Pending returns the number of memory transactions and timed events
+// buffered anywhere in the SM (the Busy drain check builds on it).
+func (s *SM) Pending() int {
+	return s.ldstQ.Len() + s.missQ.Len() + s.respQ.Len() +
+		s.exec.Len() + s.retire.Len() + len(s.outstanding)
+}
+
+// NextEvent implements the event-driven kernel's horizon contract. The
+// SM can act when an execution-pipe writeback, a retire event, or the
+// LDST queue head comes due, or when a warp's branch-delay window ends
+// while it is otherwise ready to issue. Buffered handoffs whose progress
+// depends on components outside the SM — responses to process, misses
+// awaiting network injection — pin the horizon at now. Warps blocked on
+// the scoreboard need no term of their own: every release path (exec
+// drain, retire, LDST completion) is already covered by the timed terms.
+func (s *SM) NextEvent(now sim.Cycle) sim.Cycle {
+	if !s.Busy() {
+		return sim.Never
+	}
+	if s.respQ.Len() > 0 || s.missQ.Len() > 0 {
+		return now
+	}
+	h := sim.Never
+	if s.exec.Len() > 0 {
+		h = min(h, max(now, s.exec.NextReady()))
+	}
+	if s.retire.Len() > 0 {
+		h = min(h, max(now, s.retire.NextReady()))
+	}
+	if s.ldstQ.Len() > 0 {
+		h = min(h, max(now, s.ldstQ.NextReady()))
+	}
+	for ws := range s.warps {
+		if s.issuableIgnoringDelay(ws) {
+			h = min(h, max(now, s.blockedTo[ws]))
+		}
+	}
+	return h
+}
+
+// DebugState renders the SM's full semantic state — warps, scoreboard,
+// delay windows, buffer occupancy — for the engine-equivalence audit.
+func (s *SM) DebugState() string {
+	var b strings.Builder
+	for ws, w := range s.warps {
+		if w == nil {
+			continue
+		}
+		fmt.Fprintf(&b, "w%d={pc=%d m=%#x d=%v b=%v sb=%#x/%#x to=%d} ",
+			ws, w.PC(), w.ActiveMask(), w.Done(), w.AtBarrier,
+			s.sbRegs[ws], s.sbPreds[ws], s.blockedTo[ws])
+	}
+	fmt.Fprintf(&b, "ldst=%d@%d miss=%d resp=%d exec=%d@%d ret=%d@%d out=%d sched=%d/%d",
+		s.ldstQ.Len(), s.ldstQ.NextReady(), s.missQ.Len(), s.respQ.Len(),
+		s.exec.Len(), s.exec.NextReady(), s.retire.Len(), s.retire.NextReady(),
+		len(s.outstanding), s.lastSched, s.greedyWarp)
+	return b.String()
+}
+
+// SkipIdle accounts for delta cycles the event-driven kernel
+// fast-forwarded while this SM was busy (work in flight) but provably
+// unable to issue or retire anything. The cycle-driven loop would have
+// ticked those cycles and recorded only idle observations — a cycle
+// count and, when warps are resident, empty issue slots; replaying those
+// counters keeps both engines' statistics identical.
+func (s *SM) SkipIdle(delta sim.Cycle) {
+	if delta == 0 || !s.Busy() {
+		return
+	}
+	s.stats.Cycles += uint64(delta)
+	if s.ActiveBlocks() > 0 {
+		s.stats.IssueStallEmpty += uint64(delta) * uint64(s.cfg.IssueWidth)
+	}
+}
 
 // IssuedThisCycle returns the instructions issued in the current cycle
 // (valid after Tick).
