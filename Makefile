@@ -4,7 +4,7 @@
 GO      ?= go
 JOBS    ?= 0   # 0 = GOMAXPROCS
 
-.PHONY: all build test vet fmt bench bench-baseline repro repro-quick determinism engine-determinism clean
+.PHONY: all build test vet fmt bench bench-baseline repro repro-quick determinism engine-determinism corun-determinism clean
 
 all: build vet fmt test
 
@@ -67,8 +67,24 @@ engine-determinism:
 	cmp /tmp/gpulat-tick.json /tmp/gpulat-event.json
 	@echo "engine-determinism: tick and event engines byte-identical"
 
+# Proves the stream dispatcher's contract on a quick co-run sweep: the
+# export is byte-identical across worker counts AND across engines (the
+# multi-stream horizons of the event kernel must merge exactly).
+corun-determinism:
+	$(GO) build -o /tmp/gpulat-ci ./cmd/gpulat
+	/tmp/gpulat-ci corun -quick -quiet -j 1 -engine=tick  -csv > /tmp/gpulat-corun-t1.csv
+	/tmp/gpulat-ci corun -quick -quiet -j 8 -engine=tick  -csv > /tmp/gpulat-corun-t8.csv
+	/tmp/gpulat-ci corun -quick -quiet -j 1 -engine=event -csv > /tmp/gpulat-corun-e1.csv
+	/tmp/gpulat-ci corun -quick -quiet -j 8 -engine=event -csv > /tmp/gpulat-corun-e8.csv
+	cmp /tmp/gpulat-corun-t1.csv /tmp/gpulat-corun-t8.csv
+	cmp /tmp/gpulat-corun-e1.csv /tmp/gpulat-corun-e8.csv
+	cmp /tmp/gpulat-corun-t1.csv /tmp/gpulat-corun-e1.csv
+	@echo "corun-determinism: -j 1/-j 8 and tick/event byte-identical"
+
 clean:
 	$(GO) clean
 	rm -f /tmp/gpulat-ci /tmp/gpulat-j1.csv /tmp/gpulat-j8.csv \
 		/tmp/gpulat-tick.csv /tmp/gpulat-event.csv \
-		/tmp/gpulat-tick.json /tmp/gpulat-event.json
+		/tmp/gpulat-tick.json /tmp/gpulat-event.json \
+		/tmp/gpulat-corun-t1.csv /tmp/gpulat-corun-t8.csv \
+		/tmp/gpulat-corun-e1.csv /tmp/gpulat-corun-e8.csv

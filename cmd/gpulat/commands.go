@@ -9,6 +9,7 @@ import (
 	"gpulat/internal/core"
 	"gpulat/internal/kernels"
 	"gpulat/internal/runner"
+	"gpulat/internal/sched"
 	"gpulat/internal/stats"
 )
 
@@ -506,5 +507,10 @@ func cmdList(args []string) error {
 		fmt.Printf("  %-7s %2d SMs, %d partitions\n", a, cfg.NumSMs, cfg.NumPartitions)
 	}
 	fmt.Println("workloads: bfs (dynamic analysis),", strings.Join(kernels.CatalogNames(), ", "))
+	fmt.Println("engines: event (default; fast-forwards idle cycles), tick (cycle-by-cycle reference)")
+	fmt.Println("warp schedulers: LRR (default), GTO")
+	fmt.Println("DRAM schedulers: FR-FCFS (default), FR-FCFS-cap, FCFS")
+	fmt.Println("block placement: " + strings.Join(sched.PlacementNames(), ", ") +
+		" (corun streams; shared is the default)")
 	return nil
 }

@@ -13,6 +13,7 @@
 //	gpulat ablate-mshr   [-kernel K] [-j N]    L1 MSHR sweep
 //	gpulat ablate-occupancy [-j N]             latency hiding vs warps/SM
 //	gpulat load-curve    [-j N]                latency vs offered load
+//	gpulat corun   [-pairs a:b,..] [-placements p,..] [-j N]   interference
 //	gpulat bench-suite   [-j N] [-quick] [-json] [-csv]  full paper grid
 //	gpulat simrun  [-arch A] [-kernel K] [-v]  stats dump
 //	gpulat export  [-arch A] [-kernel K]       per-load records CSV
@@ -96,6 +97,7 @@ func commands() map[string]func([]string) error {
 		"ablate-occupancy": cmdAblateOccupancy,
 		"load-curve":       cmdLoadCurve,
 		"loadcurve":        cmdLoadCurve, // pre-runner spelling
+		"corun":            cmdCoRun,
 		"bench-suite":      cmdBenchSuite,
 		"bench-kernel":     cmdBenchKernel,
 		"simrun":           cmdSimRun,
@@ -118,6 +120,7 @@ commands:
   ablate-mshr   L1 MSHR capacity ablation
   ablate-occupancy  latency hiding vs resident warps per SM
   load-curve    memory-system latency vs offered load (idle → saturated)
+  corun         concurrent-kernel interference: workload pairs × placement policies
   bench-suite   the whole paper-reproduction grid, in parallel
   bench-kernel  simulator throughput: tick vs event engine, per workload
   simrun        run a workload and dump device statistics

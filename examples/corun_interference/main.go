@@ -1,0 +1,69 @@
+// Co-run interference studies the paper's latency-exposure analysis
+// under concurrent kernels: a latency-bound workload (gather: random,
+// uncoalesced loads) shares the device with a bandwidth-bound stream
+// (copy), first on shared SMs and then spatially partitioned. The
+// exposure metric answers the paper's question — can the latency be
+// hidden by other resident work? — per kernel: under shared placement
+// the copy warps' issue slots hide part of the gather's waits, while
+// spatial placement isolates the SMs so each kernel only has its own
+// warps to hide behind (and the pair still contends in the memory
+// system). The single-thread pointer chase makes the extreme case:
+// nothing of its dependent-load chain can be hidden by its own stream,
+// so a co-resident kernel on its SM is the only source of hiding.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"gpulat"
+)
+
+func run(pairName [2]string, placement gpulat.Placement) *gpulat.CoRunResult {
+	cfg, err := gpulat.Preset("GF100")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.Placement = placement
+	// Fresh pair per run: Setup/Verify closures carry state.
+	pair, err := gpulat.NewCoRun(pairName[0], pairName[1], gpulat.ScaleExperiment, 7, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "running %s under %s placement...\n", pair.Name, placement)
+	res, err := gpulat.RunCoRun(cfg, pair, 24)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+func main() {
+	fmt.Println("Concurrent-kernel interference on GF100 — latency-bound × bandwidth-bound")
+	fmt.Println()
+	fmt.Printf("%-14s  %-9s  %9s  %22s  %22s\n", "", "", "", "A (latency-bound)", "B (bandwidth-bound)")
+	fmt.Printf("%-14s  %-9s  %9s  %10s  %10s  %10s  %10s\n",
+		"pair", "placement", "cycles", "resident", "exposed%", "resident", "exposed%")
+	fmt.Printf("%-14s  %-9s  %9s  %10s  %10s  %10s  %10s\n",
+		"----", "---------", "------", "--------", "--------", "--------", "--------")
+
+	for _, pairName := range [][2]string{{"gather", "copy"}, {"pchase", "copy"}} {
+		for _, placement := range []gpulat.Placement{gpulat.PlacementShared, gpulat.PlacementSpatial} {
+			res := run(pairName, placement)
+			a, b := res.Kernels[0], res.Kernels[1]
+			fmt.Printf("%-14s  %-9s  %9d  %10d  %9.1f%%  %10d  %9.1f%%\n",
+				res.Pair, res.Placement, uint64(res.Cycles),
+				uint64(a.CyclesResident), a.ExposedPct,
+				uint64(b.CyclesResident), b.ExposedPct)
+		}
+	}
+
+	fmt.Println()
+	fmt.Println("Shared placement spreads both grids over all SMs: the bandwidth kernel's")
+	fmt.Println("warps fill the latency kernel's empty issue slots (lower exposed%), but")
+	fmt.Println("the two also contend for L1 and LDST throughput. Spatial placement gives")
+	fmt.Println("each stream its own SM slice: exposure rises back toward the solo level")
+	fmt.Println("and the latency-bound side runs longer on fewer SMs, while contention")
+	fmt.Println("moves entirely into the shared interconnect, L2 and DRAM.")
+}

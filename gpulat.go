@@ -9,6 +9,7 @@ import (
 	"gpulat/internal/gpu"
 	"gpulat/internal/kernels"
 	"gpulat/internal/runner"
+	"gpulat/internal/sched"
 	"gpulat/internal/sim"
 )
 
@@ -75,7 +76,45 @@ const (
 	KindChase     = runner.KindChase
 	KindLoaded    = runner.KindLoaded
 	KindOccupancy = runner.KindOccupancy
+	KindCoRun     = runner.KindCoRun
 )
+
+// Streams and concurrent kernels.
+type (
+	// Placement selects the block dispatcher's policy for co-resident
+	// streams on a Config.
+	Placement = sched.Placement
+	// KernelLaunch is one launched kernel's live dispatch state
+	// (returned by GPU.Enqueue).
+	KernelLaunch = sched.KernelState
+	// CoRunPair couples two catalog workloads with disjoint memory for
+	// concurrent execution.
+	CoRunPair = kernels.CoRunPair
+	// CoRunResult is a concurrent-kernel interference run with
+	// per-kernel latency-exposure attribution.
+	CoRunResult = core.CoRunResult
+	// CoKernelResult is one kernel's share of a co-run.
+	CoKernelResult = core.CoKernelResult
+)
+
+// The block placement policies for concurrent kernels: shared
+// breadth-first interleaving (default) and spatial SM partitioning.
+const (
+	PlacementShared  = sched.PlacementShared
+	PlacementSpatial = sched.PlacementSpatial
+)
+
+// NewCoRun builds a co-run pair from two catalog workload names; the
+// second workload's data regions are rebased so the pair never overlaps.
+func NewCoRun(nameA, nameB string, scale Scale, seedA, seedB uint64) (*CoRunPair, error) {
+	return kernels.CoRun(nameA, nameB, scale, seedA, seedB)
+}
+
+// RunCoRun co-schedules a pair on independent streams under
+// cfg.Placement and reports per-kernel residency, latency, and exposure.
+func RunCoRun(cfg Config, pair *CoRunPair, buckets int) (*CoRunResult, error) {
+	return core.RunCoRun(cfg, pair, buckets)
+}
 
 // Engine selects the top-level simulation loop on a Config.
 type Engine = sim.Engine

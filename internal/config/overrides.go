@@ -6,6 +6,7 @@ import (
 
 	"gpulat/internal/dram"
 	"gpulat/internal/gpu"
+	"gpulat/internal/sched"
 	"gpulat/internal/sm"
 )
 
@@ -23,6 +24,9 @@ type Overrides struct {
 	// MaxWarps caps resident warps per SM (the occupancy ablation). The
 	// block-slot count shrinks proportionally, matching OccupancySweep.
 	MaxWarps int `json:"max_warps,omitempty"`
+	// Placement selects the concurrent-kernel block placement policy
+	// ("shared" or "spatial"; the co-run interference sweeps ablate it).
+	Placement string `json:"placement,omitempty"`
 }
 
 // IsZero reports whether the overrides leave the preset untouched.
@@ -59,7 +63,20 @@ func (o Overrides) Apply(cfg gpu.Config) (gpu.Config, error) {
 			cfg.SM.MaxBlocks = blocks
 		}
 	}
+	if o.Placement != "" {
+		p, err := ParsePlacement(o.Placement)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Placement = p
+	}
 	return cfg, nil
+}
+
+// ParsePlacement resolves a block placement-policy name ("shared" or
+// "spatial"; empty selects the default shared policy).
+func ParsePlacement(name string) (sched.Placement, error) {
+	return sched.ParsePlacement(name)
 }
 
 // ParseWarpSched resolves a warp scheduler policy name.

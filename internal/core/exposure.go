@@ -47,12 +47,32 @@ type ExposureReport struct {
 // that cycle, exposed otherwise — the operational form of the paper's
 // "cannot be hidden through the execution of other independent work".
 func (t *Tracker) Exposure(workload, arch string, numBuckets int) *ExposureReport {
+	return t.ExposureWhere(workload, arch, numBuckets, nil)
+}
+
+// ExposureWhere is Exposure restricted to the loads keep accepts (nil
+// keeps every load). Under concurrent kernels it attributes exposure
+// per kernel: filter by LoadRecord.Kernel and the report covers only
+// that kernel's loads, while the hidden/exposed classification still
+// sees every co-resident kernel's issue activity — a load counts as
+// hidden when ANY resident work covered the wait, which is exactly the
+// interference question the co-run experiments ask.
+func (t *Tracker) ExposureWhere(workload, arch string, numBuckets int, keep func(*LoadRecord) bool) *ExposureReport {
 	rep := &ExposureReport{Workload: workload, Arch: arch}
-	if len(t.records) == 0 || numBuckets <= 0 {
+	records := t.records
+	if keep != nil {
+		records = nil
+		for i := range t.records {
+			if keep(&t.records[i]) {
+				records = append(records, t.records[i])
+			}
+		}
+	}
+	if len(records) == 0 || numBuckets <= 0 {
 		return rep
 	}
-	lo, hi := t.records[0].InstTotal, t.records[0].InstTotal
-	for _, r := range t.records {
+	lo, hi := records[0].InstTotal, records[0].InstTotal
+	for _, r := range records {
 		if r.InstTotal < lo {
 			lo = r.InstTotal
 		}
@@ -69,7 +89,7 @@ func (t *Tracker) Exposure(workload, arch string, numBuckets int) *ExposureRepor
 		rep.Buckets[i].Lo = lo + sim.Cycle(i)*width
 		rep.Buckets[i].Hi = lo + sim.Cycle(i+1)*width
 	}
-	for _, r := range t.records {
+	for _, r := range records {
 		exposed := t.exposedCycles(r.SM, r.IssueAt, r.ReturnAt)
 		hidden := r.InstTotal - exposed
 		idx := int((r.InstTotal - lo) / width)

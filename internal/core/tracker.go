@@ -10,9 +10,13 @@ import (
 // LoadRecord is one completed tracked load, reduced to what the analysis
 // needs (the full request is not retained).
 type LoadRecord struct {
-	SM    int
-	Warp  int
-	Space mem.Space
+	SM   int
+	Warp int
+	// Kernel is the device-wide launch sequence number of the issuing
+	// kernel (0 in single-kernel runs) — the key for per-kernel latency
+	// and exposure attribution when streams co-run.
+	Kernel int
+	Space  mem.Space
 	// IssueAt is instruction issue; CreatedAt is transaction creation
 	// in the LDST unit; ReturnAt is register writeback.
 	IssueAt   sim.Cycle
@@ -63,6 +67,7 @@ func (t *Tracker) RequestDone(c sim.Cycle, r *mem.Request) {
 	t.records = append(t.records, LoadRecord{
 		SM:        r.SM,
 		Warp:      r.Warp,
+		Kernel:    r.Kernel,
 		Space:     r.Space,
 		IssueAt:   issue,
 		CreatedAt: created,

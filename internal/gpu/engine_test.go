@@ -8,6 +8,7 @@ import (
 	"gpulat/internal/dram"
 	"gpulat/internal/icnt"
 	"gpulat/internal/isa"
+	"gpulat/internal/sched"
 	"gpulat/internal/sim"
 	"gpulat/internal/sm"
 )
@@ -109,7 +110,7 @@ func deviceSignature(g *GPU) string {
 	var b strings.Builder
 	gs := g.Stats()
 	gs.Cycles, gs.SkippedCycles = 0, 0
-	fmt.Fprintf(&b, "gpu:%+v next:%d\n", gs, g.nextBlock)
+	fmt.Fprintf(&b, "gpu:%+v disp:%s\n", gs, g.disp.DebugState())
 	for _, s := range g.sms {
 		ss := s.Stats()
 		ss.Cycles, ss.IssueStallEmpty = 0, 0
@@ -193,6 +194,60 @@ func TestEventEngineMatchesTick(t *testing.T) {
 	}
 }
 
+// runCoRunWorkload co-runs a latency-bound chase and a bandwidth-bound
+// vecinc on independent streams (disjoint data) under the given engine
+// and placement.
+func runCoRunWorkload(t *testing.T, cfg Config) (*GPU, sim.Cycle) {
+	t.Helper()
+	g := New(cfg)
+	const n = 256
+	for i := 0; i < n; i++ {
+		g.Memory.Store32(0x40000+uint64(i)*4, uint32(i))
+	}
+	setupRing(g, 0x10000, 32, 512)
+	if _, err := g.Enqueue("lat", chaseKernel(0x10000, 96)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Enqueue("bw", vecIncKernel(0x40000, 0x60000, n, 64)); err != nil {
+		t.Fatal(err)
+	}
+	cycles, err := g.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, cycles
+}
+
+// TestEventEngineMatchesTickCoRun extends the engine-equivalence check
+// to concurrent kernels: multi-stream horizons must merge exactly, under
+// both placement policies.
+func TestEventEngineMatchesTickCoRun(t *testing.T) {
+	for _, placement := range []sched.Placement{sched.PlacementShared, sched.PlacementSpatial} {
+		t.Run(placement.String(), func(t *testing.T) {
+			tickCfg := tinyConfig()
+			tickCfg.Engine = sim.EngineTick
+			tickCfg.Placement = placement
+			eventCfg := tickCfg
+			eventCfg.Engine = sim.EngineEvent
+
+			gt, ct := runCoRunWorkload(t, tickCfg)
+			ge, ce := runCoRunWorkload(t, eventCfg)
+			if ct != ce {
+				t.Fatalf("cycles: tick %d, event %d", ct, ce)
+			}
+			if a, b := deviceSignature(gt), deviceSignature(ge); a != b {
+				t.Fatalf("final state diverged:\n--- tick ---\n%s--- event ---\n%s", a, b)
+			}
+			if a, b := statsSignature(gt), statsSignature(ge); a != b {
+				t.Fatalf("statistics diverged:\n--- tick ---\n%s--- event ---\n%s", a, b)
+			}
+			if ge.Stats().SkippedCycles == 0 {
+				t.Fatal("event engine skipped nothing on the co-run")
+			}
+		})
+	}
+}
+
 // TestNextEventHorizonNeverLate is the NextEvent-contract property test:
 // under the tick engine, every simulated cycle strictly before the
 // reported horizon must be a provable no-op. A state change inside a
@@ -217,7 +272,9 @@ func TestNextEventHorizonNeverLate(t *testing.T) {
 					setupRing(g, 0x10000, 32, 512)
 					k = chaseKernel(0x10000, 64)
 				}
-				g.Launch(k)
+				if err := g.Launch(k); err != nil {
+					t.Fatal(err)
+				}
 				quiet, checked := 0, 0
 				for !g.Done() {
 					now := g.Cycle()

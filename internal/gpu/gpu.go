@@ -12,6 +12,7 @@ import (
 	"gpulat/internal/icnt"
 	"gpulat/internal/mem"
 	"gpulat/internal/mempart"
+	"gpulat/internal/sched"
 	"gpulat/internal/sim"
 	"gpulat/internal/sm"
 )
@@ -46,6 +47,10 @@ type Config struct {
 	// or the cycle-driven reference loop. The two produce identical
 	// results; see the README's "Simulation kernel" section.
 	Engine sim.Engine
+	// Placement selects the block dispatcher's placement policy for
+	// co-resident streams: shared breadth-first (default) or spatial
+	// SM partitioning. Single-stream runs behave identically under both.
+	Placement sched.Placement
 }
 
 // Every timed building block of the device honors the event-driven
@@ -107,9 +112,10 @@ type GPU struct {
 	ffWait    int
 	ffBackoff int
 
-	// Launch state.
-	kernel    *sm.Kernel
-	nextBlock int
+	// disp is the stream/dispatch subsystem: named streams of queued
+	// kernels and the block placement engine (replaces the old single-
+	// kernel launch state).
+	disp *sched.Dispatcher
 
 	stats Stats
 }
@@ -175,6 +181,10 @@ func NewWithObservers(cfg Config, obs mem.Observer, issueObs IssueObserver) *GPU
 		pc.DRAM.Name = fmt.Sprintf("%s.part%d.dram", cfg.Name, i)
 		g.parts = append(g.parts, mempart.New(pc))
 	}
+	g.disp = sched.NewDispatcher(g.sms, cfg.Placement)
+	for _, s := range g.sms {
+		s.SetBlockRetireObserver(g.disp.NoteBlockRetired)
+	}
 	return g
 }
 
@@ -189,8 +199,19 @@ func (g *GPU) Config() Config { return g.cfg }
 // Cycle returns the current simulation cycle.
 func (g *GPU) Cycle() sim.Cycle { return g.cycle }
 
-// Stats returns device counters.
-func (g *GPU) Stats() Stats { return g.stats }
+// Stats returns device counters. The launch and dispatch totals come
+// from the stream dispatcher and always equal the sum of its per-kernel
+// stats.
+func (g *GPU) Stats() Stats {
+	st := g.stats
+	st.KernelsLaunched = uint64(g.disp.KernelsLaunched())
+	st.BlocksDispatch = uint64(g.disp.BlocksDispatched())
+	return st
+}
+
+// Dispatcher exposes the stream/dispatch subsystem (per-kernel stats,
+// stream state).
+func (g *GPU) Dispatcher() *sched.Dispatcher { return g.disp }
 
 // SMs exposes the cores (stats and tests).
 func (g *GPU) SMs() []*sm.SM { return g.sms }
@@ -203,46 +224,30 @@ func (g *GPU) partitionOf(addr uint64) int {
 	return int((addr / uint64(g.cfg.PartitionInterleave)) % uint64(g.cfg.NumPartitions))
 }
 
-// Launch starts kernel k. Only one kernel runs at a time; Launch panics
-// if a kernel is already in flight.
-func (g *GPU) Launch(k *sm.Kernel) {
-	if g.kernel != nil {
-		panic("gpu: kernel already running")
+// Launch enqueues kernel k on the default stream and dispatches as many
+// of its blocks as fit right now. Invalid grid or block dimensions are
+// reported as an error (the kernel is not enqueued). Kernels launched
+// while others are still resident co-run under the configured placement
+// policy; kernels on the same stream run in order.
+func (g *GPU) Launch(k *sm.Kernel) error {
+	_, err := g.Enqueue(sched.DefaultStream, k)
+	if err != nil {
+		return err
 	}
-	if k.GridDim <= 0 || k.BlockDim <= 0 {
-		panic("gpu: kernel grid and block dims must be positive")
-	}
-	if k.WarpsPerBlock(g.cfg.SM.WarpSize) > g.cfg.SM.MaxWarps {
-		panic("gpu: block larger than SM warp capacity")
-	}
-	g.kernel = k
-	g.nextBlock = 0
-	g.stats.KernelsLaunched++
-	g.dispatchBlocks()
+	g.disp.Dispatch(g.cycle)
+	return nil
 }
 
-// dispatchBlocks fills free block slots breadth-first across SMs.
-func (g *GPU) dispatchBlocks() {
-	if g.kernel == nil {
-		return
+// Enqueue validates kernel k and queues it on the named stream without
+// dispatching; Run dispatches queued kernels as capacity allows. The
+// returned state carries the kernel's per-launch stats (blocks
+// dispatched/retired, residency span) as they accrue.
+func (g *GPU) Enqueue(stream string, k *sm.Kernel) (*sched.KernelState, error) {
+	ks, err := g.disp.Enqueue(stream, k)
+	if err != nil {
+		return nil, fmt.Errorf("gpu %s: %w", g.cfg.Name, err)
 	}
-	for g.nextBlock < g.kernel.GridDim {
-		launched := false
-		for _, s := range g.sms {
-			if g.nextBlock >= g.kernel.GridDim {
-				break
-			}
-			if s.CanLaunch(g.kernel) {
-				s.LaunchBlock(g.kernel, g.nextBlock)
-				g.nextBlock++
-				g.stats.BlocksDispatch++
-				launched = true
-			}
-		}
-		if !launched {
-			return
-		}
-	}
+	return ks, nil
 }
 
 // Step advances the device one cycle.
@@ -329,17 +334,15 @@ func (g *GPU) Step() {
 		g.issueObs.IssueSlot(s.Config().ID, c, s.IssuedThisCycle())
 	}
 
-	g.dispatchBlocks()
+	g.disp.Dispatch(c)
 	g.cycle++
 	g.stats.Cycles++
 }
 
-// Done reports whether the current kernel (if any) has fully drained.
+// Done reports whether every enqueued kernel has retired and the device
+// has fully drained.
 func (g *GPU) Done() bool {
-	if g.kernel == nil {
-		return true
-	}
-	if g.nextBlock < g.kernel.GridDim {
+	if !g.disp.Done() {
 		return false
 	}
 	for _, s := range g.sms {
@@ -414,12 +417,18 @@ func (g *GPU) fastForward(start sim.Cycle) bool {
 	return true
 }
 
-// Run advances until the kernel completes, returning the cycles elapsed
-// during the run. It returns an error if MaxCycles is exceeded. Under
-// the default event engine the loop fast-forwards across provably idle
-// spans; results are identical to the tick engine either way.
+// Run advances until every enqueued kernel completes and the device
+// drains, returning the cycles elapsed during the run. It returns an
+// error if MaxCycles is exceeded. Under the default event engine the
+// loop fast-forwards across provably idle spans; results are identical
+// to the tick engine either way.
 func (g *GPU) Run() (sim.Cycle, error) {
 	start := g.cycle
+	// Kernels enqueued without Launch have not dispatched yet; placing
+	// them now (with every stream registered, so spatial slices cover
+	// all streams) makes their blocks resident from the first stepped
+	// cycle, exactly like Launch.
+	g.disp.Dispatch(g.cycle)
 	for !g.Done() {
 		g.Step()
 		if g.cfg.Engine == sim.EngineEvent && !g.Done() {
@@ -437,12 +446,14 @@ func (g *GPU) Run() (sim.Cycle, error) {
 			return g.cycle - start, fmt.Errorf("gpu %s: exceeded %d cycles without completing", g.cfg.Name, g.cfg.MaxCycles)
 		}
 	}
-	g.kernel = nil
 	return g.cycle - start, nil
 }
 
-// RunKernel launches k and runs it to completion.
+// RunKernel launches k and runs it to completion. Invalid launch
+// dimensions surface as the returned error.
 func (g *GPU) RunKernel(k *sm.Kernel) (sim.Cycle, error) {
-	g.Launch(k)
+	if err := g.Launch(k); err != nil {
+		return 0, err
+	}
 	return g.Run()
 }

@@ -9,6 +9,7 @@ import (
 	"gpulat/internal/isa"
 	"gpulat/internal/mem"
 	"gpulat/internal/mempart"
+	"gpulat/internal/sched"
 	"gpulat/internal/sim"
 	"gpulat/internal/sm"
 )
@@ -206,16 +207,151 @@ func TestSequentialKernelsShareCaches(t *testing.T) {
 	}
 }
 
-func TestOversizedBlockPanics(t *testing.T) {
+func TestOversizedBlockLaunchError(t *testing.T) {
 	g := New(tinyConfig())
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
 	k := vecIncKernel(0x1000, 0x2000, 32, 32)
 	k.BlockDim = 8 * 32 * 2 // more warps than MaxWarps
-	g.Launch(k)
+	if err := g.Launch(k); err == nil {
+		t.Fatal("expected launch error for oversized block")
+	}
+	if _, err := g.RunKernel(k); err == nil {
+		t.Fatal("expected RunKernel to surface the launch error")
+	}
+}
+
+func TestInvalidGridLaunchError(t *testing.T) {
+	g := New(tinyConfig())
+	for _, mod := range []func(*sm.Kernel){
+		func(k *sm.Kernel) { k.GridDim = 0 },
+		func(k *sm.Kernel) { k.GridDim = -3 },
+		func(k *sm.Kernel) { k.BlockDim = 0 },
+	} {
+		k := vecIncKernel(0x1000, 0x2000, 32, 32)
+		mod(k)
+		if err := g.Launch(k); err == nil {
+			t.Fatalf("expected launch error for grid=%d block=%d", k.GridDim, k.BlockDim)
+		}
+	}
+	// The failed launches must not have enqueued anything.
+	if !g.Done() {
+		t.Fatal("device not idle after rejected launches")
+	}
+}
+
+// TestConcurrentKernelsOnStreams co-runs two kernels with disjoint data
+// on independent streams and checks functional correctness plus the
+// per-kernel/device stats reconciliation the dispatcher guarantees.
+func TestConcurrentKernelsOnStreams(t *testing.T) {
+	for _, placement := range []sched.Placement{sched.PlacementShared, sched.PlacementSpatial} {
+		t.Run(placement.String(), func(t *testing.T) {
+			cfg := tinyConfig()
+			cfg.Placement = placement
+			g := New(cfg)
+			const n = 256
+			for i := uint64(0); i < n; i++ {
+				g.Memory.Store32(0x10000+i*4, uint32(i))
+				g.Memory.Store32(0x50000+i*4, uint32(i*3))
+			}
+			ka, err := g.Enqueue("A", vecIncKernel(0x10000, 0x20000, n, 64))
+			if err != nil {
+				t.Fatal(err)
+			}
+			kb, err := g.Enqueue("B", vecIncKernel(0x50000, 0x60000, n, 64))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := g.Run(); err != nil {
+				t.Fatal(err)
+			}
+			for i := uint64(0); i < n; i++ {
+				if got := g.Memory.Load32(0x20000 + i*4); got != uint32(i+1) {
+					t.Fatalf("A out[%d] = %d, want %d", i, got, i+1)
+				}
+				if got := g.Memory.Load32(0x60000 + i*4); got != uint32(i*3+1) {
+					t.Fatalf("B out[%d] = %d, want %d", i, got, i*3+1)
+				}
+			}
+			if !ka.Done() || !kb.Done() {
+				t.Fatal("kernels not marked complete")
+			}
+			// Per-kernel stats must sum to the device totals.
+			st := g.Stats()
+			var blocks, launched int
+			for _, ks := range g.Dispatcher().Kernels() {
+				ks2 := ks.Stats()
+				if ks2.BlocksDispatched != ks2.BlocksRetired || ks2.BlocksDispatched != ks.Kernel.GridDim {
+					t.Fatalf("kernel %d: dispatched %d retired %d grid %d",
+						ks.ID, ks2.BlocksDispatched, ks2.BlocksRetired, ks.Kernel.GridDim)
+				}
+				if ks.CyclesResident() <= 0 {
+					t.Fatalf("kernel %d: zero residency", ks.ID)
+				}
+				blocks += ks2.BlocksDispatched
+				launched++
+			}
+			if uint64(blocks) != st.BlocksDispatch {
+				t.Fatalf("per-kernel blocks %d != device BlocksDispatch %d", blocks, st.BlocksDispatch)
+			}
+			if uint64(launched) != st.KernelsLaunched {
+				t.Fatalf("per-kernel launches %d != device KernelsLaunched %d", launched, st.KernelsLaunched)
+			}
+			if placement == sched.PlacementSpatial {
+				// Spatial on 2 SMs: stream A owns SM 0, stream B owns SM 1.
+				for _, smID := range ka.Placements() {
+					if smID != 0 {
+						t.Fatalf("stream A block on SM %d under spatial placement", smID)
+					}
+				}
+				for _, smID := range kb.Placements() {
+					if smID != 1 {
+						t.Fatalf("stream B block on SM %d under spatial placement", smID)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestConcurrentKernelTagging checks per-kernel request attribution: all
+// tracked loads of each co-resident kernel carry that kernel's ID.
+func TestConcurrentKernelTagging(t *testing.T) {
+	col := &collector{}
+	g := NewWithObservers(tinyConfig(), col, nil)
+	const n = 128
+	for i := uint64(0); i < n; i++ {
+		g.Memory.Store32(0x10000+i*4, uint32(i))
+		g.Memory.Store32(0x50000+i*4, uint32(i))
+	}
+	ka, err := g.Enqueue("A", vecIncKernel(0x10000, 0x20000, n, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb, err := g.Enqueue("B", vecIncKernel(0x50000, 0x60000, n, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Run(); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]int{}
+	for _, r := range col.reqs {
+		seen[r.Kernel]++
+		switch r.Kernel {
+		case ka.ID:
+			if r.Addr < 0x10000 || r.Addr >= 0x30000 {
+				t.Fatalf("kernel A request at %#x outside its data", r.Addr)
+			}
+		case kb.ID:
+			if r.Addr < 0x50000 || r.Addr >= 0x70000 {
+				t.Fatalf("kernel B request at %#x outside its data", r.Addr)
+			}
+		default:
+			t.Fatalf("request tagged with unknown kernel %d", r.Kernel)
+		}
+	}
+	if seen[ka.ID] == 0 || seen[kb.ID] == 0 {
+		t.Fatalf("missing tracked loads per kernel: %v", seen)
+	}
 }
 
 func TestInvalidConfigPanics(t *testing.T) {

@@ -16,34 +16,58 @@ const (
 )
 
 // Catalog returns the named single-kernel workload constructors used by
-// the CLI, benchmarks and the "other workloads" experiment (E4).
+// the CLI, benchmarks and the "other workloads" experiment (E4), with
+// the standard region layout (base 0).
 func Catalog(scale Scale, seed uint64) map[string]func() (*Workload, error) {
+	return CatalogAt(scale, seed, 0)
+}
+
+// CatalogAt is Catalog with every data region shifted by base: two
+// workloads built at different bases touch disjoint memory, which is
+// what lets the CoRun combinator co-schedule any catalog pair with
+// independent verification.
+func CatalogAt(scale Scale, seed, base uint64) map[string]func() (*Workload, error) {
 	n := 1 << 12
 	grid := 32
+	chaseFootprint, chaseAccesses := uint32(1<<16), 256
 	if scale == ScaleExperiment {
 		n = 1 << 16
 		grid = 128
+		chaseFootprint, chaseAccesses = 1<<20, 2048
 	}
 	return map[string]func() (*Workload, error){
-		"vecadd": func() (*Workload, error) { return VecAdd(n, 128, seed), nil },
-		"saxpy":  func() (*Workload, error) { return Saxpy(n, 128, 2.5, seed), nil },
-		"copy":   func() (*Workload, error) { return Copy(n, 128, seed), nil },
-		"reduce": func() (*Workload, error) { return Reduce(n, 128, seed) },
-		"spmv":   func() (*Workload, error) { return SpMV(n/4, 8, seed) },
+		"vecadd": func() (*Workload, error) { return VecAdd(n, 128, seed, base), nil },
+		"saxpy":  func() (*Workload, error) { return Saxpy(n, 128, 2.5, seed, base), nil },
+		"copy":   func() (*Workload, error) { return Copy(n, 128, seed, base), nil },
+		"reduce": func() (*Workload, error) { return Reduce(n, 128, seed, base) },
+		"spmv":   func() (*Workload, error) { return SpMV(n/4, 8, seed, base) },
 		"stencil2d": func() (*Workload, error) {
-			return Stencil2D(grid, seed)
+			return Stencil2D(grid, seed, base)
 		},
 		"transpose": func() (*Workload, error) {
-			return Transpose(grid, seed)
+			return Transpose(grid, seed, base)
 		},
 		"histogram": func() (*Workload, error) {
-			return Histogram(n, 64, 128, seed)
+			return Histogram(n, 64, 128, seed, base)
 		},
 		"gather": func() (*Workload, error) {
-			return Gather(n, 128, false, seed)
+			return Gather(n, 128, false, seed, base)
 		},
 		"gather-sorted": func() (*Workload, error) {
-			return Gather(n, 128, true, seed)
+			return Gather(n, 128, true, seed, base)
+		},
+		// The paper's latency-bound extreme as a co-runnable workload:
+		// one thread chasing dependent pointers through a DRAM-sized
+		// ring, exposing nearly all of its load latency. Pair it with a
+		// bandwidth-bound stream (copy, vecadd) for the interference
+		// study.
+		"pchase": func() (*Workload, error) {
+			return PChase(PChaseConfig{
+				Base:           base + regionA,
+				StrideBytes:    128,
+				FootprintBytes: chaseFootprint,
+				Accesses:       chaseAccesses,
+			})
 		},
 	}
 }
@@ -58,9 +82,16 @@ func CatalogNames() []string {
 	return names
 }
 
-// NewByName builds a catalog workload by name.
+// NewByName builds a catalog workload by name with the standard region
+// layout.
 func NewByName(name string, scale Scale, seed uint64) (*Workload, error) {
-	ctor, ok := Catalog(scale, seed)[name]
+	return NewByNameAt(name, scale, seed, 0)
+}
+
+// NewByNameAt builds a catalog workload by name with its data regions
+// shifted by base.
+func NewByNameAt(name string, scale Scale, seed, base uint64) (*Workload, error) {
+	ctor, ok := CatalogAt(scale, seed, base)[name]
 	if !ok {
 		return nil, fmt.Errorf("kernels: unknown workload %q (have %v)", name, CatalogNames())
 	}

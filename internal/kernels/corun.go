@@ -1,0 +1,33 @@
+package kernels
+
+import "fmt"
+
+// CoRunPair bundles two catalog workloads prepared for concurrent
+// execution on one device: B's data regions are rebased by CoRunOffset,
+// so the pair's memory footprints are disjoint and each side's Setup
+// and Verify remain independent — co-running changes timing, never
+// results.
+type CoRunPair struct {
+	Name string
+	A, B *Workload
+}
+
+// CoRun builds the co-run pair (nameA, nameB) from the workload catalog.
+// seedA and seedB fix each side's inputs independently; the same name
+// may appear on both sides (the two instances still touch disjoint
+// memory).
+func CoRun(nameA, nameB string, scale Scale, seedA, seedB uint64) (*CoRunPair, error) {
+	a, err := NewByNameAt(nameA, scale, seedA, 0)
+	if err != nil {
+		return nil, fmt.Errorf("kernels: corun A: %w", err)
+	}
+	b, err := NewByNameAt(nameB, scale, seedB, CoRunOffset)
+	if err != nil {
+		return nil, fmt.Errorf("kernels: corun B: %w", err)
+	}
+	return &CoRunPair{
+		Name: nameA + "+" + nameB,
+		A:    a,
+		B:    b,
+	}, nil
+}

@@ -16,7 +16,7 @@ import (
 // that drives the dynamic latency analysis; with Sorted the gather
 // degenerates to a streaming copy, making the pair a controlled
 // coalescing experiment.
-func Gather(n, blockDim int, sorted bool, seed uint64) (*Workload, error) {
+func Gather(n, blockDim int, sorted bool, seed, base uint64) (*Workload, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("gather: n must be positive")
 	}
@@ -58,7 +58,7 @@ func Gather(n, blockDim int, sorted bool, seed uint64) (*Workload, error) {
 
 	k := &sm.Kernel{
 		Program:  b.Build(),
-		Params:   []uint32{regionA, regionB, regionC},
+		Params:   []uint32{uint32(base + regionA), uint32(base + regionB), uint32(base + regionC)},
 		BlockDim: blockDim,
 		GridDim:  gridFor(n, blockDim),
 	}
@@ -70,13 +70,13 @@ func Gather(n, blockDim int, sorted bool, seed uint64) (*Workload, error) {
 		Name:   fmt.Sprintf("gather-%s/n=%d", mode, n),
 		Kernel: k,
 		Setup: func(m *mem.Memory) {
-			m.Store32Slice(regionA, idx)
-			m.Store32Slice(regionB, data)
+			m.Store32Slice(base+regionA, idx)
+			m.Store32Slice(base+regionB, data)
 		},
 		Verify: func(m *mem.Memory) error {
 			for i := 0; i < n; i++ {
 				want := data[idx[i]]
-				if got := m.Load32(regionC + uint64(i)*4); got != want {
+				if got := m.Load32(base + regionC + uint64(i)*4); got != want {
 					return fmt.Errorf("gather: out[%d] = %d, want %d", i, got, want)
 				}
 			}

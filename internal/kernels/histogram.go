@@ -14,7 +14,7 @@ import (
 // the memory partitions, producing heavy DRAM-side queueing — a stress
 // case for the paper's arbitration latency component. bins must be a
 // power of two.
-func Histogram(n, bins, blockDim int, seed uint64) (*Workload, error) {
+func Histogram(n, bins, blockDim int, seed, base uint64) (*Workload, error) {
 	if bins < 2 || bins&(bins-1) != 0 {
 		return nil, fmt.Errorf("histogram: bins must be a power of two >= 2")
 	}
@@ -47,7 +47,7 @@ func Histogram(n, bins, blockDim int, seed uint64) (*Workload, error) {
 	}
 	k := &sm.Kernel{
 		Program:  b.Build(),
-		Params:   []uint32{regionA, regionB},
+		Params:   []uint32{uint32(base + regionA), uint32(base + regionB)},
 		BlockDim: blockDim,
 		GridDim:  gridFor(n, blockDim),
 	}
@@ -55,9 +55,9 @@ func Histogram(n, bins, blockDim int, seed uint64) (*Workload, error) {
 		Name:   fmt.Sprintf("histogram/n=%d/bins=%d", n, bins),
 		Kernel: k,
 		Setup: func(m *mem.Memory) {
-			m.Store32Slice(regionA, in)
+			m.Store32Slice(base+regionA, in)
 			for b := 0; b < bins; b++ {
-				m.Store32(regionB+uint64(b)*4, 0)
+				m.Store32(base+regionB+uint64(b)*4, 0)
 			}
 		},
 		Verify: func(m *mem.Memory) error {
@@ -65,7 +65,7 @@ func Histogram(n, bins, blockDim int, seed uint64) (*Workload, error) {
 			for _, v := range in {
 				want[v%uint32(bins)]++
 			}
-			return verifyWords(m, regionB, want, "histogram")
+			return verifyWords(m, base+regionB, want, "histogram")
 		},
 	}, nil
 }

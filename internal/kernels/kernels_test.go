@@ -242,22 +242,22 @@ func TestGraphGeneratorPanics(t *testing.T) {
 }
 
 func TestWorkloadConstructorsValidate(t *testing.T) {
-	if _, err := Reduce(100, 30, 1); err == nil {
+	if _, err := Reduce(100, 30, 1, 0); err == nil {
 		t.Error("non-power-of-two blockDim accepted")
 	}
-	if _, err := Reduce(100, 64, 1); err == nil {
+	if _, err := Reduce(100, 64, 1, 0); err == nil {
 		t.Error("n not multiple of blockDim accepted")
 	}
-	if _, err := SpMV(1, 1, 1); err == nil {
+	if _, err := SpMV(1, 1, 1, 0); err == nil {
 		t.Error("degenerate spmv accepted")
 	}
-	if _, err := Stencil2D(5, 1); err == nil {
+	if _, err := Stencil2D(5, 1, 0); err == nil {
 		t.Error("non-power-of-two stencil accepted")
 	}
-	if _, err := Transpose(6, 1); err == nil {
+	if _, err := Transpose(6, 1, 0); err == nil {
 		t.Error("non-power-of-two transpose accepted")
 	}
-	if _, err := Histogram(100, 100, 32, 1); err == nil {
+	if _, err := Histogram(100, 100, 32, 1, 0); err == nil {
 		t.Error("non-power-of-two bins accepted")
 	}
 }

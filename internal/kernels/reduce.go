@@ -15,7 +15,7 @@ import (
 // stores the block's partial sum. It exercises shared memory, barriers,
 // and progressive warp retirement. n must be a multiple of blockDim and
 // blockDim a power of two.
-func Reduce(n, blockDim int, seed uint64) (*Workload, error) {
+func Reduce(n, blockDim int, seed, base uint64) (*Workload, error) {
 	if blockDim <= 0 || blockDim&(blockDim-1) != 0 {
 		return nil, fmt.Errorf("reduce: blockDim must be a power of two")
 	}
@@ -83,7 +83,7 @@ func Reduce(n, blockDim int, seed uint64) (*Workload, error) {
 	grid := n / blockDim
 	k := &sm.Kernel{
 		Program:     b.Build(),
-		Params:      []uint32{regionA, regionB},
+		Params:      []uint32{uint32(base + regionA), uint32(base + regionB)},
 		BlockDim:    blockDim,
 		GridDim:     grid,
 		SharedBytes: uint32(blockDim) * 4,
@@ -91,14 +91,14 @@ func Reduce(n, blockDim int, seed uint64) (*Workload, error) {
 	return &Workload{
 		Name:   fmt.Sprintf("reduce/n=%d/b=%d", n, blockDim),
 		Kernel: k,
-		Setup:  func(m *mem.Memory) { m.Store32Slice(regionA, in) },
+		Setup:  func(m *mem.Memory) { m.Store32Slice(base+regionA, in) },
 		Verify: func(m *mem.Memory) error {
 			for blk := 0; blk < grid; blk++ {
 				var want uint32
 				for i := 0; i < blockDim; i++ {
 					want += in[blk*blockDim+i]
 				}
-				if got := m.Load32(regionB + uint64(blk)*4); got != want {
+				if got := m.Load32(base + regionB + uint64(blk)*4); got != want {
 					return fmt.Errorf("reduce: block %d sum = %d, want %d", blk, got, want)
 				}
 			}

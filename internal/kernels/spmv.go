@@ -14,7 +14,7 @@ import (
 // cause divergence and the x-vector gathers are data-dependent scattered
 // loads — the same latency-critical properties as BFS, with denser
 // arithmetic.
-func SpMV(rows, avgNnz int, seed uint64) (*Workload, error) {
+func SpMV(rows, avgNnz int, seed, base uint64) (*Workload, error) {
 	if rows <= 1 || avgNnz < 1 {
 		return nil, fmt.Errorf("spmv: need rows > 1 and avgNnz >= 1")
 	}
@@ -81,7 +81,7 @@ func SpMV(rows, avgNnz int, seed uint64) (*Workload, error) {
 
 	k := &sm.Kernel{
 		Program:  b.Build(),
-		Params:   []uint32{regionA, regionB, regionC, regionD, regionE},
+		Params:   []uint32{uint32(base + regionA), uint32(base + regionB), uint32(base + regionC), uint32(base + regionD), uint32(base + regionE)},
 		BlockDim: 128,
 		GridDim:  gridFor(rows, 128),
 	}
@@ -89,10 +89,10 @@ func SpMV(rows, avgNnz int, seed uint64) (*Workload, error) {
 		Name:   fmt.Sprintf("spmv/rows=%d/nnz=%d", rows, len(cols)),
 		Kernel: k,
 		Setup: func(m *mem.Memory) {
-			m.Store32Slice(regionA, rowOff)
-			m.Store32Slice(regionB, cols)
-			m.Store32Slice(regionC, vals)
-			m.Store32Slice(regionD, x)
+			m.Store32Slice(base+regionA, rowOff)
+			m.Store32Slice(base+regionB, cols)
+			m.Store32Slice(base+regionC, vals)
+			m.Store32Slice(base+regionD, x)
 		},
 		Verify: func(m *mem.Memory) error {
 			for r := 0; r < rows; r++ {
@@ -100,7 +100,7 @@ func SpMV(rows, avgNnz int, seed uint64) (*Workload, error) {
 				for e := rowOff[r]; e < rowOff[r+1]; e++ {
 					want += vals[e] * x[cols[e]]
 				}
-				if got := m.Load32(regionE + uint64(r)*4); got != want {
+				if got := m.Load32(base + regionE + uint64(r)*4); got != want {
 					return fmt.Errorf("spmv: y[%d] = %d, want %d", r, got, want)
 				}
 			}

@@ -16,7 +16,7 @@ import (
 // One thread per cell with row-major layout: loads are coalesced and
 // each warp touches three rows. n must be a power of two so row/column
 // derive from shifts.
-func Stencil2D(n int, seed uint64) (*Workload, error) {
+func Stencil2D(n int, seed, base uint64) (*Workload, error) {
 	if n < 4 || n&(n-1) != 0 {
 		return nil, fmt.Errorf("stencil2d: n must be a power of two >= 4")
 	}
@@ -71,14 +71,14 @@ func Stencil2D(n int, seed uint64) (*Workload, error) {
 	}
 	k := &sm.Kernel{
 		Program:  b.Build(),
-		Params:   []uint32{regionA, regionB},
+		Params:   []uint32{uint32(base + regionA), uint32(base + regionB)},
 		BlockDim: 128,
 		GridDim:  gridFor(total, 128),
 	}
 	return &Workload{
 		Name:   fmt.Sprintf("stencil2d/n=%d", n),
 		Kernel: k,
-		Setup:  func(m *mem.Memory) { m.Store32Slice(regionA, in) },
+		Setup:  func(m *mem.Memory) { m.Store32Slice(base+regionA, in) },
 		Verify: func(m *mem.Memory) error {
 			at := func(r, c int) uint32 { return in[r*n+c] }
 			for r := 0; r < n; r++ {
@@ -87,7 +87,7 @@ func Stencil2D(n int, seed uint64) (*Workload, error) {
 					if r > 0 && r < n-1 && c > 0 && c < n-1 {
 						want += at(r-1, c) + at(r+1, c) + at(r, c-1) + at(r, c+1)
 					}
-					if got := m.Load32(regionB + uint64(r*n+c)*4); got != want {
+					if got := m.Load32(base + regionB + uint64(r*n+c)*4); got != want {
 						return fmt.Errorf("stencil2d: out[%d][%d] = %d, want %d", r, c, got, want)
 					}
 				}

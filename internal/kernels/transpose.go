@@ -15,7 +15,7 @@ import (
 // strided by a full row — the canonical uncoalesced-store workload that
 // floods the memory pipeline with single-lane transactions. n must be a
 // power of two.
-func Transpose(n int, seed uint64) (*Workload, error) {
+func Transpose(n int, seed, base uint64) (*Workload, error) {
 	if n < 4 || n&(n-1) != 0 {
 		return nil, fmt.Errorf("transpose: n must be a power of two >= 4")
 	}
@@ -54,19 +54,19 @@ func Transpose(n int, seed uint64) (*Workload, error) {
 	}
 	k := &sm.Kernel{
 		Program:  b.Build(),
-		Params:   []uint32{regionA, regionB},
+		Params:   []uint32{uint32(base + regionA), uint32(base + regionB)},
 		BlockDim: 128,
 		GridDim:  gridFor(total, 128),
 	}
 	return &Workload{
 		Name:   fmt.Sprintf("transpose/n=%d", n),
 		Kernel: k,
-		Setup:  func(m *mem.Memory) { m.Store32Slice(regionA, in) },
+		Setup:  func(m *mem.Memory) { m.Store32Slice(base+regionA, in) },
 		Verify: func(m *mem.Memory) error {
 			for r := 0; r < n; r++ {
 				for c := 0; c < n; c++ {
 					want := in[r*n+c]
-					if got := m.Load32(regionB + uint64(c*n+r)*4); got != want {
+					if got := m.Load32(base + regionB + uint64(c*n+r)*4); got != want {
 						return fmt.Errorf("transpose: out[%d][%d] = %d, want %d", c, r, got, want)
 					}
 				}

@@ -29,7 +29,8 @@ func gidPrologue(b *isa.Builder, rGid isa.Reg, n int) *isa.Builder {
 
 // VecAdd builds c[i] = a[i] + b[i] over n uint32 elements — the
 // quickstart workload: fully coalesced, streaming, bandwidth-bound.
-func VecAdd(n, blockDim int, seed uint64) *Workload {
+// base shifts every data region (0 = the standard layout).
+func VecAdd(n, blockDim int, seed, base uint64) *Workload {
 	const (
 		rGid  = isa.Reg(1)
 		rOff  = isa.Reg(2)
@@ -61,7 +62,7 @@ func VecAdd(n, blockDim int, seed uint64) *Workload {
 	}
 	k := &sm.Kernel{
 		Program:  b.Build(),
-		Params:   []uint32{regionA, regionB, regionC},
+		Params:   []uint32{uint32(base + regionA), uint32(base + regionB), uint32(base + regionC)},
 		BlockDim: blockDim,
 		GridDim:  gridFor(n, blockDim),
 	}
@@ -69,22 +70,22 @@ func VecAdd(n, blockDim int, seed uint64) *Workload {
 		Name:   fmt.Sprintf("vecadd/n=%d", n),
 		Kernel: k,
 		Setup: func(m *mem.Memory) {
-			m.Store32Slice(regionA, a)
-			m.Store32Slice(regionB, bs)
+			m.Store32Slice(base+regionA, a)
+			m.Store32Slice(base+regionB, bs)
 		},
 		Verify: func(m *mem.Memory) error {
 			want := make([]uint32, n)
 			for i := range want {
 				want[i] = a[i] + bs[i]
 			}
-			return verifyWords(m, regionC, want, "vecadd")
+			return verifyWords(m, base+regionC, want, "vecadd")
 		},
 	}
 }
 
 // Saxpy builds y[i] = alpha*x[i] + y[i] over n float32 elements,
 // exercising the FP pipeline on a streaming access pattern.
-func Saxpy(n, blockDim int, alpha float32, seed uint64) *Workload {
+func Saxpy(n, blockDim int, alpha float32, seed, base uint64) *Workload {
 	const (
 		rGid   = isa.Reg(1)
 		rOff   = isa.Reg(2)
@@ -116,7 +117,7 @@ func Saxpy(n, blockDim int, alpha float32, seed uint64) *Workload {
 	}
 	k := &sm.Kernel{
 		Program:  b.Build(),
-		Params:   []uint32{regionA, regionB, math.Float32bits(alpha)},
+		Params:   []uint32{uint32(base + regionA), uint32(base + regionB), math.Float32bits(alpha)},
 		BlockDim: blockDim,
 		GridDim:  gridFor(n, blockDim),
 	}
@@ -125,14 +126,14 @@ func Saxpy(n, blockDim int, alpha float32, seed uint64) *Workload {
 		Kernel: k,
 		Setup: func(m *mem.Memory) {
 			for i := 0; i < n; i++ {
-				m.Store32(regionA+uint64(i)*4, math.Float32bits(x[i]))
-				m.Store32(regionB+uint64(i)*4, math.Float32bits(y[i]))
+				m.Store32(base+regionA+uint64(i)*4, math.Float32bits(x[i]))
+				m.Store32(base+regionB+uint64(i)*4, math.Float32bits(y[i]))
 			}
 		},
 		Verify: func(m *mem.Memory) error {
 			for i := 0; i < n; i++ {
 				want := float32(float64(alpha)*float64(x[i]) + float64(y[i]))
-				got := math.Float32frombits(m.Load32(regionB + uint64(i)*4))
+				got := math.Float32frombits(m.Load32(base + regionB + uint64(i)*4))
 				if got != want {
 					return fmt.Errorf("saxpy: y[%d] = %v, want %v", i, got, want)
 				}
@@ -143,7 +144,7 @@ func Saxpy(n, blockDim int, alpha float32, seed uint64) *Workload {
 }
 
 // Copy builds out[i] = in[i], the minimal bandwidth microbenchmark.
-func Copy(n, blockDim int, seed uint64) *Workload {
+func Copy(n, blockDim int, seed, base uint64) *Workload {
 	const (
 		rGid  = isa.Reg(1)
 		rOff  = isa.Reg(2)
@@ -168,14 +169,14 @@ func Copy(n, blockDim int, seed uint64) *Workload {
 	}
 	k := &sm.Kernel{
 		Program:  b.Build(),
-		Params:   []uint32{regionA, regionB},
+		Params:   []uint32{uint32(base + regionA), uint32(base + regionB)},
 		BlockDim: blockDim,
 		GridDim:  gridFor(n, blockDim),
 	}
 	return &Workload{
 		Name:   fmt.Sprintf("copy/n=%d", n),
 		Kernel: k,
-		Setup:  func(m *mem.Memory) { m.Store32Slice(regionA, in) },
-		Verify: func(m *mem.Memory) error { return verifyWords(m, regionB, in, "copy") },
+		Setup:  func(m *mem.Memory) { m.Store32Slice(base+regionA, in) },
+		Verify: func(m *mem.Memory) error { return verifyWords(m, base+regionB, in, "copy") },
 	}
 }

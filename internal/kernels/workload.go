@@ -30,13 +30,21 @@ type Workload struct {
 
 // Layout constants shared by the simple workloads: data regions are
 // placed on large aligned boundaries so they stripe evenly across
-// partitions and never overlap.
+// partitions and never overlap. Catalog constructors take an additional
+// base offset added to every region, so two workloads built with
+// different bases touch disjoint memory — the CoRun combinator rebases
+// its second workload by CoRunOffset to co-run them safely.
 const (
 	regionA = 0x0100_0000
 	regionB = 0x0200_0000
 	regionC = 0x0300_0000
 	regionD = 0x0400_0000
 	regionE = 0x0500_0000
+
+	// CoRunOffset rebases a co-running workload's regions past every
+	// base-0 region (regionE plus headroom) while keeping all addresses
+	// comfortably inside the 32-bit parameter space.
+	CoRunOffset = 0x0800_0000
 )
 
 func verifyWords(m *mem.Memory, base uint64, want []uint32, what string) error {

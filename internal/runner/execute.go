@@ -47,6 +47,11 @@ type Options struct {
 
 	// WarpLimit is the KindOccupancy resident-warp cap.
 	WarpLimit int `json:"warp_limit,omitempty"`
+
+	// KernelB names the second workload of a KindCoRun pair (Job.Kernel
+	// names the first); the placement policy under ablation rides in
+	// Overrides.Placement like every other architectural knob.
+	KernelB string `json:"kernel_b,omitempty"`
 }
 
 func (o Options) scale() kernels.Scale {
@@ -102,6 +107,8 @@ func Execute(ctx context.Context, job Job) Result {
 		err = execLoaded(&res, cfg, job)
 	case KindOccupancy:
 		err = execOccupancy(&res, cfg, job)
+	case KindCoRun:
+		err = execCoRun(&res, cfg, job)
 	default:
 		err = fmt.Errorf("runner: unknown job kind %q", job.Kind)
 	}
@@ -259,6 +266,42 @@ func execOccupancy(res *Result, cfg gpu.Config, job Job) error {
 	res.add("ipc", p.IPC)
 	res.add("exposed_pct", p.ExposedPct)
 	res.add("load_lat_mean", p.MeanLoadLatency)
+	return nil
+}
+
+// execCoRun co-schedules Job.Kernel and Options.KernelB on independent
+// streams under the selected placement policy and reports per-kernel
+// metrics (prefixed a_/b_ in launch order) next to the device totals.
+// Each side's inputs get an independent seed stream derived from the
+// job seed, so a workload co-run against itself still sees distinct
+// data.
+func execCoRun(res *Result, cfg gpu.Config, job Job) error {
+	o := job.Options
+	if job.Kernel == "" || o.KernelB == "" {
+		return fmt.Errorf("runner: corun job needs two kernels (kernel and kernel_b)")
+	}
+	pair, err := kernels.CoRun(job.Kernel, o.KernelB, o.scale(), JobSeed(job.Seed, 0), JobSeed(job.Seed, 1))
+	if err != nil {
+		return err
+	}
+	cr, err := core.RunCoRun(cfg, pair, o.buckets())
+	if err != nil {
+		return err
+	}
+	res.Payload = cr
+	res.add("cycles", float64(cr.Cycles))
+	res.add("kernels_launched", float64(cr.Device.KernelsLaunched))
+	res.add("blocks_dispatched", float64(cr.Device.BlocksDispatch))
+	for i, k := range cr.Kernels {
+		p := string('a' + rune(i))
+		res.add(p+"_cycles_resident", float64(k.CyclesResident))
+		res.add(p+"_blocks", float64(k.BlocksDispatched))
+		res.add(p+"_loads", float64(k.Loads))
+		res.add(p+"_load_lat_mean", k.LoadLat.Mean)
+		res.add(p+"_load_lat_p99", k.LoadLat.P99)
+		res.add(p+"_exposed_pct", k.ExposedPct)
+		res.add(p+"_mostly_exposed_pct", k.MostlyExposedPct)
+	}
 	return nil
 }
 

@@ -30,6 +30,9 @@ const (
 	KindLoaded Kind = "loaded"
 	// KindOccupancy reruns the BFS experiment at one warp-limit point.
 	KindOccupancy Kind = "occupancy"
+	// KindCoRun co-schedules two catalog workloads on independent
+	// streams and reports per-kernel interference metrics.
+	KindCoRun Kind = "corun"
 )
 
 // Job is one independent experiment execution: an architecture, an

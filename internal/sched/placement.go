@@ -1,0 +1,81 @@
+// Package sched is the GPU's stream and block-dispatch subsystem: named
+// streams each hold an in-order queue of kernels, and a GigaThread-style
+// dispatcher places blocks of every resident kernel onto SMs under a
+// pluggable placement policy. It generalizes the single-kernel launch
+// front end into the co-scheduling the paper's latency analysis implies:
+// latency exposure is a property of what else is resident, so the
+// dispatcher tracks per-kernel launch, dispatch, and retire state that
+// internal/core turns into per-kernel exposure attribution.
+package sched
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Placement selects the block placement policy of the dispatcher.
+type Placement uint8
+
+const (
+	// PlacementShared fills block slots breadth-first across all SMs,
+	// interleaving the resident streams block-by-block — every stream's
+	// kernel spreads over the whole device and contends for every SM's
+	// pipelines and L1. This is the default and, with a single stream,
+	// reproduces the classic single-kernel dispatch exactly.
+	PlacementShared Placement = iota
+	// PlacementSpatial partitions the SMs into contiguous equal slices,
+	// one per stream (by stream creation order): each stream's kernels
+	// only ever occupy its own slice, so co-resident streams contend in
+	// the memory system but never for SM-local resources.
+	PlacementSpatial
+)
+
+// String names the policy.
+func (p Placement) String() string {
+	switch p {
+	case PlacementShared:
+		return "shared"
+	case PlacementSpatial:
+		return "spatial"
+	}
+	return fmt.Sprintf("placement(%d)", uint8(p))
+}
+
+// ParsePlacement resolves a placement-policy name; the empty string
+// selects the default shared policy.
+func ParsePlacement(name string) (Placement, error) {
+	switch strings.ToLower(name) {
+	case "", "shared":
+		return PlacementShared, nil
+	case "spatial":
+		return PlacementSpatial, nil
+	}
+	return 0, fmt.Errorf("sched: unknown placement policy %q (shared or spatial)", name)
+}
+
+// PlacementNames lists the selectable policies in default-first order.
+func PlacementNames() []string { return []string{"shared", "spatial"} }
+
+// MarshalJSON serializes the policy by name so archived configurations
+// stay readable and editable.
+func (p Placement) MarshalJSON() ([]byte, error) {
+	if p != PlacementShared && p != PlacementSpatial {
+		return nil, fmt.Errorf("sched: cannot serialize %s", p)
+	}
+	return json.Marshal(p.String())
+}
+
+// UnmarshalJSON parses a policy name; empty selects the default.
+func (p *Placement) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("sched: placement must be a string: %w", err)
+	}
+	parsed, err := ParsePlacement(s)
+	if err != nil {
+		return err
+	}
+	*p = parsed
+	return nil
+}

@@ -141,7 +141,7 @@ func (s *SM) issueFrom(c sim.Cycle, ws int) {
 			break
 		}
 		w.ExitLanes(passMask, pc+1)
-		s.retireWarpIfDone(ws)
+		s.retireWarpIfDone(c, ws)
 	case in.Op == isa.OpBAR:
 		w.Advance(pc + 1)
 		if passMask != 0 {

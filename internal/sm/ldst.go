@@ -11,6 +11,7 @@ import (
 type memInst struct {
 	warpSlot  int
 	blockSlot int
+	kernelID  int
 	op        isa.Opcode
 	dst       isa.Reg
 	space     mem.Space
@@ -60,6 +61,7 @@ func (s *SM) issueMemInst(c sim.Cycle, ws int, in *isa.Instruction, passMask uin
 	mi := &memInst{
 		warpSlot:  ws,
 		blockSlot: w.BlockSlot,
+		kernelID:  bs.kernelID,
 		op:        in.Op,
 		dst:       in.Dst,
 		space:     space,
@@ -194,14 +196,15 @@ func (s *SM) issueTransaction(c sim.Cycle, mi *memInst) bool {
 	req := mi.pendingReq
 	if req == nil {
 		req = &mem.Request{
-			ID:    s.newReqID(),
-			Addr:  mi.txns.Segments[mi.nextTxn],
-			Size:  mi.txns.SegmentSize,
-			Kind:  mi.kind,
-			Space: mi.space,
-			SM:    s.cfg.ID,
-			Warp:  mi.warpSlot,
-			Inst:  mi.seq,
+			ID:     s.newReqID(),
+			Addr:   mi.txns.Segments[mi.nextTxn],
+			Size:   mi.txns.SegmentSize,
+			Kind:   mi.kind,
+			Space:  mi.space,
+			SM:     s.cfg.ID,
+			Warp:   mi.warpSlot,
+			Inst:   mi.seq,
+			Kernel: mi.kernelID,
 		}
 		if mi.kind == mem.KindLoad {
 			req.Log = &mem.StageLog{}

@@ -133,6 +133,7 @@ type blockSlot struct {
 	active         bool
 	ctaid          int
 	kernel         *Kernel
+	kernelID       int   // device-wide launch sequence (per-kernel attribution)
 	warps          []int // warp slot indices
 	shared         []uint32
 	barrierArrived int
@@ -177,6 +178,11 @@ type SM struct {
 
 	newReqID func() uint64
 	observer mem.Observer
+
+	// onBlockRetire, when set, is called once per retired block with the
+	// retire cycle and the block's kernel ID — the dispatcher's per-
+	// kernel completion tracking hangs off it.
+	onBlockRetire func(c sim.Cycle, kernelID int)
 
 	lastSched  int
 	greedyWarp int
@@ -284,9 +290,17 @@ func (s *SM) CanLaunch(k *Kernel) bool {
 	return s.FreeBlockSlot() >= 0 && s.freeWarpSlots(k.WarpsPerBlock(s.cfg.WarpSize)) != nil
 }
 
-// LaunchBlock makes block ctaid of kernel k resident. It panics if the
-// block does not fit; call CanLaunch first.
-func (s *SM) LaunchBlock(k *Kernel, ctaid int) {
+// SetBlockRetireObserver installs the per-block retire hook (called with
+// the retire cycle and the retiring block's kernel ID). The GPU wires it
+// to the stream dispatcher's completion tracking.
+func (s *SM) SetBlockRetireObserver(fn func(c sim.Cycle, kernelID int)) {
+	s.onBlockRetire = fn
+}
+
+// LaunchBlock makes block ctaid of kernel k resident, attributed to the
+// device-wide kernel launch sequence kernelID. It panics if the block
+// does not fit; call CanLaunch first.
+func (s *SM) LaunchBlock(k *Kernel, ctaid int, kernelID int) {
 	slot := s.FreeBlockSlot()
 	nw := k.WarpsPerBlock(s.cfg.WarpSize)
 	warpSlots := s.freeWarpSlots(nw)
@@ -299,6 +313,7 @@ func (s *SM) LaunchBlock(k *Kernel, ctaid int) {
 		active:    true,
 		ctaid:     ctaid,
 		kernel:    k,
+		kernelID:  kernelID,
 		warps:     warpSlots,
 		shared:    make([]uint32, (k.SharedBytes+3)/4),
 		liveWarps: nw,
@@ -491,7 +506,7 @@ func (s *SM) finishMemInst(mi *memInst) {
 }
 
 // retireWarpIfDone updates block bookkeeping when a warp completes.
-func (s *SM) retireWarpIfDone(ws int) {
+func (s *SM) retireWarpIfDone(c sim.Cycle, ws int) {
 	w := s.warps[ws]
 	if w == nil || !w.Done() {
 		return
@@ -503,5 +518,8 @@ func (s *SM) retireWarpIfDone(ws int) {
 	if bs.liveWarps == 0 {
 		bs.active = false
 		s.stats.BlocksRetired++
+		if s.onBlockRetire != nil {
+			s.onBlockRetire(c, bs.kernelID)
+		}
 	}
 }

@@ -178,7 +178,7 @@ func TestIssuedThisCycleTracking(t *testing.T) {
 	cfg := testSMConfig()
 	cfg.IssueWidth = 1
 	s := New(cfg, m, func() uint64 { id++; return id }, nil)
-	s.LaunchBlock(k, 0)
+	s.LaunchBlock(k, 0, 0)
 	s.Tick(0)
 	if s.IssuedThisCycle() != 1 {
 		t.Fatalf("issued = %d, want 1", s.IssuedThisCycle())

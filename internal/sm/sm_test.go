@@ -91,7 +91,7 @@ func runSM(t *testing.T, s *SM, k *Kernel, lb *loopback, limit sim.Cycle) sim.Cy
 		if !s.CanLaunch(k) {
 			t.Fatal("kernel does not fit on the test SM")
 		}
-		s.LaunchBlock(k, b)
+		s.LaunchBlock(k, b, 0)
 	}
 	for c := sim.Cycle(0); c < limit; c++ {
 		lb.tick(c, s)
