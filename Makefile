@@ -4,7 +4,7 @@
 GO      ?= go
 JOBS    ?= 0   # 0 = GOMAXPROCS
 
-.PHONY: all build test vet fmt bench bench-baseline repro repro-quick determinism engine-determinism corun-determinism clean
+.PHONY: all build test vet fmt bench bench-baseline repro repro-quick determinism engine-determinism corun-determinism service-determinism clean
 
 all: build vet fmt test
 
@@ -81,10 +81,49 @@ corun-determinism:
 	cmp /tmp/gpulat-corun-t1.csv /tmp/gpulat-corun-e1.csv
 	@echo "corun-determinism: -j 1/-j 8 and tick/event byte-identical"
 
+# Proves the service layer's contract end to end: the quick bench grid
+# routed through `gpulat serve`/`gpulat submit` exports byte-identical
+# CSV/JSON to a direct bench-suite run, both cold and warm; the warm run
+# is answered from the persistent content-addressed cache (the server is
+# restarted in between, so in-process dedup can't mask it), /v1/statsz
+# reports real cache hits, and the warm submission is >=10x faster.
+SVC_ADDR ?= 127.0.0.1:18763
+service-determinism:
+	$(GO) build -o /tmp/gpulat-ci ./cmd/gpulat
+	rm -rf /tmp/gpulat-svc-cache /tmp/gpulat-serve.pid
+	/tmp/gpulat-ci bench-suite -quick -quiet -j 8 -csv  > /tmp/gpulat-direct.csv
+	/tmp/gpulat-ci bench-suite -quick -quiet -j 8 -json > /tmp/gpulat-direct.json
+	set -e; \
+	trap 'test -f /tmp/gpulat-serve.pid && kill $$(cat /tmp/gpulat-serve.pid) 2>/dev/null; true' EXIT; \
+	/tmp/gpulat-ci serve -addr $(SVC_ADDR) -cache-dir /tmp/gpulat-svc-cache -quiet & echo $$! > /tmp/gpulat-serve.pid; \
+	t0=$$(date +%s%N); \
+	/tmp/gpulat-ci submit -addr http://$(SVC_ADDR) -quiet -suite -quick -csv > /tmp/gpulat-svc-cold.csv; \
+	t1=$$(date +%s%N); \
+	kill $$(cat /tmp/gpulat-serve.pid); wait $$(cat /tmp/gpulat-serve.pid) 2>/dev/null || true; \
+	/tmp/gpulat-ci serve -addr $(SVC_ADDR) -cache-dir /tmp/gpulat-svc-cache -quiet & echo $$! > /tmp/gpulat-serve.pid; \
+	t2=$$(date +%s%N); \
+	/tmp/gpulat-ci submit -addr http://$(SVC_ADDR) -quiet -suite -quick -csv > /tmp/gpulat-svc-warm.csv; \
+	t3=$$(date +%s%N); \
+	/tmp/gpulat-ci submit -addr http://$(SVC_ADDR) -quiet -suite -quick -json > /tmp/gpulat-svc-warm.json; \
+	/tmp/gpulat-ci submit -addr http://$(SVC_ADDR) -statsz > /tmp/gpulat-svc-statsz.json; \
+	cmp /tmp/gpulat-direct.csv /tmp/gpulat-svc-cold.csv; \
+	cmp /tmp/gpulat-direct.csv /tmp/gpulat-svc-warm.csv; \
+	cmp /tmp/gpulat-direct.json /tmp/gpulat-svc-warm.json; \
+	grep -Eq '"hits": [1-9]' /tmp/gpulat-svc-statsz.json; \
+	cold=$$(( (t1 - t0) / 1000000 )); warm=$$(( (t3 - t2) / 1000000 )); \
+	echo "service-determinism: cold $${cold}ms, warm $${warm}ms (served from cache)"; \
+	test $$(( warm * 10 )) -le $$cold
+	@echo "service-determinism: service cold/warm and direct runs byte-identical; warm >=10x faster"
+
 clean:
 	$(GO) clean
 	rm -f /tmp/gpulat-ci /tmp/gpulat-j1.csv /tmp/gpulat-j8.csv \
 		/tmp/gpulat-tick.csv /tmp/gpulat-event.csv \
 		/tmp/gpulat-tick.json /tmp/gpulat-event.json \
 		/tmp/gpulat-corun-t1.csv /tmp/gpulat-corun-t8.csv \
-		/tmp/gpulat-corun-e1.csv /tmp/gpulat-corun-e8.csv
+		/tmp/gpulat-corun-e1.csv /tmp/gpulat-corun-e8.csv \
+		/tmp/gpulat-direct.csv /tmp/gpulat-direct.json \
+		/tmp/gpulat-svc-cold.csv /tmp/gpulat-svc-warm.csv \
+		/tmp/gpulat-svc-warm.json /tmp/gpulat-svc-statsz.json \
+		/tmp/gpulat-serve.pid
+	rm -rf /tmp/gpulat-svc-cache

@@ -9,6 +9,7 @@ import (
 	"gpulat/internal/gpu"
 	"gpulat/internal/kernels"
 	"gpulat/internal/sim"
+	"gpulat/internal/stats"
 )
 
 // kernelBench is one (workload, engine) measurement of simulator
@@ -72,6 +73,8 @@ func benchWorkloads(g *gpu.GPU, name string, seed uint64) (sim.Cycle, error) {
 func cmdBenchKernel(args []string) error {
 	fs := newFlags("bench-kernel")
 	arch := fs.String("arch", "GF100", "architecture preset (or file:<path>)")
+	comparable := fs.Bool("comparable", false,
+		"strip wall-clock fields (wall_seconds, cycles_per_second, speedups) so reports from different runs can be byte-diffed")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -112,6 +115,14 @@ func cmdBenchKernel(args []string) error {
 		report.Speedup[wl] = rate[wl]["event"] / rate[wl]["tick"]
 	}
 
+	if *comparable {
+		data, err := stats.ComparableJSON(report)
+		if err != nil {
+			return err
+		}
+		_, err = os.Stdout.Write(data)
+		return err
+	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	return enc.Encode(report)

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"strings"
@@ -10,6 +11,7 @@ import (
 	"gpulat/internal/kernels"
 	"gpulat/internal/runner"
 	"gpulat/internal/sched"
+	"gpulat/internal/service"
 	"gpulat/internal/stats"
 )
 
@@ -62,7 +64,12 @@ func cmdSweep(args []string) error {
 	detect := fs.Bool("detect", false, "detect hierarchy-level plateaus instead of raw CSV")
 	jobs := jobsFlag(fs)
 	engine := engineFlag(fs)
+	cacheFl := cacheFlags(fs)
 	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	exec, err := cacheFl.exec()
+	if err != nil {
 		return err
 	}
 
@@ -96,13 +103,20 @@ func cmdSweep(args []string) error {
 		return nil
 	}
 	grid := runner.Grid{Kind: runner.KindChase, Archs: []string{*arch}, Variants: variants}
-	set, err := runJobs(grid.Jobs(), *jobs, true, *engine)
+	set, err := runJobsExec(grid.Jobs(), *jobs, true, *engine, exec)
 	if err != nil {
 		return err
 	}
+	// Rebuild the surface from metrics rather than the typed payload, so
+	// cache-served results (metrics only) render identically.
 	var points []core.SweepPoint
 	for _, r := range set.Results {
-		points = append(points, r.Payload.(core.SweepPoint))
+		stride, _ := r.Metric("stride")
+		footprint, _ := r.Metric("footprint")
+		mean, _ := r.Metric("mean_lat")
+		points = append(points, core.SweepPoint{
+			Stride: uint32(stride), Footprint: uint32(footprint), MeanLat: mean,
+		})
 	}
 	archName := set.Results[0].Job.Arch
 	if cfg, cerr := mustConfig(*arch); cerr == nil {
@@ -495,8 +509,16 @@ func cmdConfig(args []string) error {
 
 func cmdList(args []string) error {
 	fs := newFlags("list")
+	jsonOut := fs.Bool("json", false, "emit the machine-readable spec catalog (kernels, archs, engines, schedulers, placements)")
 	if err := parseFlags(fs, args); err != nil {
 		return err
+	}
+	if *jsonOut {
+		// The same catalog the service exposes at /v1/catalog: clients
+		// discover valid job specs from either surface.
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(service.Catalog())
 	}
 	fmt.Println("architectures:")
 	for _, a := range config.Names() {

@@ -6,7 +6,7 @@ import (
 	"strings"
 
 	"gpulat/internal/config"
-	"gpulat/internal/core"
+	"gpulat/internal/kernels"
 	"gpulat/internal/runner"
 	"gpulat/internal/stats"
 )
@@ -45,16 +45,43 @@ func cmdCoRun(args []string) error {
 	quiet := fs.Bool("quiet", false, "suppress per-job progress on stderr")
 	jobs := jobsFlag(fs)
 	engine := engineFlag(fs)
+	cacheFl := cacheFlags(fs)
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if *jsonOut && *csvOut {
 		return usagef("corun: -json and -csv are mutually exclusive")
 	}
+	exec, err := cacheFl.exec()
+	if err != nil {
+		return err
+	}
 
 	pairList, err := parsePairs(*pairs)
 	if err != nil {
 		return err
+	}
+	// Validate the whole cross product up front: a typo in any axis is a
+	// bad invocation (exit 2), not a mid-sweep simulation failure.
+	catalog := map[string]bool{}
+	for _, k := range kernels.CatalogNames() {
+		catalog[k] = true
+	}
+	for _, pair := range pairList {
+		for _, k := range pair {
+			if !catalog[k] {
+				return usagef("corun: unknown workload %q (have %s)",
+					k, strings.Join(kernels.CatalogNames(), ", "))
+			}
+		}
+	}
+	var archList []string
+	for _, arch := range strings.Split(*archs, ",") {
+		arch = strings.TrimSpace(arch)
+		if _, err := mustConfig(arch); err != nil {
+			return usagef("%v", err)
+		}
+		archList = append(archList, arch)
 	}
 	var placeList []string
 	for _, p := range strings.Split(*placements, ",") {
@@ -69,8 +96,7 @@ func cmdCoRun(args []string) error {
 	}
 
 	var list []runner.Job
-	for _, arch := range strings.Split(*archs, ",") {
-		arch = strings.TrimSpace(arch)
+	for _, arch := range archList {
 		for _, pair := range pairList {
 			for _, place := range placeList {
 				list = append(list, runner.Job{
@@ -90,7 +116,7 @@ func cmdCoRun(args []string) error {
 		}
 	}
 
-	set, err := runJobs(list, *jobs, !*quiet, *engine)
+	set, err := runJobsExec(list, *jobs, !*quiet, *engine, exec)
 	if err != nil {
 		return err
 	}
@@ -101,15 +127,25 @@ func cmdCoRun(args []string) error {
 		return set.WriteCSV(os.Stdout)
 	}
 
+	// The table renders from metrics and the job spec, never from the
+	// typed payload: cache-served results carry only metrics.
 	tb := stats.NewTable("arch", "pair", "placement", "cycles",
 		"A resident", "A exposed%", "B resident", "B exposed%")
 	for _, r := range set.Results {
-		cr := r.Payload.(*core.CoRunResult)
-		tb.AddRow(cr.Arch, cr.Pair, cr.Placement.String(), uint64(cr.Cycles),
-			uint64(cr.Kernels[0].CyclesResident),
-			fmt.Sprintf("%.1f", cr.Kernels[0].ExposedPct),
-			uint64(cr.Kernels[1].CyclesResident),
-			fmt.Sprintf("%.1f", cr.Kernels[1].ExposedPct))
+		metric := func(name string) float64 {
+			v, _ := r.Metric(name)
+			return v
+		}
+		place := r.Job.Options.Overrides.Placement
+		if place == "" {
+			place = "shared"
+		}
+		tb.AddRow(r.Job.Arch, r.Job.Kernel+"+"+r.Job.Options.KernelB, place,
+			uint64(metric("cycles")),
+			uint64(metric("a_cycles_resident")),
+			fmt.Sprintf("%.1f", metric("a_exposed_pct")),
+			uint64(metric("b_cycles_resident")),
+			fmt.Sprintf("%.1f", metric("b_exposed_pct")))
 	}
 	fmt.Println("Concurrent-kernel interference — per-kernel residency and exposed latency")
 	tb.Render(os.Stdout)

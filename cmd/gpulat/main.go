@@ -40,6 +40,7 @@ import (
 	"gpulat/internal/config"
 	"gpulat/internal/gpu"
 	"gpulat/internal/runner"
+	"gpulat/internal/service"
 	"gpulat/internal/sim"
 )
 
@@ -77,12 +78,22 @@ func main() {
 		if !errors.Is(err, errFlagReported) {
 			fmt.Fprintln(os.Stderr, "gpulat:", err)
 		}
-		var ue usageError
-		if errors.As(err, &ue) {
-			os.Exit(2)
-		}
-		os.Exit(1)
+		os.Exit(exitCode(err))
 	}
+}
+
+// exitCode maps a subcommand's error to the CLI contract: 0 success
+// (including -h), 2 bad invocation, 1 runtime failure. Tests assert
+// command error paths against this single classifier.
+func exitCode(err error) int {
+	if err == nil || errors.Is(err, flag.ErrHelp) {
+		return 0
+	}
+	var ue usageError
+	if errors.As(err, &ue) {
+		return 2
+	}
+	return 1
 }
 
 func commands() map[string]func([]string) error {
@@ -104,6 +115,9 @@ func commands() map[string]func([]string) error {
 		"export":           cmdExport,
 		"config":           cmdConfig,
 		"list":             cmdList,
+		"serve":            cmdServe,
+		"submit":           cmdSubmit,
+		"version":          cmdVersion,
 	}
 }
 
@@ -126,9 +140,14 @@ commands:
   simrun        run a workload and dump device statistics
   export        run a workload and dump per-load records as CSV
   config        dump a preset as editable JSON (use with -arch file:<path>)
-  list          available architectures and workloads
+  list          available architectures and workloads (-json for machines)
+  serve         run the simulation service (HTTP API + result cache)
+  submit        submit jobs to a running service and collect results
+  version       report the build version and cache scheme tag
 
-sweep-shaped commands take -j N (parallel experiment workers).
+sweep-shaped commands take -j N (parallel experiment workers); sweep,
+bench-suite, and corun also take -cache [-cache-dir D] to memoize job
+results in the content-addressed cache the service uses.
 `)
 }
 
@@ -168,12 +187,50 @@ func engineFlag(fs *flag.FlagSet) *string {
 	return fs.String("engine", "", "simulation loop: event (fast-forwards provably idle cycles; default) or tick (cycle-by-cycle reference)")
 }
 
+// cacheOpts carries the shared -cache/-cache-dir/-cache-entries flags
+// the sweep-shaped commands use to memoize results in the same
+// content-addressed store `gpulat serve` serves from.
+type cacheOpts struct {
+	enabled *bool
+	dir     *string
+	entries *int
+}
+
+// cacheFlags registers the shared result-cache flags.
+func cacheFlags(fs *flag.FlagSet) cacheOpts {
+	return cacheOpts{
+		enabled: fs.Bool("cache", false, "memoize job results in the content-addressed cache (warm re-runs skip simulation)"),
+		dir:     fs.String("cache-dir", "", "cache directory (default ~/.cache/gpulat; implies -cache)"),
+		entries: fs.Int("cache-entries", 0, "LRU bound on cached results (0 = default)"),
+	}
+}
+
+// exec resolves the flags into a caching executor, or nil when caching
+// is off (the runner then uses its plain executor).
+func (c cacheOpts) exec() (runner.ExecFunc, error) {
+	if !*c.enabled && *c.dir == "" {
+		return nil, nil
+	}
+	cache, err := service.OpenCache(*c.dir, *c.entries)
+	if err != nil {
+		return nil, err
+	}
+	return service.CachedExec(cache, nil), nil
+}
+
 // runJobs executes a job list on a bounded pool with progress reporting
 // on stderr and Ctrl-C cancellation, after validating the -engine
 // selection and stamping it on every job (so no command can forget it).
 // Job errors are aggregated into the returned error; the partial
 // ResultSet is always returned.
 func runJobs(jobs []runner.Job, workers int, progress bool, engine string) (*runner.ResultSet, error) {
+	return runJobsExec(jobs, workers, progress, engine, nil)
+}
+
+// runJobsExec is runJobs with an injected executor (nil = the default);
+// the -cache flag routes the service layer's caching executor through
+// here.
+func runJobsExec(jobs []runner.Job, workers int, progress bool, engine string, exec runner.ExecFunc) (*runner.ResultSet, error) {
 	if _, err := sim.ParseEngine(engine); err != nil {
 		return nil, usagef("%v", err)
 	}
@@ -190,6 +247,7 @@ func runJobs(jobs []runner.Job, workers int, progress bool, engine string) (*run
 		stop()
 	}()
 	r := runner.New(workers)
+	r.Exec = exec
 	if progress {
 		r.Progress = func(ev runner.ProgressEvent) {
 			status := ""

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"gpulat/internal/service"
+	"gpulat/internal/sim"
+)
+
+// cmdServe runs the simulation service: an HTTP JSON API over the
+// deduplicating station and the persistent content-addressed result
+// cache. Identical jobs submitted by any number of clients run at most
+// once per cache lifetime; warm grid re-runs answer in milliseconds.
+func cmdServe(args []string) error {
+	fs := newFlags("serve")
+	addr := fs.String("addr", "127.0.0.1:8091", "listen address")
+	cacheDir := fs.String("cache-dir", "", "result cache directory (default ~/.cache/gpulat)")
+	cacheEntries := fs.Int("cache-entries", 0, "LRU bound on cached results (0 = default)")
+	noCache := fs.Bool("no-cache", false, "serve without a persistent cache (in-flight dedup only)")
+	queueBound := fs.Int("queue", 4096, "admitted-but-not-running job bound (overflow → HTTP 503)")
+	jobs := jobsFlag(fs)
+	engine := engineFlag(fs)
+	quiet := fs.Bool("quiet", false, "suppress the startup banner on stderr")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if _, err := sim.ParseEngine(*engine); err != nil {
+		return usagef("%v", err)
+	}
+
+	var cache *service.Cache
+	if !*noCache {
+		var err error
+		if cache, err = service.OpenCache(*cacheDir, *cacheEntries); err != nil {
+			return err
+		}
+	}
+	station := service.NewStation(cache, service.StationConfig{
+		Workers:    *jobs,
+		QueueBound: *queueBound,
+		Engine:     *engine,
+	})
+	defer station.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	srv := &http.Server{Handler: service.NewServer(station, cache)}
+	if !*quiet {
+		where := "disabled"
+		if cache != nil {
+			where = cache.Dir()
+		}
+		workers := *jobs
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		fmt.Fprintf(os.Stderr, "gpulat serve: listening on http://%s (%s, %d workers, cache %s)\n",
+			ln.Addr(), service.Version(), workers, where)
+	}
+
+	// SIGTERM is how process managers (and the service-determinism make
+	// gate) stop the server; both it and Ctrl-C get a graceful drain.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	select {
+	case err := <-errCh:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutdownCtx)
+		return nil
+	}
+}
+
+// cmdVersion reports the build's identity and the cache scheme tag it
+// reads and writes — the tag is how mixed-version fleets avoid serving
+// each other results produced under different simulator semantics.
+func cmdVersion(args []string) error {
+	fs := newFlags("version")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	fmt.Printf("gpulat %s\n", service.Version())
+	fmt.Printf("cache scheme: %s\n", service.SchemeTag())
+	fmt.Printf("go: %s\n", runtime.Version())
+	return nil
+}

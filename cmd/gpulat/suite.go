@@ -148,11 +148,16 @@ func cmdBenchSuite(args []string) error {
 	quiet := fs.Bool("quiet", false, "suppress per-job progress on stderr")
 	cpuProf := fs.String("cpuprofile", "", "write a CPU profile to this file (inspect with `go tool pprof`)")
 	memProf := fs.String("memprofile", "", "write an allocation profile to this file at exit")
+	cacheFl := cacheFlags(fs)
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if *jsonOut && *csvOut {
 		return usagef("bench-suite: -json and -csv are mutually exclusive")
+	}
+	exec, err := cacheFl.exec()
+	if err != nil {
+		return err
 	}
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -182,7 +187,7 @@ func cmdBenchSuite(args []string) error {
 
 	list := suiteJobs(*quick)
 	start := time.Now()
-	set, err := runJobs(list, *jobs, !*quiet, *engine)
+	set, err := runJobsExec(list, *jobs, !*quiet, *engine, exec)
 	if err != nil {
 		// Partial failures still produce the summary below; hard
 		// cancellation aborts.

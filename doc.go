@@ -27,4 +27,38 @@
 // paper, and `gpulat bench-suite -j N` runs the whole reproduction grid
 // on the parallel experiment runner; see README.md for the experiment
 // index and the runner's determinism contract.
+//
+// # Architecture
+//
+// The implementation is sixteen internal packages in a strict layering,
+// hardware at the bottom and the service layer at the top:
+//
+//	sim               clocks, the Component/NextEvent contract, the
+//	                  tick and event simulation engines
+//	isa               the small SIMT instruction set and CFG builder
+//	warp, mem         per-warp execution state; memory request types
+//	sm                SIMT cores: warp schedulers (LRR/GTO), L1+MSHRs,
+//	                  the LDST pipeline, scoreboards
+//	cache, dram       the cache model; banked DRAM with FR-FCFS/FCFS
+//	icnt, mempart     crossbar interconnect; memory partitions
+//	gpu               assembles SMs x partitions x crossbar into a device
+//	sched             streams, the block dispatcher, placement policies
+//	config            presets calibrated to Table I; ablation overrides
+//	kernels           the workload catalog, BFS, the CoRun combinator
+//	core              the paper's methodology: static chase, dynamic
+//	                  instrumentation, breakdown/exposure reports
+//	runner            grids -> jobs -> bounded worker pool -> ResultSet,
+//	                  plus Job.Key, the canonical job content hash
+//	service           simulation-as-a-service: the content-addressed
+//	                  result cache, in-flight dedup, HTTP server/client
+//	stats             summaries, histograms, tables, and the comparable
+//	                  JSON encoding determinism gates diff
+//
+// A job flows top-down: the CLI (or a service client) builds a
+// runner.Grid; the runner expands it deterministically and executes
+// each job by resolving a config preset, building kernels inputs, and
+// running them through core on a gpu device ticked (or fast-forwarded)
+// by sim. Metrics come back as a ResultSet whose exports are
+// byte-identical across worker counts, engines, and cache temperature —
+// the property every `make *-determinism` CI gate pins.
 package gpulat

@@ -3,6 +3,7 @@ package gpulat
 import (
 	"fmt"
 	"io"
+	"net/http"
 
 	"gpulat/internal/config"
 	"gpulat/internal/core"
@@ -10,6 +11,7 @@ import (
 	"gpulat/internal/kernels"
 	"gpulat/internal/runner"
 	"gpulat/internal/sched"
+	"gpulat/internal/service"
 	"gpulat/internal/sim"
 )
 
@@ -114,6 +116,57 @@ func NewCoRun(nameA, nameB string, scale Scale, seedA, seedB uint64) (*CoRunPair
 // cfg.Placement and reports per-kernel residency, latency, and exposure.
 func RunCoRun(cfg Config, pair *CoRunPair, buckets int) (*CoRunResult, error) {
 	return core.RunCoRun(cfg, pair, buckets)
+}
+
+// The simulation-as-a-service layer: a persistent content-addressed
+// result cache, an in-flight-deduplicating job station, and the HTTP
+// server/client pair behind `gpulat serve` / `gpulat submit`.
+type (
+	// JobKey is a Job's canonical content hash (see Job.Key): equal keys
+	// guarantee equal metrics, making it a safe memoization handle.
+	JobKey = runner.JobKey
+	// ResultCache is the disk-backed content-addressed result store.
+	ResultCache = service.Cache
+	// CacheStats are a ResultCache's hit/miss/evict counters.
+	CacheStats = service.CacheStats
+	// Station deduplicates and executes jobs on a bounded queue and
+	// worker pool, writing successes through to its cache.
+	Station = service.Station
+	// StationConfig sizes a Station.
+	StationConfig = service.StationConfig
+	// ServiceClient talks to a served simulation service.
+	ServiceClient = service.Client
+	// ServiceStatsz is the /v1/statsz counters document.
+	ServiceStatsz = service.Statsz
+)
+
+// OpenResultCache opens the content-addressed result store rooted at
+// dir ("" selects ~/.cache/gpulat) under the build's scheme tag.
+func OpenResultCache(dir string, maxEntries int) (*ResultCache, error) {
+	return service.OpenCache(dir, maxEntries)
+}
+
+// NewStation builds and starts a deduplicating job station (cache may
+// be nil); Close drains it.
+func NewStation(cache *ResultCache, cfg StationConfig) *Station {
+	return service.NewStation(cache, cfg)
+}
+
+// NewServiceHandler returns the simulation service's HTTP handler
+// (POST /v1/jobs, GET /v1/jobs/{key}, /v1/results/{key}, /v1/healthz,
+// /v1/statsz, /v1/catalog) over a station and its cache.
+func NewServiceHandler(station *Station, cache *ResultCache) http.Handler {
+	return service.NewServer(station, cache)
+}
+
+// NewServiceClient returns a client for the service at base, e.g.
+// "http://127.0.0.1:8091".
+func NewServiceClient(base string) *ServiceClient { return service.NewClient(base) }
+
+// CachedExec wraps an executor (nil = the default) with a result cache;
+// install it as Runner.Exec to memoize sweeps in-process.
+func CachedExec(cache *ResultCache, exec runner.ExecFunc) runner.ExecFunc {
+	return service.CachedExec(cache, exec)
 }
 
 // Engine selects the top-level simulation loop on a Config.

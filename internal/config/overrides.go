@@ -79,6 +79,12 @@ func ParsePlacement(name string) (sched.Placement, error) {
 	return sched.ParsePlacement(name)
 }
 
+// WarpSchedNames lists the selectable warp schedulers, default first.
+func WarpSchedNames() []string { return []string{"LRR", "GTO"} }
+
+// DRAMSchedNames lists the selectable DRAM schedulers, default first.
+func DRAMSchedNames() []string { return []string{"FR-FCFS", "FR-FCFS-cap", "FCFS"} }
+
 // ParseWarpSched resolves a warp scheduler policy name.
 func ParseWarpSched(name string) (sm.SchedPolicy, error) {
 	switch strings.ToUpper(name) {

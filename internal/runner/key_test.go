@@ -1,0 +1,58 @@
+package runner
+
+import (
+	"testing"
+
+	"gpulat/internal/config"
+)
+
+func TestJobKeyStableAndDiscriminating(t *testing.T) {
+	base := Job{Kind: KindDynamic, Arch: "GF100", Kernel: "bfs", Seed: 42,
+		Options: Options{Vertices: 512}}
+	if k := base.Key(); k != base.Key() {
+		t.Fatalf("key not stable: %s vs %s", k, base.Key())
+	}
+	if !base.Key().Valid() {
+		t.Fatalf("key %q not valid hex-sha256", base.Key())
+	}
+
+	// Every semantic field must discriminate.
+	for name, mut := range map[string]func(j Job) Job{
+		"kind":   func(j Job) Job { j.Kind = KindStatic; return j },
+		"arch":   func(j Job) Job { j.Arch = "GK104"; return j },
+		"kernel": func(j Job) Job { j.Kernel = "vecadd"; return j },
+		"seed":   func(j Job) Job { j.Seed = 43; return j },
+		"opts":   func(j Job) Job { j.Options.Vertices = 1024; return j },
+		"overrides": func(j Job) Job {
+			j.Options.Overrides = config.Overrides{WarpSched: "GTO"}
+			return j
+		},
+	} {
+		if mut(base).Key() == base.Key() {
+			t.Errorf("%s change did not change the key", name)
+		}
+	}
+
+	// Execution machinery and report tags must NOT discriminate.
+	for name, mut := range map[string]func(j Job) Job{
+		"engine":       func(j Job) Job { j.Engine = "tick"; return j },
+		"label":        func(j Job) Job { j.Options.Label = "section/x"; return j },
+		"options-seed": func(j Job) Job { j.Options.Seed = j.Seed; return j },
+	} {
+		if mut(base).Key() != base.Key() {
+			t.Errorf("%s change altered the key", name)
+		}
+	}
+}
+
+func TestJobKeyValid(t *testing.T) {
+	for _, bad := range []JobKey{"", "abc", JobKey(make([]byte, 64)),
+		"ABCDEF0123456789ABCDEF0123456789ABCDEF0123456789ABCDEF0123456789"} {
+		if bad.Valid() {
+			t.Errorf("Valid(%q) = true", bad)
+		}
+	}
+	if k := (Job{Kind: KindChase}).Key(); !k.Valid() {
+		t.Errorf("real key %q reported invalid", k)
+	}
+}

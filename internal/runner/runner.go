@@ -71,6 +71,11 @@ func (j Job) Name() string {
 	return s
 }
 
+// ExecFunc runs one job to completion; Execute is the canonical
+// implementation. Wrappers layer policy over it — the service package's
+// caching executor memoizes by Job.Key — without the Runner knowing.
+type ExecFunc func(ctx context.Context, job Job) Result
+
 // Runner executes job lists on a bounded worker pool.
 type Runner struct {
 	// Workers bounds concurrent jobs; <=0 selects GOMAXPROCS.
@@ -78,9 +83,10 @@ type Runner struct {
 	// Progress, when set, is called after every job completion (from a
 	// single goroutine at a time, in completion order).
 	Progress func(ev ProgressEvent)
-
-	// exec runs one job; tests inject blocking or failing stand-ins.
-	exec func(ctx context.Context, job Job) Result
+	// Exec runs one job (nil selects Execute). The service layer injects
+	// its content-addressed caching executor here; tests inject blocking
+	// or failing stand-ins.
+	Exec ExecFunc
 }
 
 // ProgressEvent reports one completed job.
@@ -107,7 +113,7 @@ func (r *Runner) EffectiveWorkers() int {
 // ResultSet.Err; Run itself returns an error only when ctx is canceled
 // mid-sweep, together with the partial ResultSet gathered so far.
 func (r *Runner) Run(ctx context.Context, jobs []Job) (*ResultSet, error) {
-	exec := r.exec
+	exec := r.Exec
 	if exec == nil {
 		exec = Execute
 	}
@@ -164,7 +170,7 @@ feed:
 
 // runOne executes a single job, converting panics and context
 // cancellation into captured errors and stamping the wall time.
-func runOne(ctx context.Context, exec func(context.Context, Job) Result, job Job) (res Result) {
+func runOne(ctx context.Context, exec ExecFunc, job Job) (res Result) {
 	start := time.Now()
 	defer func() {
 		if p := recover(); p != nil {

@@ -134,7 +134,7 @@ func TestRunContextCancellation(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	var executed atomic.Int32
 	r := New(2)
-	r.exec = func(ctx context.Context, job Job) Result {
+	r.Exec = func(ctx context.Context, job Job) Result {
 		if executed.Add(1) == 3 {
 			cancel()
 		}
@@ -164,7 +164,7 @@ func TestRunPanicIsCapturedPerJob(t *testing.T) {
 		{Kind: KindDynamic, Kernel: "c"},
 	}
 	r := New(2)
-	r.exec = func(_ context.Context, job Job) Result {
+	r.Exec = func(_ context.Context, job Job) Result {
 		if job.Kernel == "boom" {
 			panic("kaboom")
 		}
@@ -189,7 +189,7 @@ func TestRunBoundsConcurrency(t *testing.T) {
 	jobs := make([]Job, 50)
 	var active, peak atomic.Int32
 	r := New(workers)
-	r.exec = func(_ context.Context, job Job) Result {
+	r.Exec = func(_ context.Context, job Job) Result {
 		n := active.Add(1)
 		for {
 			p := peak.Load()

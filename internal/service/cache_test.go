@@ -1,0 +1,270 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"gpulat/internal/runner"
+)
+
+func testJob(i int) runner.Job {
+	return runner.Job{
+		Kind: runner.KindDynamic, Arch: "GF106", Kernel: "vecadd", Seed: uint64(i + 1),
+		Options: runner.Options{TestScale: true},
+	}
+}
+
+func testResult(job runner.Job) runner.Result {
+	return runner.Result{
+		Job: job,
+		Metrics: []runner.Metric{
+			{Name: "cycles", Value: float64(1000 + job.Seed)},
+			{Name: "ipc", Value: 0.5},
+		},
+		Elapsed: 123 * time.Millisecond,
+	}
+}
+
+func TestCacheRoundTrip(t *testing.T) {
+	c, err := OpenCache(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := testJob(0)
+	if _, ok := c.Get(job.Key()); ok {
+		t.Fatal("hit on empty cache")
+	}
+	if err := c.Put(job, testResult(job)); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := c.Get(job.Key())
+	if !ok {
+		t.Fatal("miss after put")
+	}
+	if len(e.Metrics) != 2 || e.Metrics[0].Name != "cycles" || e.Metrics[0].Value != 1001 {
+		t.Fatalf("entry metrics corrupted: %+v", e.Metrics)
+	}
+	if e.Job.Kernel != "vecadd" {
+		t.Fatalf("entry job corrupted: %+v", e.Job)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Puts != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCachePersistsAcrossOpens(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := OpenCache(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := testJob(3)
+	if err := c1.Put(job, testResult(job)); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := OpenCache(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.Get(job.Key()); !ok {
+		t.Fatal("entry lost across reopen")
+	}
+	if c2.Stats().Entries != 1 {
+		t.Fatalf("reopened entry count = %d", c2.Stats().Entries)
+	}
+}
+
+func TestCacheRejectsFailedResults(t *testing.T) {
+	c, err := OpenCache(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := testJob(0)
+	res := testResult(job)
+	res.Err = "boom"
+	if err := c.Put(job, res); err == nil {
+		t.Fatal("failed result accepted")
+	}
+	if _, ok := c.Get(job.Key()); ok {
+		t.Fatal("failed result served")
+	}
+}
+
+func TestCacheEntryBytesAreComparable(t *testing.T) {
+	c, err := OpenCache(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := testJob(1)
+	if err := c.Put(job, testResult(job)); err != nil {
+		t.Fatal(err)
+	}
+	first, err := os.ReadFile(c.path(job.Key()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(first), "elapsed") || strings.Contains(string(first), "wall_seconds") {
+		t.Fatalf("volatile content reached disk:\n%s", first)
+	}
+	// A second put of the same result must produce the identical bytes:
+	// the store is a function of content only.
+	res := testResult(job)
+	res.Elapsed = 999 * time.Hour
+	if err := c.Put(job, res); err != nil {
+		t.Fatal(err)
+	}
+	again, err := os.ReadFile(c.path(job.Key()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, again) {
+		t.Fatalf("entry bytes unstable:\n%s\nvs\n%s", first, again)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c, err := OpenCache(t.TempDir(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jobs []runner.Job
+	for i := 0; i < 3; i++ {
+		job := testJob(i)
+		jobs = append(jobs, job)
+		if err := c.Put(job, testResult(job)); err != nil {
+			t.Fatal(err)
+		}
+		// Distinct mtimes so LRU order is unambiguous even on coarse
+		// filesystem timestamps.
+		old := time.Now().Add(time.Duration(i-10) * time.Hour)
+		if err := os.Chtimes(c.path(job.Key()), old, old); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch job 0: it becomes most recent and must survive.
+	if _, ok := c.Get(jobs[0].Key()); !ok {
+		t.Fatal("warmup get missed")
+	}
+	over := testJob(99)
+	if err := c.Put(over, testResult(over)); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Entries != 3 || st.Evictions != 1 {
+		t.Fatalf("after overflow: %+v", st)
+	}
+	if _, ok := c.Get(jobs[1].Key()); ok {
+		t.Fatal("LRU entry survived eviction")
+	}
+	for _, job := range []runner.Job{jobs[0], jobs[2], over} {
+		if _, ok := c.Get(job.Key()); !ok {
+			t.Fatalf("recently-used entry %d evicted", job.Seed)
+		}
+	}
+}
+
+func TestCacheCorruptEntryIsMissAndRemoved(t *testing.T) {
+	c, err := OpenCache(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := testJob(0)
+	if err := os.WriteFile(c.path(job.Key()), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c.mu.Lock()
+	c.entries = 1
+	c.mu.Unlock()
+	if _, ok := c.Get(job.Key()); ok {
+		t.Fatal("corrupt entry served")
+	}
+	if _, err := os.Stat(c.path(job.Key())); !os.IsNotExist(err) {
+		t.Fatal("corrupt entry not removed")
+	}
+	// Wrong-key content (e.g. a file renamed by hand) is also rejected.
+	other := testJob(1)
+	if err := c.Put(other, testResult(other)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(c.path(other.Key()), c.path(job.Key())); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(job.Key()); ok {
+		t.Fatal("mis-keyed entry served")
+	}
+}
+
+func TestCachedExec(t *testing.T) {
+	c, err := OpenCache(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	execs := 0
+	exec := CachedExec(c, func(ctx context.Context, job runner.Job) runner.Result {
+		execs++
+		return testResult(job)
+	})
+	job := testJob(5)
+	job.Options.Label = "cold/label"
+	first := exec(context.Background(), job)
+	if execs != 1 || first.Failed() {
+		t.Fatalf("cold path: execs=%d err=%q", execs, first.Err)
+	}
+	// A warm call with a different label must hit (labels are excluded
+	// from identity) and carry the requesting job verbatim.
+	warmJob := job
+	warmJob.Options.Label = "warm/label"
+	warm := exec(context.Background(), warmJob)
+	if execs != 1 {
+		t.Fatalf("warm path re-executed (execs=%d)", execs)
+	}
+	if warm.Job.Options.Label != "warm/label" {
+		t.Fatalf("warm result lost the requesting job: %+v", warm.Job)
+	}
+	if len(warm.Metrics) != len(first.Metrics) {
+		t.Fatalf("warm metrics differ: %+v vs %+v", warm.Metrics, first.Metrics)
+	}
+	// Failures pass through uncached.
+	fail := CachedExec(c, func(ctx context.Context, job runner.Job) runner.Result {
+		return runner.Result{Job: job, Err: "sim exploded"}
+	})
+	bad := testJob(6)
+	if res := fail(context.Background(), bad); !res.Failed() {
+		t.Fatal("failure swallowed")
+	}
+	if _, ok := c.Get(bad.Key()); ok {
+		t.Fatal("failure cached")
+	}
+}
+
+func TestOpenCacheSchemeIsolation(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Dir(c.Dir()) != dir {
+		t.Fatalf("cache dir %q not under %q", c.Dir(), dir)
+	}
+	if base := filepath.Base(c.Dir()); base != SchemeTag() {
+		t.Fatalf("cache not scheme-qualified: %q vs %q", base, SchemeTag())
+	}
+	// A foreign scheme's entries are invisible.
+	foreign := filepath.Join(dir, "s0-old")
+	if err := os.MkdirAll(foreign, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	job := testJob(0)
+	if err := os.WriteFile(filepath.Join(foreign, string(job.Key())+".json"), []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(job.Key()); ok {
+		t.Fatal("foreign-scheme entry served")
+	}
+}

@@ -1,0 +1,210 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"gpulat/internal/runner"
+)
+
+// Client talks to a Server. The zero HTTP client is usable; Base is the
+// server root, e.g. "http://127.0.0.1:8091".
+type Client struct {
+	Base string
+	HTTP *http.Client
+	// Poll is the starting status-poll interval (default 25ms); it backs
+	// off to 8x while a job stays unfinished.
+	Poll time.Duration
+}
+
+// NewClient returns a client for the server at base.
+func NewClient(base string) *Client {
+	return &Client{Base: strings.TrimRight(base, "/"), HTTP: &http.Client{}}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) url(path string) string { return c.Base + path }
+
+// getJSON decodes one GET endpoint into out, mapping non-2xx statuses to
+// errors carrying the server's message.
+func (c *Client) getJSON(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url(path), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return httpError(path, resp.StatusCode, body)
+	}
+	return json.Unmarshal(body, out)
+}
+
+func httpError(path string, code int, body []byte) error {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return fmt.Errorf("service: %s: %s (HTTP %d)", path, e.Error, code)
+	}
+	return fmt.Errorf("service: %s: HTTP %d", path, code)
+}
+
+// Healthz fetches the server's health/version document.
+func (c *Client) Healthz(ctx context.Context) (Health, error) {
+	var h Health
+	err := c.getJSON(ctx, "/v1/healthz", &h)
+	return h, err
+}
+
+// Statsz fetches the server's counters.
+func (c *Client) Statsz(ctx context.Context) (Statsz, error) {
+	var s Statsz
+	err := c.getJSON(ctx, "/v1/statsz", &s)
+	return s, err
+}
+
+// CatalogInfo fetches the server's job-spec catalog.
+func (c *Client) CatalogInfo(ctx context.Context) (CatalogInfo, error) {
+	var info CatalogInfo
+	err := c.getJSON(ctx, "/v1/catalog", &info)
+	return info, err
+}
+
+// Submit posts jobs and returns their tickets in job order.
+func (c *Client) Submit(ctx context.Context, jobs []runner.Job) ([]JobTicket, error) {
+	body, err := json.Marshal(SubmitRequest{Jobs: jobs})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url("/v1/jobs"), bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, httpError("/v1/jobs", resp.StatusCode, data)
+	}
+	var sr SubmitResponse
+	if err := json.Unmarshal(data, &sr); err != nil {
+		return nil, err
+	}
+	if len(sr.Tickets) != len(jobs) {
+		return nil, fmt.Errorf("service: submitted %d jobs, got %d tickets", len(jobs), len(sr.Tickets))
+	}
+	return sr.Tickets, nil
+}
+
+// Status fetches one job's lifecycle position.
+func (c *Client) Status(ctx context.Context, key runner.JobKey) (JobStatus, error) {
+	var js JobStatus
+	err := c.getJSON(ctx, "/v1/jobs/"+string(key), &js)
+	return js, err
+}
+
+// Result fetches one finished job's durable result.
+func (c *Client) Result(ctx context.Context, key runner.JobKey) (WireResult, error) {
+	var wr WireResult
+	err := c.getJSON(ctx, "/v1/results/"+string(key), &wr)
+	return wr, err
+}
+
+// WaitHealthy polls /v1/healthz until the server answers or the deadline
+// passes — how `gpulat submit` tolerates racing a just-started server.
+func (c *Client) WaitHealthy(ctx context.Context, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		hctx, cancel := context.WithTimeout(ctx, time.Second)
+		_, err := c.Healthz(hctx)
+		cancel()
+		if err == nil {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("service: server at %s not healthy after %s: %w", c.Base, timeout, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// RunJobs submits jobs, waits for all of them, and reassembles a
+// ResultSet in submission order with client-local indices — the exact
+// shape a direct runner.Run would have produced, so CSV/JSON exports
+// byte-match a local sweep. Tickets already done (cache hits, dedup onto
+// finished work) skip polling entirely, which is what makes warm grid
+// re-runs milliseconds instead of minutes.
+func (c *Client) RunJobs(ctx context.Context, jobs []runner.Job) (*runner.ResultSet, error) {
+	tickets, err := c.Submit(ctx, jobs)
+	if err != nil {
+		return nil, err
+	}
+	poll := c.Poll
+	if poll <= 0 {
+		poll = 25 * time.Millisecond
+	}
+	set := &runner.ResultSet{Results: make([]runner.Result, len(jobs))}
+	for i, t := range tickets {
+		status := t.Status
+		wait := poll
+		for status != StatusDone && status != StatusFailed {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(wait):
+			}
+			js, err := c.Status(ctx, t.Key)
+			if err != nil {
+				return nil, err
+			}
+			status = js.Status
+			if wait < 8*poll {
+				wait *= 2
+			}
+		}
+		wr, err := c.Result(ctx, t.Key)
+		if err != nil {
+			return nil, err
+		}
+		// Reassemble under the job we submitted: keys are content
+		// hashes, so the server's job spec is equivalent, but ours
+		// carries the label/seed spelling this invocation asked for.
+		set.Results[i] = runner.Result{
+			Index:   i,
+			Job:     jobs[i],
+			Metrics: wr.Metrics,
+			Err:     wr.Error,
+		}
+	}
+	return set, nil
+}

@@ -1,0 +1,26 @@
+// Package service is the simulation-as-a-service layer: it turns the
+// one-shot experiment runner into a long-lived, memoizing job service.
+//
+// Three mechanisms stack on top of internal/runner:
+//
+//   - Cache: a persistent content-addressed result store keyed by
+//     runner.Job.Key (SHA-256 of the normalized job spec), disk-backed
+//     with atomic writes, LRU size bounding, and hit/miss/evict
+//     counters. Entries are versioned by a scheme tag derived from the
+//     cache schema version and the build's module version, so results
+//     recorded under older simulator semantics can never be served.
+//
+//   - Station: in-flight deduplication plus a bounded job queue over a
+//     worker pool. N clients requesting the same JobKey share one
+//     simulation; completed results are written through to the cache.
+//
+//   - Server/Client: a small HTTP JSON API (POST /v1/jobs, GET
+//     /v1/jobs/{key}, GET /v1/results/{key}, /v1/healthz, /v1/statsz,
+//     /v1/catalog) and the matching client used by `gpulat submit`.
+//
+// The whole layer preserves the repo's determinism discipline: cached
+// results are stored in the comparable encoding (wall-clock fields
+// stripped — see internal/stats), and a warm re-run of any grid through
+// the service must export byte-identical CSV/JSON to a cold direct run,
+// which `make service-determinism` enforces in CI.
+package service

@@ -1,0 +1,250 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"gpulat/internal/runner"
+	"gpulat/internal/stats"
+)
+
+// SubmitRequest is the POST /v1/jobs body: either fully expanded jobs,
+// a grid to expand server-side, or both (jobs first, then the grid's
+// expansion).
+type SubmitRequest struct {
+	Jobs []runner.Job `json:"jobs,omitempty"`
+	Grid *runner.Grid `json:"grid,omitempty"`
+}
+
+// JobTicket is one accepted job: its content key and admission status.
+type JobTicket struct {
+	Key    runner.JobKey `json:"key"`
+	Status Status        `json:"status"`
+}
+
+// SubmitResponse answers POST /v1/jobs, tickets in request order.
+type SubmitResponse struct {
+	Tickets []JobTicket `json:"tickets"`
+}
+
+// JobStatus answers GET /v1/jobs/{key}.
+type JobStatus struct {
+	Key    runner.JobKey `json:"key"`
+	Status Status        `json:"status"`
+	Error  string        `json:"error,omitempty"`
+}
+
+// WireResult answers GET /v1/results/{key}: the durable, comparable
+// subset of a runner.Result. Index is deliberately absent — position in
+// a sweep belongs to the submitting client, not the shared cache.
+type WireResult struct {
+	Key     runner.JobKey   `json:"key"`
+	Job     runner.Job      `json:"job"`
+	Metrics []runner.Metric `json:"metrics,omitempty"`
+	Error   string          `json:"error,omitempty"`
+}
+
+// Health answers GET /v1/healthz.
+type Health struct {
+	OK      bool   `json:"ok"`
+	Version string `json:"version"`
+	Scheme  string `json:"scheme"`
+}
+
+// Statsz answers GET /v1/statsz.
+type Statsz struct {
+	Version string       `json:"version"`
+	Scheme  string       `json:"scheme"`
+	Cache   CacheStats   `json:"cache"`
+	Station StationStats `json:"station"`
+	// UptimeSeconds is wall clock and therefore volatile; the comparable
+	// encoding strips it, so statsz snapshots can still be diffed.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// Server is the HTTP facade over a Station: stateless handlers, JSON in
+// and out, every mutation funneled through Station.Submit.
+type Server struct {
+	station *Station
+	cache   *Cache // may be nil
+	mux     *http.ServeMux
+	started time.Time
+	// MaxJobsPerRequest bounds one POST body's expansion (anti-footgun
+	// for grids; the queue bound still applies on top).
+	MaxJobsPerRequest int
+}
+
+// NewServer wires the endpoints. cache may be nil (dedup-only service).
+func NewServer(station *Station, cache *Cache) *Server {
+	s := &Server{
+		station:           station,
+		cache:             cache,
+		mux:               http.NewServeMux(),
+		started:           time.Now(),
+		MaxJobsPerRequest: 10000,
+	}
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{key}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/results/{key}", s.handleResult)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/statsz", s.handleStatsz)
+	s.mux.HandleFunc("GET /v1/catalog", s.handleCatalog)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad submit body: %v", err)
+		return
+	}
+	jobs := req.Jobs
+	if req.Grid != nil {
+		// Bound the grid BEFORE expanding it: a few-byte body with a
+		// huge Repeats must be rejected, not materialized.
+		size := gridSizeCapped(req.Grid, s.MaxJobsPerRequest)
+		if len(jobs)+size > s.MaxJobsPerRequest {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"request expands past the per-request bound of %d jobs", s.MaxJobsPerRequest)
+			return
+		}
+		jobs = append(jobs, req.Grid.Jobs()...)
+	}
+	if len(jobs) == 0 {
+		writeError(w, http.StatusBadRequest, "submit body names no jobs (want jobs and/or grid)")
+		return
+	}
+	if len(jobs) > s.MaxJobsPerRequest {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			"%d jobs exceeds the per-request bound of %d", len(jobs), s.MaxJobsPerRequest)
+		return
+	}
+	resp := SubmitResponse{Tickets: make([]JobTicket, 0, len(jobs))}
+	for _, job := range jobs {
+		key, status, err := s.station.Submit(job)
+		if err != nil {
+			// Bounded queue overflow: report how far we got so the
+			// client can resubmit the remainder after backing off.
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+				"error":    err.Error(),
+				"accepted": resp.Tickets,
+			})
+			return
+		}
+		resp.Tickets = append(resp.Tickets, JobTicket{Key: key, Status: status})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// gridSizeCapped returns the grid's expansion size, saturating at
+// bound+1 so arbitrarily large axis counts can never overflow the
+// product.
+func gridSizeCapped(g *runner.Grid, bound int) int {
+	size := 1
+	for _, n := range []int{len(g.Archs), len(g.Kernels), len(g.Variants), g.Repeats} {
+		if n < 1 {
+			n = 1
+		}
+		if n > bound || size*n > bound {
+			return bound + 1
+		}
+		size *= n
+	}
+	return size
+}
+
+func (s *Server) pathKey(w http.ResponseWriter, r *http.Request) (runner.JobKey, bool) {
+	key := runner.JobKey(r.PathValue("key"))
+	if !key.Valid() {
+		writeError(w, http.StatusBadRequest, "malformed job key %q", key)
+		return "", false
+	}
+	return key, true
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	key, ok := s.pathKey(w, r)
+	if !ok {
+		return
+	}
+	status, ok := s.station.Status(key)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %s", key)
+		return
+	}
+	js := JobStatus{Key: key, Status: status}
+	if status == StatusFailed {
+		if res, ok := s.station.Result(key); ok {
+			js.Error = res.Err
+		}
+	}
+	writeJSON(w, http.StatusOK, js)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	key, ok := s.pathKey(w, r)
+	if !ok {
+		return
+	}
+	res, ok := s.station.Result(key)
+	if !ok {
+		if _, known := s.station.Status(key); known {
+			writeError(w, http.StatusConflict, "job %s not finished", key)
+		} else {
+			writeError(w, http.StatusNotFound, "unknown job %s", key)
+		}
+		return
+	}
+	// The comparable encoding is the wire format: results leave the
+	// service with wall-clock fields provably absent.
+	data, err := stats.ComparableJSON(WireResult{
+		Key: key, Job: res.Job, Metrics: res.Metrics, Error: res.Err,
+	})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "encode result: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, Health{OK: true, Version: Version(), Scheme: SchemeTag()})
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	st := Statsz{
+		Version:       Version(),
+		Scheme:        SchemeTag(),
+		Station:       s.station.Stats(),
+		UptimeSeconds: time.Since(s.started).Seconds(),
+	}
+	if s.cache != nil {
+		st.Cache = s.cache.Stats()
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, Catalog())
+}

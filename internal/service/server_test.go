@@ -1,0 +1,251 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"gpulat/internal/runner"
+)
+
+func newTestServer(t *testing.T, cfg StationConfig) (*httptest.Server, *Cache, *Station) {
+	t.Helper()
+	cache, err := OpenCache(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	station := NewStation(cache, cfg)
+	t.Cleanup(station.Close)
+	ts := httptest.NewServer(NewServer(station, cache))
+	t.Cleanup(ts.Close)
+	return ts, cache, station
+}
+
+func TestServerEndToEnd(t *testing.T) {
+	ts, _, _ := newTestServer(t, StationConfig{
+		Workers: 2,
+		Exec: func(ctx context.Context, job runner.Job) runner.Result {
+			return testResult(job)
+		},
+	})
+	client := NewClient(ts.URL)
+	ctx := context.Background()
+
+	h, err := client.Healthz(ctx)
+	if err != nil || !h.OK || h.Version == "" || h.Scheme == "" {
+		t.Fatalf("healthz = %+v, %v", h, err)
+	}
+	info, err := client.CatalogInfo(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Architectures) != 5 || len(info.Workloads) < 9 || len(info.Placements) != 2 {
+		t.Fatalf("catalog = %+v", info)
+	}
+
+	jobs := []runner.Job{testJob(0), testJob(1), testJob(0)} // duplicate on purpose
+	set, err := client.RunJobs(ctx, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set.Results) != 3 {
+		t.Fatalf("results = %d", len(set.Results))
+	}
+	if set.Results[0].Index != 0 || set.Results[2].Index != 2 {
+		t.Fatalf("indices not client-local: %+v", set.Results)
+	}
+	for i, r := range set.Results {
+		if r.Failed() || len(r.Metrics) == 0 {
+			t.Fatalf("result %d: %+v", i, r)
+		}
+	}
+
+	stats, err := client.Statsz(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Station.Deduped != 1 {
+		t.Fatalf("duplicate submission not deduped: %+v", stats.Station)
+	}
+	if stats.Station.Executed != 2 {
+		t.Fatalf("executed = %d, want 2: %+v", stats.Station.Executed, stats.Station)
+	}
+}
+
+func TestServerRejectsMalformedRequests(t *testing.T) {
+	ts, _, _ := newTestServer(t, StationConfig{
+		Workers: 1,
+		Exec: func(ctx context.Context, job runner.Job) runner.Result {
+			return testResult(job)
+		},
+	})
+	post := func(body string) int {
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post("{not json"); code != http.StatusBadRequest {
+		t.Errorf("bad body → %d", code)
+	}
+	if code := post(`{"jobs": []}`); code != http.StatusBadRequest {
+		t.Errorf("empty jobs → %d", code)
+	}
+	if code := post(`{"surprise": 1}`); code != http.StatusBadRequest {
+		t.Errorf("unknown field → %d", code)
+	}
+	// A grid bomb must be rejected from its declared size, before
+	// expansion can allocate anything.
+	if code := post(`{"grid": {"Kind": "chase", "Repeats": 2000000000}}`); code != http.StatusRequestEntityTooLarge {
+		t.Errorf("grid bomb → %d, want %d", code, http.StatusRequestEntityTooLarge)
+	}
+	for path, want := range map[string]int{
+		"/v1/jobs/zzzz":                            http.StatusBadRequest, // malformed key
+		"/v1/results/zzzz":                         http.StatusBadRequest,
+		"/v1/jobs/" + string(testJob(55).Key()):    http.StatusNotFound,
+		"/v1/results/" + string(testJob(55).Key()): http.StatusNotFound,
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Errorf("GET %s → %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+}
+
+func TestServerGridSubmission(t *testing.T) {
+	ts, _, _ := newTestServer(t, StationConfig{
+		Workers: 2,
+		Exec: func(ctx context.Context, job runner.Job) runner.Result {
+			return testResult(job)
+		},
+	})
+	grid := runner.Grid{
+		Kind:     runner.KindDynamic,
+		Archs:    []string{"GF106"},
+		Kernels:  []string{"vecadd", "copy"},
+		Variants: []runner.Options{{TestScale: true}},
+	}
+	body, _ := json.Marshal(SubmitRequest{Grid: &grid})
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("grid submit → %d", resp.StatusCode)
+	}
+	var sr SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Tickets) != 2 {
+		t.Fatalf("grid expanded to %d tickets", len(sr.Tickets))
+	}
+	// Ticket keys must equal client-side expansion keys: the grid
+	// expands identically on both ends.
+	want := grid.Jobs()
+	for i, tk := range sr.Tickets {
+		if tk.Key != want[i].Key() {
+			t.Errorf("ticket %d key %s != local expansion %s", i, tk.Key, want[i].Key())
+		}
+	}
+}
+
+// TestServerWarmRunIsByteIdentical is the acceptance criterion in
+// miniature: a cold service run, a warm service re-run, and a direct
+// local run of the same tiny grid must export byte-identical CSV and
+// JSON, with the warm run served from cache.
+func TestServerWarmRunIsByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	ctx := context.Background()
+	cacheDir := t.TempDir()
+
+	grid := runner.Grid{
+		Kind:     runner.KindDynamic,
+		Archs:    []string{"GF106"},
+		Kernels:  []string{"vecadd", "copy"},
+		Variants: []runner.Options{{Label: "svc", TestScale: true}},
+	}
+	jobs := grid.Jobs()
+
+	direct, err := runner.New(2).Run(ctx, append([]runner.Job(nil), jobs...))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cold: a fresh service over an empty cache simulates everything.
+	cold, coldStats := serveOnce(t, ctx, cacheDir, jobs)
+	// Warm: a RESTARTED service over the same cache dir must answer
+	// entirely from disk — the persistence claim, not just in-process
+	// dedup.
+	warm, warmStats := serveOnce(t, ctx, cacheDir, jobs)
+
+	render := func(set *runner.ResultSet) (string, string) {
+		var csv, js bytes.Buffer
+		if err := set.WriteCSV(&csv); err != nil {
+			t.Fatal(err)
+		}
+		if err := set.WriteJSON(&js); err != nil {
+			t.Fatal(err)
+		}
+		return csv.String(), js.String()
+	}
+	dCSV, dJSON := render(direct)
+	cCSV, cJSON := render(cold)
+	wCSV, wJSON := render(warm)
+	if dCSV != cCSV || dCSV != wCSV {
+		t.Fatalf("CSV drift:\ndirect:\n%s\ncold:\n%s\nwarm:\n%s", dCSV, cCSV, wCSV)
+	}
+	if dJSON != cJSON || dJSON != wJSON {
+		t.Fatalf("JSON drift across direct/cold/warm runs")
+	}
+
+	if coldStats.Station.Executed != int64(len(jobs)) || coldStats.Station.CacheHits != 0 {
+		t.Fatalf("cold stats: %+v", coldStats.Station)
+	}
+	if warmStats.Station.CacheHits != int64(len(jobs)) || warmStats.Station.Executed != 0 {
+		t.Fatalf("warm run not served from the persistent cache: %+v", warmStats.Station)
+	}
+	if warmStats.Cache.Hits != int64(len(jobs)) {
+		t.Fatalf("cache counters: %+v", warmStats.Cache)
+	}
+}
+
+// serveOnce spins up a service over cacheDir, runs jobs through the
+// HTTP client, and returns the results plus the final counters.
+func serveOnce(t *testing.T, ctx context.Context, cacheDir string, jobs []runner.Job) (*runner.ResultSet, Statsz) {
+	t.Helper()
+	cache, err := OpenCache(cacheDir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	station := NewStation(cache, StationConfig{Workers: 4})
+	defer station.Close()
+	ts := httptest.NewServer(NewServer(station, cache))
+	defer ts.Close()
+	client := NewClient(ts.URL)
+	set, err := client.RunJobs(ctx, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := client.Statsz(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set, stats
+}

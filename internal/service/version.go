@@ -1,0 +1,76 @@
+package service
+
+import (
+	"fmt"
+	"runtime/debug"
+	"strings"
+)
+
+// cacheSchemaVersion names the semantics generation of cached results.
+// Bump it whenever a change can alter any job's metrics — simulator
+// timing fixes, new default parameters, metric renames — so every older
+// cache entry is invalidated at once. Additive, result-neutral changes
+// (new endpoints, new commands) do not bump it.
+const cacheSchemaVersion = 1
+
+// Version reports the build's identity: the module version plus, when
+// the binary was built from a VCS checkout, the (possibly dirty) commit.
+// It feeds `gpulat version`, the /v1/healthz payload, and the cache
+// scheme tag.
+func Version() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	// Since Go 1.24, main-module builds from a VCS checkout get a full
+	// pseudo-version (commit time + hash, "+dirty" when modified)
+	// stamped into Main.Version; use it verbatim. Only fall back to the
+	// raw VCS settings when the toolchain left the placeholder.
+	v := bi.Main.Version
+	if v != "" && v != "(devel)" {
+		return v
+	}
+	var rev string
+	dirty := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev == "" {
+		return "(devel)"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if dirty {
+		rev += "-dirty"
+	}
+	return "(devel)+" + rev
+}
+
+// SchemeTag is the cache namespace: entries live under
+// <cache-dir>/<SchemeTag()>/ so that a schema bump or a different build
+// starts from an empty (but not deleted) cache rather than serving
+// results produced under different simulator semantics.
+func SchemeTag() string {
+	return sanitizeTag(fmt.Sprintf("s%d-%s", cacheSchemaVersion, Version()))
+}
+
+// sanitizeTag makes a version string safe as a single directory name.
+func sanitizeTag(s string) string {
+	var b strings.Builder
+	for _, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '-', c == '_', c == '+':
+			b.WriteRune(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

@@ -63,6 +63,9 @@ func (e Engine) String() string {
 	return fmt.Sprintf("engine(%d)", uint8(e))
 }
 
+// EngineNames lists the selectable engines, default first.
+func EngineNames() []string { return []string{"event", "tick"} }
+
 // ParseEngine resolves an engine name; the empty string selects the
 // default event engine.
 func ParseEngine(name string) (Engine, error) {

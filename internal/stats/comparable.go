@@ -1,0 +1,75 @@
+package stats
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// volatileKeys are JSON object keys that carry wall-clock measurements:
+// they vary run to run on identical inputs, so any document that feeds a
+// byte-equality determinism gate — or the content-addressed result
+// cache — must have them stripped first. The simulation's own counters
+// (cycles, stepped/skipped cycles, latencies in device cycles) are all
+// deterministic and stay.
+var volatileKeys = map[string]bool{
+	"wall_seconds":            true,
+	"cycles_per_second":       true,
+	"speedup_event_over_tick": true,
+	"elapsed":                 true,
+	"uptime_seconds":          true,
+}
+
+// Volatile reports whether key names a wall-clock-derived JSON field
+// excluded from comparable encodings.
+func Volatile(key string) bool { return volatileKeys[key] }
+
+// StripVolatile returns data with every volatile key removed from every
+// object, recursively. Numbers pass through verbatim (decoded as
+// json.Number), so stripping never reformats a value; two documents that
+// differ only in volatile fields strip to byte-identical output.
+func StripVolatile(data []byte) ([]byte, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.UseNumber()
+	var v any
+	if err := dec.Decode(&v); err != nil {
+		return nil, fmt.Errorf("stats: comparable encoding: %w", err)
+	}
+	out, err := json.MarshalIndent(stripValue(v), "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("stats: comparable encoding: %w", err)
+	}
+	return append(out, '\n'), nil
+}
+
+func stripValue(v any) any {
+	switch t := v.(type) {
+	case map[string]any:
+		for k, e := range t {
+			if Volatile(k) {
+				delete(t, k)
+				continue
+			}
+			t[k] = stripValue(e)
+		}
+		return t
+	case []any:
+		for i, e := range t {
+			t[i] = stripValue(e)
+		}
+		return t
+	}
+	return v
+}
+
+// ComparableJSON marshals v and strips its volatile fields: the one
+// canonical encoding all determinism diffs and the service result cache
+// use. Map keys are sorted by the re-encode, so the bytes depend only on
+// the durable content of v.
+func ComparableJSON(v any) ([]byte, error) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	return StripVolatile(data)
+}

@@ -1,0 +1,68 @@
+package stats
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestStripVolatileRemovesWallClockFields(t *testing.T) {
+	a := []byte(`{"cycles": 100, "wall_seconds": 1.23,
+		"nested": [{"cycles_per_second": 9e9, "ipc": 0.5}],
+		"speedup_event_over_tick": {"bfs": 2}, "elapsed": "1s"}`)
+	b := []byte(`{"cycles": 100, "wall_seconds": 99.9,
+		"nested": [{"cycles_per_second": 1, "ipc": 0.5}],
+		"speedup_event_over_tick": {"bfs": 7}, "elapsed": "2h"}`)
+	sa, err := StripVolatile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := StripVolatile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sa, sb) {
+		t.Fatalf("volatile-only difference survived:\n%s\nvs\n%s", sa, sb)
+	}
+	for _, gone := range []string{"wall_seconds", "cycles_per_second", "speedup", "elapsed"} {
+		if strings.Contains(string(sa), gone) {
+			t.Errorf("comparable encoding still contains %q:\n%s", gone, sa)
+		}
+	}
+	if !strings.Contains(string(sa), `"cycles": 100`) {
+		t.Errorf("deterministic field lost:\n%s", sa)
+	}
+}
+
+func TestStripVolatilePreservesNumbersVerbatim(t *testing.T) {
+	in := []byte(`{"v": 0.30000000000000004, "big": 18446744073709551615}`)
+	out, err := StripVolatile(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"0.30000000000000004", "18446744073709551615"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("number %s reformatted:\n%s", want, out)
+		}
+	}
+}
+
+func TestComparableJSONDeterministic(t *testing.T) {
+	v := map[string]any{"b": 1, "a": []any{map[string]any{"wall_seconds": 5, "x": 2}}}
+	first, err := ComparableJSON(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		again, err := ComparableJSON(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first, again) {
+			t.Fatalf("encoding not deterministic:\n%s\nvs\n%s", first, again)
+		}
+	}
+	if strings.Contains(string(first), "wall_seconds") {
+		t.Fatalf("volatile key survived: %s", first)
+	}
+}
