@@ -4,7 +4,7 @@
 GO      ?= go
 JOBS    ?= 0   # 0 = GOMAXPROCS
 
-.PHONY: all build test vet fmt bench bench-baseline repro repro-quick determinism engine-determinism corun-determinism service-determinism clean
+.PHONY: all build test vet fmt bench bench-baseline repro repro-quick determinism engine-determinism corun-determinism service-determinism shard-determinism clean
 
 all: build vet fmt test
 
@@ -115,6 +115,56 @@ service-determinism:
 	test $$(( warm * 10 )) -le $$cold
 	@echo "service-determinism: service cold/warm and direct runs byte-identical; warm >=10x faster"
 
+# Proves the sharded tier's contract end to end. Phase 0 pins the
+# station/coordinator lifecycle fix under the race detector (Submit
+# racing or following Close errors in bounded time instead of hanging).
+# Phase 1 fans the quick bench grid from a coordinator over two stock
+# backend serves and byte-diffs the export against a direct run. Phase 2
+# restarts the coordinator (cold routing state), SIGKILLs one backend
+# mid-grid while a submission races, and asserts the grid still
+# completes byte-identically via circuit-breaking + re-route (the dead
+# backend's keys re-simulate on the survivor). SIGKILL, not SIGTERM: a
+# graceful drain would fail queued jobs politely, and the point is
+# surviving an impolite death.
+SHARD_COORD ?= 127.0.0.1:18764
+SHARD_B1    ?= 127.0.0.1:18765
+SHARD_B2    ?= 127.0.0.1:18766
+shard-determinism:
+	$(GO) build -o /tmp/gpulat-ci ./cmd/gpulat
+	$(GO) test -race -count=1 -run 'TestStationSubmitAfterClose|TestStationSubmitCloseRace|TestStationDoUnblocksOnConcurrentClose|TestCoordinatorSubmitAfterClose|TestCoordinatorFailsOver' ./internal/service
+	rm -rf /tmp/gpulat-shard-b1 /tmp/gpulat-shard-b2 \
+		/tmp/gpulat-b1.pid /tmp/gpulat-b2.pid /tmp/gpulat-coord.pid
+	/tmp/gpulat-ci bench-suite -quick -quiet -j 8 -csv  > /tmp/gpulat-direct.csv
+	/tmp/gpulat-ci bench-suite -quick -quiet -j 8 -json > /tmp/gpulat-direct.json
+	set -e; \
+	trap 'for f in /tmp/gpulat-b1.pid /tmp/gpulat-b2.pid /tmp/gpulat-coord.pid; do \
+		test -f $$f && kill -9 $$(cat $$f) 2>/dev/null; done; true' EXIT; \
+	/tmp/gpulat-ci serve -addr $(SHARD_B1) -cache-dir /tmp/gpulat-shard-b1 -quiet & echo $$! > /tmp/gpulat-b1.pid; \
+	/tmp/gpulat-ci serve -addr $(SHARD_B2) -cache-dir /tmp/gpulat-shard-b2 -quiet & echo $$! > /tmp/gpulat-b2.pid; \
+	/tmp/gpulat-ci serve -addr $(SHARD_COORD) -backends $(SHARD_B1),$(SHARD_B2) -quiet & echo $$! > /tmp/gpulat-coord.pid; \
+	/tmp/gpulat-ci submit -addr http://$(SHARD_COORD) -quiet -suite -quick -csv > /tmp/gpulat-shard-cold.csv; \
+	/tmp/gpulat-ci submit -addr http://$(SHARD_COORD) -backendsz > /tmp/gpulat-shard-backendsz.json; \
+	cmp /tmp/gpulat-direct.csv /tmp/gpulat-shard-cold.csv; \
+	grep -q '"circuit": "closed"' /tmp/gpulat-shard-backendsz.json; \
+	grep -q '"submitted": ' /tmp/gpulat-shard-backendsz.json; \
+	kill $$(cat /tmp/gpulat-coord.pid) && wait $$(cat /tmp/gpulat-coord.pid) 2>/dev/null || true; \
+	/tmp/gpulat-ci serve -addr $(SHARD_COORD) -backends $(SHARD_B1),$(SHARD_B2) -quiet & echo $$! > /tmp/gpulat-coord.pid; \
+	rm -rf /tmp/gpulat-shard-b1 /tmp/gpulat-shard-b2; \
+	/tmp/gpulat-ci submit -addr http://$(SHARD_COORD) -quiet -suite -quick -csv > /tmp/gpulat-shard-kill.csv & SUBMIT=$$!; \
+	sleep 0.05; \
+	kill -9 $$(cat /tmp/gpulat-b2.pid); rm -f /tmp/gpulat-b2.pid; \
+	wait $$SUBMIT; \
+	cmp /tmp/gpulat-direct.csv /tmp/gpulat-shard-kill.csv; \
+	/tmp/gpulat-ci submit -addr http://$(SHARD_COORD) -quiet -suite -quick -json > /tmp/gpulat-shard-kill.json; \
+	cmp /tmp/gpulat-direct.json /tmp/gpulat-shard-kill.json; \
+	for i in $$(seq 1 40); do \
+		/tmp/gpulat-ci submit -addr http://$(SHARD_COORD) -backendsz > /tmp/gpulat-shard-backendsz.json; \
+		grep -q '"circuit": "open"' /tmp/gpulat-shard-backendsz.json && break; \
+		sleep 0.25; \
+	done; \
+	grep -q '"circuit": "open"' /tmp/gpulat-shard-backendsz.json
+	@echo "shard-determinism: 2-backend coordinator byte-identical to direct, including across a mid-grid backend kill"
+
 clean:
 	$(GO) clean
 	rm -f /tmp/gpulat-ci /tmp/gpulat-j1.csv /tmp/gpulat-j8.csv \
@@ -125,5 +175,8 @@ clean:
 		/tmp/gpulat-direct.csv /tmp/gpulat-direct.json \
 		/tmp/gpulat-svc-cold.csv /tmp/gpulat-svc-warm.csv \
 		/tmp/gpulat-svc-warm.json /tmp/gpulat-svc-statsz.json \
-		/tmp/gpulat-serve.pid
-	rm -rf /tmp/gpulat-svc-cache
+		/tmp/gpulat-serve.pid \
+		/tmp/gpulat-shard-cold.csv /tmp/gpulat-shard-kill.csv \
+		/tmp/gpulat-shard-kill.json /tmp/gpulat-shard-backendsz.json \
+		/tmp/gpulat-b1.pid /tmp/gpulat-b2.pid /tmp/gpulat-coord.pid
+	rm -rf /tmp/gpulat-svc-cache /tmp/gpulat-shard-b1 /tmp/gpulat-shard-b2

@@ -141,8 +141,10 @@ commands:
   export        run a workload and dump per-load records as CSV
   config        dump a preset as editable JSON (use with -arch file:<path>)
   list          available architectures and workloads (-json for machines)
-  serve         run the simulation service (HTTP API + result cache)
+  serve         run the simulation service (HTTP API + result cache);
+                -backends b1,b2 runs a sharding coordinator over them
   submit        submit jobs to a running service and collect results
+                (-shard i/n for key-hash fan-out, -backendsz for pool view)
   version       report the build version and cache scheme tag
 
 sweep-shaped commands take -j N (parallel experiment workers); sweep,

@@ -3,12 +3,14 @@ package main
 import (
 	"context"
 	"errors"
+	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -20,13 +22,22 @@ import (
 // deduplicating station and the persistent content-addressed result
 // cache. Identical jobs submitted by any number of clients run at most
 // once per cache lifetime; warm grid re-runs answer in milliseconds.
+//
+// With -backends, the same process serves the same API as a sharding
+// coordinator instead: it runs no simulations itself, routing each job
+// to one of the listed backend `gpulat serve` processes by consistent
+// hashing on its content key (so backend caches stay hot), and failing
+// over to the survivors when a backend dies. Clients cannot tell the
+// difference — `gpulat submit` works unchanged against either mode.
 func cmdServe(args []string) error {
 	fs := newFlags("serve")
 	addr := fs.String("addr", "127.0.0.1:8091", "listen address")
+	backends := fs.String("backends", "", "comma-separated backend addresses (host:port); run as a sharding coordinator over them instead of simulating locally")
 	cacheDir := fs.String("cache-dir", "", "result cache directory (default ~/.cache/gpulat)")
 	cacheEntries := fs.Int("cache-entries", 0, "LRU bound on cached results (0 = default)")
 	noCache := fs.Bool("no-cache", false, "serve without a persistent cache (in-flight dedup only)")
-	queueBound := fs.Int("queue", 4096, "admitted-but-not-running job bound (overflow → HTTP 503)")
+	queueBound := fs.Int("queue", 4096, "admission bound (station: jobs admitted but not running; coordinator: live keys); overflow → HTTP 503")
+	probe := fs.Duration("probe", 250*time.Millisecond, "coordinator health-probe interval (with -backends)")
 	jobs := jobsFlag(fs)
 	engine := engineFlag(fs)
 	quiet := fs.Bool("quiet", false, "suppress the startup banner on stderr")
@@ -37,26 +48,56 @@ func cmdServe(args []string) error {
 		return usagef("%v", err)
 	}
 
+	var svc service.JobService
 	var cache *service.Cache
-	if !*noCache {
-		var err error
-		if cache, err = service.OpenCache(*cacheDir, *cacheEntries); err != nil {
-			return err
+	var banner string
+	if *backends != "" {
+		// Coordinator mode: no local cache, no local workers — the
+		// backends own both. Refuse station-only flags instead of
+		// silently ignoring them (-queue stays meaningful: it bounds the
+		// coordinator's live-key admission).
+		var incompatible []string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "cache-dir", "cache-entries", "no-cache", "j", "engine":
+				incompatible = append(incompatible, "-"+f.Name)
+			}
+		})
+		if len(incompatible) > 0 {
+			return usagef("serve: %s cannot be combined with -backends (caches, workers, and engines belong to the backends)",
+				strings.Join(incompatible, ", "))
 		}
-	}
-	station := service.NewStation(cache, service.StationConfig{
-		Workers:    *jobs,
-		QueueBound: *queueBound,
-		Engine:     *engine,
-	})
-	defer station.Close()
-
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		return fmt.Errorf("serve: %w", err)
-	}
-	srv := &http.Server{Handler: service.NewServer(station, cache)}
-	if !*quiet {
+		var addrs []string
+		for _, a := range strings.Split(*backends, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+		coord, err := service.NewCoordinator(service.CoordinatorConfig{
+			Backends:      addrs,
+			ProbeInterval: *probe,
+			QueueBound:    *queueBound,
+		})
+		if err != nil {
+			return usagef("serve: %v", err)
+		}
+		defer coord.Close()
+		svc = coord
+		banner = fmt.Sprintf("coordinator over %d backends: %s", len(addrs), strings.Join(addrs, ", "))
+	} else {
+		if !*noCache {
+			var err error
+			if cache, err = service.OpenCache(*cacheDir, *cacheEntries); err != nil {
+				return err
+			}
+		}
+		station := service.NewStation(cache, service.StationConfig{
+			Workers:    *jobs,
+			QueueBound: *queueBound,
+			Engine:     *engine,
+		})
+		defer station.Close()
+		svc = station
 		where := "disabled"
 		if cache != nil {
 			where = cache.Dir()
@@ -65,8 +106,17 @@ func cmdServe(args []string) error {
 		if workers <= 0 {
 			workers = runtime.GOMAXPROCS(0)
 		}
-		fmt.Fprintf(os.Stderr, "gpulat serve: listening on http://%s (%s, %d workers, cache %s)\n",
-			ln.Addr(), service.Version(), workers, where)
+		banner = fmt.Sprintf("%d workers, cache %s", workers, where)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	srv := &http.Server{Handler: service.NewServer(svc, cache)}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "gpulat serve: listening on http://%s (%s, %s)\n",
+			ln.Addr(), service.Version(), banner)
 	}
 
 	// SIGTERM is how process managers (and the service-determinism make

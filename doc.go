@@ -48,9 +48,13 @@
 //	core              the paper's methodology: static chase, dynamic
 //	                  instrumentation, breakdown/exposure reports
 //	runner            grids -> jobs -> bounded worker pool -> ResultSet,
-//	                  plus Job.Key, the canonical job content hash
+//	                  plus Job.Key (the canonical job content hash) and
+//	                  PartitionJobs, deterministic key-hash sharding
 //	service           simulation-as-a-service: the content-addressed
-//	                  result cache, in-flight dedup, HTTP server/client
+//	                  result cache, in-flight dedup, HTTP server/client,
+//	                  and the sharding Coordinator — a consistent-hash
+//	                  pool of backend serves with health probing,
+//	                  per-backend circuit state, and re-route on failure
 //	stats             summaries, histograms, tables, and the comparable
 //	                  JSON encoding determinism gates diff
 //
@@ -59,6 +63,19 @@
 // each job by resolving a config preset, building kernels inputs, and
 // running them through core on a gpu device ticked (or fast-forwarded)
 // by sim. Metrics come back as a ResultSet whose exports are
-// byte-identical across worker counts, engines, and cache temperature —
-// the property every `make *-determinism` CI gate pins.
+// byte-identical across worker counts, engines, cache temperature, and
+// service topology (direct, single serve, or a sharded coordinator —
+// even one that loses a backend mid-grid) — the property every
+// `make *-determinism` CI gate pins.
+//
+// # Sharded service
+//
+// `gpulat serve -backends host:port,...` runs the service as a
+// Coordinator over a pool of stock `gpulat serve` backends. Jobs route
+// by consistent hashing on their JobKey, so each backend's persistent
+// cache keeps answering the keys it owns across restarts and pool
+// changes; a failed backend's circuit opens after consecutive probe or
+// call failures and its live keys re-route to the survivors. Figure 2's
+// exposure report renders half-open latency buckets — [lo,hi), last
+// bucket inclusive — so a boundary load belongs to exactly one bucket.
 package gpulat

@@ -138,6 +138,17 @@ type (
 	ServiceClient = service.Client
 	// ServiceStatsz is the /v1/statsz counters document.
 	ServiceStatsz = service.Statsz
+	// JobService is the execution tier behind the HTTP server: a Station
+	// (single node) or a Coordinator (sharded).
+	JobService = service.JobService
+	// Coordinator shards jobs over a pool of backend services by
+	// consistent hashing on JobKey, with health probing, per-backend
+	// circuit state, and re-route + retry on backend failure.
+	Coordinator = service.Coordinator
+	// CoordinatorConfig sizes a Coordinator.
+	CoordinatorConfig = service.CoordinatorConfig
+	// BackendStatus is one backend's routing/health view (/v1/backendsz).
+	BackendStatus = service.BackendStatus
 )
 
 // OpenResultCache opens the content-addressed result store rooted at
@@ -154,9 +165,26 @@ func NewStation(cache *ResultCache, cfg StationConfig) *Station {
 
 // NewServiceHandler returns the simulation service's HTTP handler
 // (POST /v1/jobs, GET /v1/jobs/{key}, /v1/results/{key}, /v1/healthz,
-// /v1/statsz, /v1/catalog) over a station and its cache.
-func NewServiceHandler(station *Station, cache *ResultCache) http.Handler {
-	return service.NewServer(station, cache)
+// /v1/statsz, /v1/backendsz, /v1/catalog) over a Station or a
+// Coordinator. cache may be nil (a coordinator's caches live on its
+// backends).
+func NewServiceHandler(svc JobService, cache *ResultCache) http.Handler {
+	return service.NewServer(svc, cache)
+}
+
+// NewCoordinator builds and starts the sharded service tier over the
+// given backend addresses; serve its handler with NewServiceHandler.
+// Close stops the health prober and fails outstanding jobs.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	return service.NewCoordinator(cfg)
+}
+
+// PartitionJobs splits an expanded job list into n deterministic,
+// disjoint shards by JobKey hash — the client-side counterpart of the
+// coordinator's consistent-hash routing (see also `gpulat submit
+// -shard i/n`).
+func PartitionJobs(jobs []Job, n int) [][]Job {
+	return runner.PartitionJobs(jobs, n)
 }
 
 // NewServiceClient returns a client for the service at base, e.g.

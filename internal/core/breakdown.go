@@ -130,8 +130,22 @@ func (r *BreakdownReport) TotalPct(s Stage) float64 {
 	return 100 * float64(r.TotalStage[s]) / float64(total)
 }
 
+// RangeLabel renders bucket i's latency range under the same half-open
+// convention ExposureReport uses: [lo,hi) everywhere except the last
+// bucket, which is inclusive — bucket i's Hi equals bucket i+1's Lo, so
+// the old "lo-hi" spelling made a boundary load read as a member of two
+// buckets when the binning puts it in exactly one.
+func (r *BreakdownReport) RangeLabel(i int) string {
+	b := &r.Buckets[i]
+	if i == len(r.Buckets)-1 {
+		return fmt.Sprintf("[%d,%d]", b.Lo, b.Hi)
+	}
+	return fmt.Sprintf("[%d,%d)", b.Lo, b.Hi)
+}
+
 // Render writes the report as an aligned text table (one row per
-// non-empty bucket, one column per stage), mirroring Figure 1.
+// non-empty bucket, one column per stage), mirroring Figure 1. Bucket
+// ranges are half-open (see RangeLabel).
 func (r *BreakdownReport) Render(w io.Writer) {
 	fmt.Fprintf(w, "Latency breakdown by pipeline stage — %s on %s (%d loads)\n",
 		r.Workload, r.Arch, r.Requests)
@@ -145,7 +159,7 @@ func (r *BreakdownReport) Render(w io.Writer) {
 		if b.Count == 0 {
 			continue
 		}
-		row := []any{fmt.Sprintf("%d-%d", b.Lo, b.Hi), b.Count}
+		row := []any{r.RangeLabel(i), b.Count}
 		for s := Stage(0); s < NumStages; s++ {
 			row = append(row, b.Pct(s))
 		}
@@ -162,9 +176,11 @@ func (r *BreakdownReport) Render(w io.Writer) {
 	fmt.Fprintln(w)
 }
 
-// RenderCSV writes the bucket table as CSV for plotting.
+// RenderCSV writes the bucket table as CSV for plotting. As in the
+// exposure CSV, lo is inclusive and hi exclusive (the last row's hi is
+// inclusive), so consecutive rows tile the latency axis without overlap.
 func (r *BreakdownReport) RenderCSV(w io.Writer) {
-	hdr := []string{"lo", "hi", "count"}
+	hdr := []string{"lo_incl", "hi_excl", "count"}
 	for s := Stage(0); s < NumStages; s++ {
 		hdr = append(hdr, s.String())
 	}

@@ -8,7 +8,12 @@ import (
 	"gpulat/internal/stats"
 )
 
-// ExposureBucket is one latency bucket of the Figure 2 diagram.
+// ExposureBucket is one latency bucket of the Figure 2 diagram. Buckets
+// are half-open: a load with total latency v belongs to the bucket with
+// Lo <= v < Hi, except the last bucket, which also includes v == Hi —
+// bucket i's Hi equals bucket i+1's Lo, so a load on the boundary counts
+// in exactly one bucket (the higher one). Renderers print the ranges in
+// this [lo,hi) convention.
 type ExposureBucket struct {
 	Lo, Hi  sim.Cycle
 	Count   int
@@ -127,8 +132,21 @@ func (r *ExposureReport) MostlyExposedPct() float64 {
 	return 100 * float64(r.LoadsMostlyExposed) / float64(r.Requests)
 }
 
+// RangeLabel renders bucket i's latency range under the half-open
+// convention: [lo,hi) everywhere except the last bucket, which is
+// inclusive. The old "lo-hi" spelling made adjacent buckets appear to
+// overlap (bucket i's Hi is bucket i+1's Lo), so a boundary load read as
+// belonging to two buckets when the binning puts it in exactly one.
+func (r *ExposureReport) RangeLabel(i int) string {
+	b := &r.Buckets[i]
+	if i == len(r.Buckets)-1 {
+		return fmt.Sprintf("[%d,%d]", b.Lo, b.Hi)
+	}
+	return fmt.Sprintf("[%d,%d)", b.Lo, b.Hi)
+}
+
 // Render writes the report as a text table with proportional bars,
-// mirroring Figure 2.
+// mirroring Figure 2. Bucket ranges are half-open (see ExposureBucket).
 func (r *ExposureReport) Render(w io.Writer) {
 	fmt.Fprintf(w, "Exposed vs hidden load latency — %s on %s (%d loads)\n",
 		r.Workload, r.Arch, r.Requests)
@@ -138,7 +156,7 @@ func (r *ExposureReport) Render(w io.Writer) {
 		if b.Count == 0 {
 			continue
 		}
-		tb.AddRow(fmt.Sprintf("%d-%d", b.Lo, b.Hi), b.Count,
+		tb.AddRow(r.RangeLabel(i), b.Count,
 			b.ExposedPct(), 100-b.ExposedPct(), stats.Bar(b.ExposedPct()/100, 20))
 	}
 	tb.Render(w)
@@ -146,9 +164,12 @@ func (r *ExposureReport) Render(w io.Writer) {
 		r.OverallExposedPct(), r.MostlyExposedPct())
 }
 
-// RenderCSV writes the bucket table as CSV for plotting.
+// RenderCSV writes the bucket table as CSV for plotting. The lo column
+// is inclusive and hi is exclusive (half-open buckets; the last row's hi
+// is inclusive), so consecutive rows tile the latency axis without
+// overlap.
 func (r *ExposureReport) RenderCSV(w io.Writer) {
-	tb := stats.NewTable("lo", "hi", "count", "exposed_pct", "hidden_pct")
+	tb := stats.NewTable("lo_incl", "hi_excl", "count", "exposed_pct", "hidden_pct")
 	for i := range r.Buckets {
 		b := &r.Buckets[i]
 		if b.Count == 0 {

@@ -2,9 +2,11 @@ package runner
 
 import (
 	"crypto/sha256"
+	"encoding/binary"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"strconv"
 )
 
 // JobKey is a canonical content hash of one Job: jobs with the same key
@@ -42,6 +44,24 @@ func (j Job) Key() JobKey {
 	}
 	sum := sha256.Sum256(data)
 	return JobKey(hex.EncodeToString(sum[:]))
+}
+
+// Hash64 returns the key's routing hash: the first 8 bytes of the
+// SHA-256 digest the key spells in hex. Because the key already is a
+// cryptographic hash of the job spec, its prefix is uniformly
+// distributed — shard partitioning (PartitionJobs) and the service
+// layer's consistent-hash ring both place keys with it, which is what
+// keeps a job's placement (and therefore its backend cache locality)
+// stable across processes. Malformed keys hash their raw bytes instead
+// so the function is total.
+func (k JobKey) Hash64() uint64 {
+	if len(k) >= 16 {
+		if v, err := strconv.ParseUint(string(k[:16]), 16, 64); err == nil {
+			return v
+		}
+	}
+	sum := sha256.Sum256([]byte(k))
+	return binary.BigEndian.Uint64(sum[:8])
 }
 
 // Valid reports whether k has the shape of a Key result (64 hex

@@ -1,0 +1,49 @@
+package runner
+
+// Shard-aware grid partitioning: split an expanded grid into n disjoint
+// job lists by the jobs' content keys, so independent submitters (or
+// machines) can each take one shard of a sweep without coordinating.
+// The partition is a pure function of the job specs — every party that
+// expands the same Grid computes the same split, and because placement
+// follows JobKey (the same identity the service layer routes and caches
+// by), a shard keeps hitting the same backend caches no matter who runs
+// it or how often.
+
+// ShardIndex returns which of n shards the job belongs to. n <= 1 puts
+// everything in shard 0.
+func (j Job) ShardIndex(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(j.Key().Hash64() % uint64(n))
+}
+
+// PartitionJobs splits jobs into n shards by key hash, preserving the
+// input order within each shard. Every job lands in exactly one shard;
+// concatenating the shards in index-then-position order is a stable
+// permutation of the input. Duplicate specs (same JobKey) land in the
+// same shard, so in-flight dedup still collapses them on one executor.
+func PartitionJobs(jobs []Job, n int) [][]Job {
+	if n <= 1 {
+		return [][]Job{jobs}
+	}
+	shards := make([][]Job, n)
+	for _, job := range jobs {
+		i := job.ShardIndex(n)
+		shards[i] = append(shards[i], job)
+	}
+	return shards
+}
+
+// Shard expands the grid and returns shard index of n — the job subset
+// a single submitter in an n-way fan-out should run. Indices outside
+// [0, n) return nil.
+func (g Grid) Shard(index, n int) []Job {
+	if n <= 1 && index == 0 {
+		return g.Jobs()
+	}
+	if index < 0 || index >= n {
+		return nil
+	}
+	return PartitionJobs(g.Jobs(), n)[index]
+}

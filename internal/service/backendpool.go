@@ -1,0 +1,283 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"gpulat/internal/runner"
+)
+
+// ErrNoBackends is returned when a job cannot be placed because every
+// backend's circuit is open (or the pool is empty). HTTP maps it to 503
+// so clients back off and retry — the prober may close a circuit again.
+var ErrNoBackends = errors.New("service: no healthy backends")
+
+// BackendStatus is one backend's routing and health view, reported by
+// GET /v1/backendsz on a coordinator.
+type BackendStatus struct {
+	Addr    string `json:"addr"`
+	Healthy bool   `json:"healthy"`
+	// Circuit is "closed" while the backend is routable and "open" after
+	// FailThreshold consecutive failures; the health prober closes it
+	// again on the first successful probe.
+	Circuit             string `json:"circuit"`
+	ConsecutiveFailures int    `json:"consecutive_failures,omitempty"`
+	LastError           string `json:"last_error,omitempty"`
+	Probes              int64  `json:"probes"`
+	// Submitted counts jobs forwarded to this backend (including
+	// re-forwards after reroutes elsewhere failed).
+	Submitted int64 `json:"submitted"`
+	// Assigned is the number of live (non-terminal) keys currently
+	// placed on this backend.
+	Assigned int `json:"assigned"`
+	// ReroutedAway counts keys moved off this backend after it failed.
+	ReroutedAway int64 `json:"rerouted_away,omitempty"`
+}
+
+// Backend is one routable `gpulat serve` endpoint plus its circuit
+// state. All mutation goes through report* so the failure counts and
+// the circuit flag stay consistent. Probe failures and forwarded-call
+// failures are counted SEPARATELY: either kind of consecutive-failure
+// streak opens the circuit, and — crucially — a succeeding health probe
+// does not reset the call-failure streak, so a backend whose /v1/healthz
+// answers happily while its job handling is broken still fails out.
+type Backend struct {
+	addr   string // normalized base URL, e.g. "http://127.0.0.1:8092"
+	client *Client
+
+	mu               sync.Mutex
+	open             bool
+	consecCallFails  int
+	consecProbeFails int
+	lastErr          string
+	probes           int64
+	submitted        int64
+	rerouted         int64
+}
+
+// Addr returns the backend's normalized base URL.
+func (b *Backend) Addr() string { return b.addr }
+
+// routable reports whether the circuit is closed.
+func (b *Backend) routable() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return !b.open
+}
+
+// reportFailure records one failed probe or forwarded call and returns
+// true when exactly this failure opened the circuit (the transition the
+// coordinator uses to trigger a proactive reroute sweep).
+func (b *Backend) reportFailure(threshold int, err error, probe bool) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if probe {
+		b.consecProbeFails++
+	} else {
+		b.consecCallFails++
+	}
+	if err != nil {
+		b.lastErr = err.Error()
+	}
+	if !b.open && (b.consecProbeFails >= threshold || b.consecCallFails >= threshold) {
+		b.open = true
+		return true
+	}
+	return false
+}
+
+// reportSuccess records one successful probe or forwarded call,
+// returning true on the open→closed transition. A successful call is
+// the strongest health signal: it clears both streaks and closes the
+// circuit. A successful probe clears only the probe streak while the
+// circuit is closed — it must not mask an accumulating call-failure
+// streak — but while the circuit is OPEN it closes it and resets both
+// (the recovery path: a restarted backend answers probes before anyone
+// routes calls to it again).
+func (b *Backend) reportSuccess(probe bool) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if probe {
+		b.consecProbeFails = 0
+		if !b.open {
+			return false
+		}
+	} else {
+		b.consecCallFails = 0
+		b.consecProbeFails = 0
+	}
+	b.lastErr = ""
+	if b.open {
+		b.open = false
+		b.consecCallFails = 0
+		b.consecProbeFails = 0
+		return true
+	}
+	return false
+}
+
+func (b *Backend) noteProbe() {
+	b.mu.Lock()
+	b.probes++
+	b.mu.Unlock()
+}
+
+func (b *Backend) noteSubmitted(n int) {
+	b.mu.Lock()
+	b.submitted += int64(n)
+	b.mu.Unlock()
+}
+
+func (b *Backend) noteRerouted() {
+	b.mu.Lock()
+	b.rerouted++
+	b.mu.Unlock()
+}
+
+// status snapshots the backend (Assigned is filled by the coordinator,
+// which owns the key→backend map). ConsecutiveFailures reports the
+// worse of the two streaks.
+func (b *Backend) status() BackendStatus {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	circuit := "closed"
+	if b.open {
+		circuit = "open"
+	}
+	fails := b.consecCallFails
+	if b.consecProbeFails > fails {
+		fails = b.consecProbeFails
+	}
+	return BackendStatus{
+		Addr:                b.addr,
+		Healthy:             !b.open,
+		Circuit:             circuit,
+		ConsecutiveFailures: fails,
+		LastError:           b.lastErr,
+		Probes:              b.probes,
+		Submitted:           b.submitted,
+		ReroutedAway:        b.rerouted,
+	}
+}
+
+// BackendPool owns a fixed set of backends and the consistent-hash ring
+// that places JobKeys on them. Each backend contributes ringVnodes
+// virtual points, so (a) load spreads evenly even with two backends and
+// (b) a backend going down only remaps the keys it owned — every other
+// key keeps its placement, which is what preserves backend-local cache
+// affinity across pool membership changes.
+type BackendPool struct {
+	backends  []*Backend
+	ring      []ringPoint
+	threshold int
+}
+
+type ringPoint struct {
+	hash uint64
+	b    *Backend
+}
+
+// ringVnodes is the virtual-node count per backend. 64 keeps the
+// largest/smallest arc ratio low single-digit percent for small pools.
+const ringVnodes = 64
+
+// normalizeBackendAddr turns "host:port" into a base URL and strips
+// trailing slashes; full URLs pass through.
+func normalizeBackendAddr(addr string) string {
+	addr = strings.TrimSpace(addr)
+	if addr != "" && !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return strings.TrimRight(addr, "/")
+}
+
+// NewBackendPool builds the ring over addrs ("host:port" or base URLs).
+// failThreshold <= 0 selects 3 consecutive failures before a circuit
+// opens.
+func NewBackendPool(addrs []string, failThreshold int) (*BackendPool, error) {
+	if failThreshold <= 0 {
+		failThreshold = 3
+	}
+	seen := map[string]bool{}
+	p := &BackendPool{threshold: failThreshold}
+	for _, raw := range addrs {
+		addr := normalizeBackendAddr(raw)
+		if addr == "" || seen[addr] {
+			continue
+		}
+		seen[addr] = true
+		client := NewClient(addr)
+		// The coordinator handles rerouting itself; keep the forwarding
+		// client's own 503 retries short so a wedged backend fails over
+		// quickly instead of being politely waited on.
+		client.MaxAttempts = 3
+		b := &Backend{addr: addr, client: client}
+		p.backends = append(p.backends, b)
+		for i := 0; i < ringVnodes; i++ {
+			p.ring = append(p.ring, ringPoint{hash: pointHash(fmt.Sprintf("%s#%d", addr, i)), b: b})
+		}
+	}
+	if len(p.backends) == 0 {
+		return nil, errors.New("service: backend pool needs at least one backend address")
+	}
+	sort.Slice(p.ring, func(i, j int) bool { return p.ring[i].hash < p.ring[j].hash })
+	return p, nil
+}
+
+// pointHash places a virtual node on the ring: the same 8-byte SHA-256
+// prefix JobKey.Hash64 uses for keys, so placement is stable across
+// processes and restarts.
+func pointHash(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Route returns the backend owning key: the first routable backend at
+// or clockwise after the key's point on the ring. Backends with open
+// circuits are skipped, as is avoid (the backend a caller just watched
+// fail, which may not have tripped its circuit yet). When avoid is the
+// only routable backend left it is returned anyway — retrying the sole
+// survivor beats failing the job. Returns nil when nothing is routable.
+func (p *BackendPool) Route(key runner.JobKey, avoid *Backend) *Backend {
+	if len(p.ring) == 0 {
+		return nil
+	}
+	h := key.Hash64()
+	start := sort.Search(len(p.ring), func(i int) bool { return p.ring[i].hash >= h })
+	for n := 0; n < len(p.ring); n++ {
+		b := p.ring[(start+n)%len(p.ring)].b
+		if b == avoid || !b.routable() {
+			continue
+		}
+		return b
+	}
+	if avoid != nil && avoid.routable() {
+		return avoid
+	}
+	return nil
+}
+
+// Healthy counts routable backends.
+func (p *BackendPool) Healthy() int {
+	n := 0
+	for _, b := range p.backends {
+		if b.routable() {
+			n++
+		}
+	}
+	return n
+}
+
+// Statuses snapshots every backend in configuration order.
+func (p *BackendPool) Statuses() []BackendStatus {
+	out := make([]BackendStatus, len(p.backends))
+	for i, b := range p.backends {
+		out[i] = b.status()
+	}
+	return out
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -21,6 +22,14 @@ type Client struct {
 	// Poll is the starting status-poll interval (default 25ms); it backs
 	// off to 8x while a job stays unfinished.
 	Poll time.Duration
+	// Backoff is the starting delay before resubmitting jobs a 503
+	// (queue full, no healthy backends) refused (default 50ms, doubling
+	// up to 2s).
+	Backoff time.Duration
+	// MaxAttempts bounds submit attempts per batch, counting the first
+	// (default 8). Only 503 refusals are retried; other failures return
+	// immediately.
+	MaxAttempts int
 }
 
 // NewClient returns a client for the server at base.
@@ -59,14 +68,34 @@ func (c *Client) getJSON(ctx context.Context, path string, out any) error {
 	return json.Unmarshal(body, out)
 }
 
+// APIError is a non-2xx service answer decoded into Go: the HTTP status
+// plus the server's error message. Callers branch on Code — 503 means
+// back off and retry, 404 means the server doesn't know the key, 409
+// means the job isn't finished. A transport failure (server gone) is
+// NOT an APIError, which is how the coordinator tells "backend refused"
+// from "backend dead".
+type APIError struct {
+	Path    string
+	Code    int
+	Message string
+}
+
+func (e *APIError) Error() string {
+	if e.Message != "" {
+		return fmt.Sprintf("service: %s: %s (HTTP %d)", e.Path, e.Message, e.Code)
+	}
+	return fmt.Sprintf("service: %s: HTTP %d", e.Path, e.Code)
+}
+
 func httpError(path string, code int, body []byte) error {
 	var e struct {
 		Error string `json:"error"`
 	}
-	if json.Unmarshal(body, &e) == nil && e.Error != "" {
-		return fmt.Errorf("service: %s: %s (HTTP %d)", path, e.Error, code)
+	msg := ""
+	if json.Unmarshal(body, &e) == nil {
+		msg = e.Error
 	}
-	return fmt.Errorf("service: %s: HTTP %d", path, code)
+	return &APIError{Path: path, Code: code, Message: msg}
 }
 
 // Healthz fetches the server's health/version document.
@@ -83,6 +112,14 @@ func (c *Client) Statsz(ctx context.Context) (Statsz, error) {
 	return s, err
 }
 
+// Backendsz fetches a coordinator's per-backend routing/health view.
+// Single-node stations answer 404 (an *APIError).
+func (c *Client) Backendsz(ctx context.Context) (Backendsz, error) {
+	var b Backendsz
+	err := c.getJSON(ctx, "/v1/backendsz", &b)
+	return b, err
+}
+
 // CatalogInfo fetches the server's job-spec catalog.
 func (c *Client) CatalogInfo(ctx context.Context) (CatalogInfo, error) {
 	var info CatalogInfo
@@ -90,8 +127,68 @@ func (c *Client) CatalogInfo(ctx context.Context) (CatalogInfo, error) {
 	return info, err
 }
 
-// Submit posts jobs and returns their tickets in job order.
+// Submit posts jobs and returns their tickets in job order. A 503
+// refusal (bounded queue full, or a coordinator briefly without healthy
+// backends) is not an error: the server reports how many jobs it
+// accepted, and Submit backs off and resubmits the remainder, so a
+// sweep larger than the server's queue completes instead of aborting.
+// Other failures — and 503s persisting past MaxAttempts — return an
+// error.
 func (c *Client) Submit(ctx context.Context, jobs []runner.Job) ([]JobTicket, error) {
+	backoff := c.Backoff
+	if backoff <= 0 {
+		backoff = 50 * time.Millisecond
+	}
+	maxAttempts := c.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = 8
+	}
+	tickets := make([]JobTicket, 0, len(jobs))
+	remaining := jobs
+	for attempt := 1; ; attempt++ {
+		accepted, err := c.submitOnce(ctx, remaining)
+		tickets = append(tickets, accepted...)
+		remaining = remaining[len(accepted):]
+		if err == nil {
+			if len(remaining) != 0 {
+				return nil, fmt.Errorf("service: submitted %d jobs, got %d tickets", len(jobs), len(tickets))
+			}
+			return tickets, nil
+		}
+		var ae *APIError
+		if !errors.As(err, &ae) || ae.Code != http.StatusServiceUnavailable {
+			return nil, err
+		}
+		if len(accepted) > 0 {
+			// Partial progress: the server is draining, so only
+			// genuinely stalled rounds count against the attempt budget
+			// — a sweep much larger than the server's queue bound must
+			// complete, however many rounds it takes.
+			attempt = 0
+			backoff = c.Backoff
+			if backoff <= 0 {
+				backoff = 50 * time.Millisecond
+			}
+		}
+		if attempt >= maxAttempts {
+			return nil, fmt.Errorf("service: %d of %d jobs still refused after %d submit attempts: %w",
+				len(remaining), len(jobs), attempt, err)
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(backoff):
+		}
+		if backoff < 2*time.Second {
+			backoff *= 2
+		}
+	}
+}
+
+// submitOnce posts one batch. A 503 answer carries the tickets the
+// server accepted before refusing; they are returned alongside the
+// *APIError so Submit can resubmit exactly the remainder.
+func (c *Client) submitOnce(ctx context.Context, jobs []runner.Job) ([]JobTicket, error) {
 	body, err := json.Marshal(SubmitRequest{Jobs: jobs})
 	if err != nil {
 		return nil, err
@@ -109,6 +206,17 @@ func (c *Client) Submit(ctx context.Context, jobs []runner.Job) ([]JobTicket, er
 	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 	if err != nil {
 		return nil, err
+	}
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		var refusal struct {
+			Error    string      `json:"error"`
+			Accepted []JobTicket `json:"accepted"`
+		}
+		_ = json.Unmarshal(data, &refusal)
+		if len(refusal.Accepted) > len(jobs) {
+			refusal.Accepted = refusal.Accepted[:len(jobs)]
+		}
+		return refusal.Accepted, &APIError{Path: "/v1/jobs", Code: resp.StatusCode, Message: refusal.Error}
 	}
 	if resp.StatusCode != http.StatusOK {
 		return nil, httpError("/v1/jobs", resp.StatusCode, data)
@@ -177,33 +285,45 @@ func (c *Client) RunJobs(ctx context.Context, jobs []runner.Job) (*runner.Result
 	for i, t := range tickets {
 		status := t.Status
 		wait := poll
-		for status != StatusDone && status != StatusFailed {
-			select {
-			case <-ctx.Done():
-				return nil, ctx.Err()
-			case <-time.After(wait):
+		for {
+			for status != StatusDone && status != StatusFailed {
+				select {
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				case <-time.After(wait):
+				}
+				js, err := c.Status(ctx, t.Key)
+				if err != nil {
+					return nil, err
+				}
+				status = js.Status
+				if wait < 8*poll {
+					wait *= 2
+				}
 			}
-			js, err := c.Status(ctx, t.Key)
+			wr, err := c.Result(ctx, t.Key)
 			if err != nil {
+				// 409: the "done" we saw evaporated between the status
+				// poll and the fetch — a sharded server's backend died
+				// in that window and the job is re-running. Resume
+				// polling; every other failure is terminal.
+				var ae *APIError
+				if errors.As(err, &ae) && ae.Code == http.StatusConflict {
+					status = StatusQueued
+					continue
+				}
 				return nil, err
 			}
-			status = js.Status
-			if wait < 8*poll {
-				wait *= 2
+			// Reassemble under the job we submitted: keys are content
+			// hashes, so the server's job spec is equivalent, but ours
+			// carries the label/seed spelling this invocation asked for.
+			set.Results[i] = runner.Result{
+				Index:   i,
+				Job:     jobs[i],
+				Metrics: wr.Metrics,
+				Err:     wr.Error,
 			}
-		}
-		wr, err := c.Result(ctx, t.Key)
-		if err != nil {
-			return nil, err
-		}
-		// Reassemble under the job we submitted: keys are content
-		// hashes, so the server's job spec is equivalent, but ours
-		// carries the label/seed spelling this invocation asked for.
-		set.Results[i] = runner.Result{
-			Index:   i,
-			Job:     jobs[i],
-			Metrics: wr.Metrics,
-			Err:     wr.Error,
+			break
 		}
 	}
 	return set, nil

@@ -1,0 +1,568 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"gpulat/internal/runner"
+)
+
+// CoordinatorConfig sizes the sharded service tier.
+type CoordinatorConfig struct {
+	// Backends are the worker endpoints ("host:port" or base URLs), each
+	// a stock `gpulat serve` process with its own cache and worker pool.
+	Backends []string
+	// ProbeInterval is the health-probe period (default 250ms).
+	ProbeInterval time.Duration
+	// FailThreshold opens a backend's circuit after that many
+	// consecutive failed calls or probes (default 3).
+	FailThreshold int
+	// CallTimeout bounds one forwarded HTTP call (default 15s).
+	CallTimeout time.Duration
+	// MaxReroutes bounds how many times one key is re-placed after
+	// backend failures before it fails outright (default 8).
+	MaxReroutes int
+	// QueueBound caps live (non-terminal) keys the coordinator will
+	// admit — the sharded analogue of StationConfig.QueueBound, so a
+	// coordinator still exerts 503 backpressure instead of growing its
+	// states map without limit (default 4096 per configured backend).
+	QueueBound int
+}
+
+func (cfg *CoordinatorConfig) fill() {
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = 250 * time.Millisecond
+	}
+	if cfg.FailThreshold <= 0 {
+		cfg.FailThreshold = 3
+	}
+	if cfg.CallTimeout <= 0 {
+		cfg.CallTimeout = 15 * time.Second
+	}
+	if cfg.MaxReroutes <= 0 {
+		cfg.MaxReroutes = 8
+	}
+	if cfg.QueueBound <= 0 {
+		cfg.QueueBound = 4096 * max(len(cfg.Backends), 1)
+	}
+}
+
+// routedJob tracks one key through the sharded tier: where it was
+// placed, the last status observed there, and the result once terminal.
+type routedJob struct {
+	key     runner.JobKey
+	job     runner.Job
+	backend *Backend
+	status  Status
+	result  runner.Result
+	done    bool
+	// forwarded flips once the backend has acknowledged the submission;
+	// until then status proxies answer "queued" locally instead of
+	// asking a backend that has never heard of the key.
+	forwarded bool
+	reroutes  int
+}
+
+// Coordinator is the sharded JobService: it owns no simulation workers,
+// only a pool of backend `gpulat serve` endpoints. Each submitted job is
+// routed to a backend by consistent hashing on its runner.JobKey — the
+// same content identity the caches use — so a key lands on the same
+// backend across coordinator restarts and unrelated pool changes, and
+// that backend's persistent cache keeps answering it. Submissions are
+// batched per backend; a health prober plus per-backend circuit state
+// detect failures, and every live key on a failed backend is re-routed
+// to a survivor and re-submitted (backends dedupe by key, so duplicate
+// forwards are harmless). Results are proxied once and memoized, which
+// keeps the client-observable contract byte-identical to a
+// single-process run.
+type Coordinator struct {
+	cfg  CoordinatorConfig
+	pool *BackendPool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+	states map[runner.JobKey]*routedJob
+	// live counts non-terminal states; admission refuses with
+	// ErrQueueFull once it reaches cfg.QueueBound.
+	live      int
+	submitted int64
+	deduped   int64
+	rejected  int64
+	rerouted  int64
+}
+
+// NewCoordinator builds the pool and starts the health prober. The
+// backends do not need to be up yet — the prober opens circuits for the
+// absent ones and closes them when they appear.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	cfg.fill()
+	pool, err := NewBackendPool(cfg.Backends, cfg.FailThreshold)
+	if err != nil {
+		return nil, err
+	}
+	c := &Coordinator{
+		cfg:    cfg,
+		pool:   pool,
+		stop:   make(chan struct{}),
+		states: map[runner.JobKey]*routedJob{},
+	}
+	c.wg.Add(1)
+	go c.prober()
+	return c, nil
+}
+
+// Close stops the prober and fails every non-terminal key so no local
+// waiter blocks; Close is idempotent, and Submit after Close returns
+// ErrStationClosed in bounded time.
+func (c *Coordinator) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	for _, st := range c.states {
+		if !st.done {
+			c.failLocked(st, "service: coordinator closed before the job finished")
+		}
+	}
+	c.mu.Unlock()
+	close(c.stop)
+	c.wg.Wait()
+}
+
+// failLocked marks st terminal-failed. Caller holds c.mu.
+func (c *Coordinator) failLocked(st *routedJob, msg string) {
+	if !st.done {
+		c.live--
+	}
+	st.done = true
+	st.status = StatusFailed
+	st.result = runner.Result{Job: st.job, Err: msg}
+}
+
+// Submit admits one job; see SubmitMany.
+func (c *Coordinator) Submit(job runner.Job) (runner.JobKey, Status, error) {
+	key := job.Key()
+	tickets, err := c.SubmitMany([]runner.Job{job})
+	if err != nil {
+		return key, "", err
+	}
+	return tickets[0].Key, tickets[0].Status, nil
+}
+
+// SubmitMany places each job on its ring backend and forwards the
+// admissions as one batched POST per backend — a grid expanded
+// server-side becomes a handful of bulk submissions, not one HTTP call
+// per job. Duplicate keys (in the batch or already known) dedup onto the
+// existing state exactly like Station.Submit; previously-failed keys are
+// replaced and re-run. Returns ErrStationClosed after Close and
+// ErrNoBackends (with the tickets accepted so far) when a job cannot be
+// placed.
+func (c *Coordinator) SubmitMany(jobs []runner.Job) ([]JobTicket, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.rejected += int64(len(jobs))
+		c.mu.Unlock()
+		return nil, ErrStationClosed
+	}
+	tickets := make([]JobTicket, 0, len(jobs))
+	groups := map[*Backend][]*routedJob{}
+	for _, job := range jobs {
+		key := job.Key()
+		c.submitted++
+		if st, ok := c.states[key]; ok && st.status != StatusFailed {
+			c.deduped++
+			tickets = append(tickets, JobTicket{Key: key, Status: st.status})
+			continue
+		}
+		refuse := func(err error) ([]JobTicket, error) {
+			c.rejected++
+			c.mu.Unlock()
+			// Forward what was already grouped before refusing the
+			// rest: an accepted ticket must correspond to a forwarded
+			// (or explicitly failing) job, never to one silently
+			// stranded in the states map.
+			for gb, g := range groups {
+				c.forward(gb, g)
+			}
+			return tickets, err
+		}
+		if c.live >= c.cfg.QueueBound {
+			return refuse(ErrQueueFull)
+		}
+		b := c.pool.Route(key, nil)
+		if b == nil {
+			return refuse(ErrNoBackends)
+		}
+		st := &routedJob{key: key, job: job, backend: b, status: StatusQueued}
+		if old, replaced := c.states[key]; replaced && !old.done {
+			// Replacing a failed-but-unfetched state: it leaves the live
+			// count with its replacement.
+			c.live--
+		}
+		c.states[key] = st
+		c.live++
+		groups[b] = append(groups[b], st)
+		tickets = append(tickets, JobTicket{Key: key, Status: StatusQueued})
+	}
+	c.mu.Unlock()
+
+	for b, group := range groups {
+		c.forward(b, group)
+	}
+
+	// Refresh ticket statuses after forwarding: a backend answering from
+	// its cache reports "done" immediately, which lets clients skip the
+	// status-poll round entirely on warm grids.
+	c.mu.Lock()
+	for i := range tickets {
+		if st, ok := c.states[tickets[i].Key]; ok {
+			tickets[i].Status = st.status
+		}
+	}
+	c.mu.Unlock()
+	return tickets, nil
+}
+
+// maxForwardBatch bounds one forwarded POST, safely under the backend
+// server's default MaxJobsPerRequest (10000) so a large failover batch
+// never trips the far end's per-request bound.
+const maxForwardBatch = 5000
+
+// forward submits one backend's batch in bounded chunks, re-placing
+// jobs whose backend turns out to be dead.
+func (c *Coordinator) forward(b *Backend, group []*routedJob) {
+	for len(group) > 0 {
+		n := min(len(group), maxForwardBatch)
+		c.forwardChunk(b, group[:n])
+		group = group[n:]
+	}
+}
+
+func (c *Coordinator) forwardChunk(b *Backend, group []*routedJob) {
+	jobs := make([]runner.Job, len(group))
+	for i, st := range group {
+		jobs[i] = st.job
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.CallTimeout)
+	tks, err := b.client.Submit(ctx, jobs)
+	cancel()
+	if err == nil {
+		b.reportSuccess(false)
+		b.noteSubmitted(len(jobs))
+		c.mu.Lock()
+		for i, st := range group {
+			if !st.done && st.backend == b {
+				st.forwarded = true
+				st.status = tks[i].Status
+			}
+		}
+		c.mu.Unlock()
+		return
+	}
+	var ae *APIError
+	if errors.As(err, &ae) {
+		switch {
+		case ae.Code == http.StatusServiceUnavailable:
+			// The backend ANSWERED: it is alive but refusing — its queue
+			// is full past the forwarding client's own retries. That is
+			// backpressure, not death: no circuit penalty, and no
+			// reroute, which would dump the load on an equally-busy
+			// survivor and forfeit cache affinity. The chunk stays
+			// assigned and unforwarded; the prober's sweep re-forwards
+			// it as capacity frees, and whatever prefix the backend did
+			// admit simply dedupes there.
+			return
+		case ae.Code == http.StatusRequestEntityTooLarge && len(group) > 1:
+			// The operator lowered the backend's per-request bound below
+			// ours: bisect until it fits.
+			c.forwardChunk(b, group[:len(group)/2])
+			c.forwardChunk(b, group[len(group)/2:])
+			return
+		}
+	}
+	b.reportFailure(c.cfg.FailThreshold, err, false)
+	c.replaceGroup(group, b)
+}
+
+// resubmit re-places one key after its backend failed it.
+func (c *Coordinator) resubmit(st *routedJob, from *Backend) {
+	c.replaceGroup([]*routedJob{st}, from)
+}
+
+// replaceGroup re-places every live key of group off `from`: each key
+// walks the ring past the failed backend, the re-placements are grouped
+// by new owner and re-forwarded as BATCHES (a failed 500-job batch
+// becomes one bulk POST per survivor, not 500 sequential calls), and a
+// batch whose new owner also fails recurses — bounded, because every
+// hop spends one unit of each key's reroute budget. Keys whose budget
+// runs out, or that no routable backend will take, fail terminally so
+// their waiters unblock. Safe to call concurrently for the same state:
+// the first caller to move st.backend wins and later callers (guarded
+// by st.backend != from) skip it.
+func (c *Coordinator) replaceGroup(group []*routedJob, from *Backend) {
+	targets := map[*Backend][]*routedJob{}
+	c.mu.Lock()
+	for _, st := range group {
+		if st.done || c.closed || st.backend != from {
+			continue
+		}
+		if st.reroutes >= c.cfg.MaxReroutes {
+			c.failLocked(st, fmt.Sprintf(
+				"service: job %s still unplaced after %d reroutes: %v", st.key, st.reroutes, ErrNoBackends))
+			continue
+		}
+		st.reroutes++
+		b := c.pool.Route(st.key, from)
+		if b == nil {
+			c.failLocked(st, ErrNoBackends.Error())
+			continue
+		}
+		st.backend = b
+		st.forwarded = false
+		st.status = StatusQueued
+		c.rerouted++
+		targets[b] = append(targets[b], st)
+	}
+	c.mu.Unlock()
+	for b, sub := range targets {
+		if from != nil && from != b {
+			for range sub {
+				from.noteRerouted()
+			}
+		}
+		c.forward(b, sub)
+	}
+}
+
+// prober drives the failure detector: every ProbeInterval it probes each
+// backend's /v1/healthz (feeding the same circuit state the forwarding
+// path uses), then sweeps for live keys stranded on unroutable backends
+// and re-places them. Detection-to-reroute latency is therefore bounded
+// by ProbeInterval × FailThreshold even if no client is polling.
+func (c *Coordinator) prober() {
+	defer c.wg.Done()
+	probeTimeout := c.cfg.ProbeInterval
+	if probeTimeout > time.Second {
+		probeTimeout = time.Second
+	}
+	ticker := time.NewTicker(c.cfg.ProbeInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-ticker.C:
+		}
+		for _, b := range c.pool.backends {
+			ctx, cancel := context.WithTimeout(context.Background(), probeTimeout)
+			_, err := b.client.Healthz(ctx)
+			cancel()
+			b.noteProbe()
+			if err != nil {
+				b.reportFailure(c.cfg.FailThreshold, err, true)
+			} else {
+				b.reportSuccess(true)
+			}
+		}
+		c.sweepStranded()
+	}
+}
+
+// sweepStranded is the prober's safety net: live keys whose backend is
+// unroutable are re-placed, and keys that were accepted but never
+// successfully forwarded (e.g. an admission batch that hit ErrNoBackends
+// part-way, or a forward raced by Close on the far end) are re-forwarded
+// to their assigned backend. Duplicate forwards are harmless — backends
+// dedupe by key.
+func (c *Coordinator) sweepStranded() {
+	replace := map[*Backend][]*routedJob{}
+	reforward := map[*Backend][]*routedJob{}
+	c.mu.Lock()
+	for _, st := range c.states {
+		switch {
+		case st.done || st.backend == nil:
+		case !st.backend.routable():
+			replace[st.backend] = append(replace[st.backend], st)
+		case !st.forwarded:
+			reforward[st.backend] = append(reforward[st.backend], st)
+		}
+	}
+	c.mu.Unlock()
+	for from, group := range replace {
+		c.replaceGroup(group, from)
+	}
+	for b, group := range reforward {
+		c.forward(b, group)
+	}
+}
+
+// Status reports a key's position, proxying to the owning backend for
+// live keys. Backend failures observed here feed the circuit state and
+// trigger an immediate re-place of this key, so a polling client drives
+// its own failover without waiting for the prober.
+func (c *Coordinator) Status(key runner.JobKey) (Status, bool) {
+	c.mu.Lock()
+	st, ok := c.states[key]
+	if !ok {
+		c.mu.Unlock()
+		return "", false
+	}
+	if st.done || !st.forwarded {
+		s := st.status
+		c.mu.Unlock()
+		return s, true
+	}
+	b := st.backend
+	c.mu.Unlock()
+
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.CallTimeout)
+	js, err := b.client.Status(ctx, key)
+	cancel()
+	if err == nil {
+		b.reportSuccess(false)
+		c.mu.Lock()
+		if !st.done && st.backend == b {
+			st.status = js.Status
+		}
+		s := st.status
+		c.mu.Unlock()
+		return s, true
+	}
+	var ae *APIError
+	if errors.As(err, &ae) {
+		if ae.Code == http.StatusNotFound {
+			// The backend answered but has never heard of the key — it
+			// restarted and lost its in-memory states. Re-place the job.
+			c.resubmit(st, b)
+			return StatusQueued, true
+		}
+		// Any other API answer means the backend is alive; report the
+		// last status we believed.
+		c.mu.Lock()
+		s := st.status
+		c.mu.Unlock()
+		return s, true
+	}
+	// Transport failure: count it against the circuit and re-place now.
+	b.reportFailure(c.cfg.FailThreshold, err, false)
+	c.resubmit(st, b)
+	return StatusQueued, true
+}
+
+// Result returns a terminal result, proxying the first fetch to the
+// owning backend and memoizing it locally so later calls (and the
+// coordinator's own failure handling) never depend on the backend
+// staying alive after completion.
+func (c *Coordinator) Result(key runner.JobKey) (runner.Result, bool) {
+	c.mu.Lock()
+	st, ok := c.states[key]
+	if !ok {
+		c.mu.Unlock()
+		return runner.Result{}, false
+	}
+	if st.done {
+		res := st.result
+		c.mu.Unlock()
+		return res, true
+	}
+	if !st.forwarded {
+		c.mu.Unlock()
+		return runner.Result{}, false
+	}
+	b := st.backend
+	c.mu.Unlock()
+
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.CallTimeout)
+	wr, err := b.client.Result(ctx, key)
+	cancel()
+	if err == nil {
+		b.reportSuccess(false)
+		c.mu.Lock()
+		if !st.done {
+			st.result = runner.Result{Job: st.job, Metrics: wr.Metrics, Err: wr.Error}
+			st.done = true
+			c.live--
+			st.status = StatusDone
+			if wr.Error != "" {
+				st.status = StatusFailed
+			}
+		}
+		res := st.result
+		c.mu.Unlock()
+		return res, true
+	}
+	var ae *APIError
+	if errors.As(err, &ae) {
+		switch ae.Code {
+		case http.StatusConflict:
+			// Known but not finished yet.
+			return runner.Result{}, false
+		case http.StatusNotFound:
+			c.resubmit(st, b)
+			return runner.Result{}, false
+		default:
+			return runner.Result{}, false
+		}
+	}
+	b.reportFailure(c.cfg.FailThreshold, err, false)
+	c.resubmit(st, b)
+	return runner.Result{}, false
+}
+
+// Stats snapshots the coordinator's counters. Executed/CacheHits are
+// per-backend facts (visible in each backend's own /v1/statsz); the
+// gauges here are computed over the coordinator's key map.
+func (c *Coordinator) Stats() StationStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := StationStats{
+		Submitted: c.submitted,
+		Deduped:   c.deduped,
+		Rejected:  c.rejected,
+		Rerouted:  c.rerouted,
+	}
+	for _, st := range c.states {
+		switch {
+		case st.done && st.status == StatusFailed:
+			s.Failed++
+		case st.done:
+			s.Done++
+		case st.status == StatusDone:
+			s.Done++
+		case st.status == StatusFailed:
+			s.Failed++
+		case st.status == StatusRunning:
+			s.Running++
+		default:
+			s.Queued++
+		}
+	}
+	return s
+}
+
+// Backends reports the pool with per-backend live-key assignment counts
+// — the /v1/backendsz document.
+func (c *Coordinator) Backends() []BackendStatus {
+	assigned := map[string]int{}
+	c.mu.Lock()
+	for _, st := range c.states {
+		if !st.done && st.backend != nil {
+			assigned[st.backend.addr]++
+		}
+	}
+	c.mu.Unlock()
+	statuses := c.pool.Statuses()
+	for i := range statuses {
+		statuses[i].Assigned = assigned[statuses[i].Addr]
+	}
+	return statuses
+}

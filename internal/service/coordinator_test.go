@@ -1,0 +1,392 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"gpulat/internal/runner"
+)
+
+// testBackend is one live single-node service (station + HTTP server)
+// a coordinator can route to.
+type testBackend struct {
+	ts      *httptest.Server
+	station *Station
+	execs   *countingExec
+}
+
+type countingExec struct {
+	mu    sync.Mutex
+	n     int
+	block chan struct{} // non-nil: executions wait on it
+}
+
+func (c *countingExec) exec(ctx context.Context, job runner.Job) runner.Result {
+	c.mu.Lock()
+	c.n++
+	block := c.block
+	c.mu.Unlock()
+	if block != nil {
+		<-block
+	}
+	return testResult(job)
+}
+
+func (c *countingExec) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func newTestBackend(t *testing.T, block chan struct{}) *testBackend {
+	t.Helper()
+	ce := &countingExec{block: block}
+	station := NewStation(nil, StationConfig{Workers: 2, Exec: ce.exec})
+	ts := httptest.NewServer(NewServer(station, nil))
+	b := &testBackend{ts: ts, station: station, execs: ce}
+	t.Cleanup(func() { ts.Close(); station.Close() })
+	return b
+}
+
+func quickCoordinator(t *testing.T, addrs []string) *Coordinator {
+	t.Helper()
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Backends:      addrs,
+		ProbeInterval: 20 * time.Millisecond,
+		FailThreshold: 2,
+		CallTimeout:   5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(coord.Close)
+	return coord
+}
+
+// TestCoordinatorEndToEnd: a client running a job list (with a
+// duplicate) through coordinator HTTP gets the exact ResultSet a direct
+// single-process run produces, with the work spread over the pool and
+// dedup intact.
+func TestCoordinatorEndToEnd(t *testing.T) {
+	b1 := newTestBackend(t, nil)
+	b2 := newTestBackend(t, nil)
+	coord := quickCoordinator(t, []string{b1.ts.URL, b2.ts.URL})
+	front := httptest.NewServer(NewServer(coord, nil))
+	defer front.Close()
+
+	jobs := make([]runner.Job, 0, 13)
+	for i := 0; i < 12; i++ {
+		jobs = append(jobs, testJob(i))
+	}
+	jobs = append(jobs, testJob(0)) // duplicate on purpose
+
+	client := NewClient(front.URL)
+	set, err := client.RunJobs(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set.Results) != len(jobs) {
+		t.Fatalf("results = %d", len(set.Results))
+	}
+	for i, r := range set.Results {
+		want := testResult(jobs[i])
+		if r.Failed() || len(r.Metrics) != len(want.Metrics) || r.Metrics[0] != want.Metrics[0] {
+			t.Fatalf("result %d drifted: %+v", i, r)
+		}
+		if r.Index != i {
+			t.Fatalf("result %d index %d not client-local", i, r.Index)
+		}
+	}
+	if n := b1.execs.count() + b2.execs.count(); n != 12 {
+		t.Fatalf("pool executed %d jobs, want 12 (dedup lost?)", n)
+	}
+	if b1.execs.count() == 0 || b2.execs.count() == 0 {
+		t.Fatalf("no spread: b1=%d b2=%d", b1.execs.count(), b2.execs.count())
+	}
+
+	stats := coord.Stats()
+	if stats.Deduped != 1 || stats.Done != 12 || stats.Rerouted != 0 {
+		t.Fatalf("coordinator stats: %+v", stats)
+	}
+
+	// The introspection surfaces: /v1/backendsz on the coordinator,
+	// 404 on a plain station.
+	bz, err := client.Backendsz(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bz.Backends) != 2 {
+		t.Fatalf("backendsz = %+v", bz)
+	}
+	for _, b := range bz.Backends {
+		if !b.Healthy || b.Circuit != "closed" {
+			t.Fatalf("backend unexpectedly unhealthy: %+v", b)
+		}
+	}
+	if _, err := NewClient(b1.ts.URL).Backendsz(context.Background()); err == nil {
+		t.Fatal("station answered backendsz")
+	}
+}
+
+// TestCoordinatorFailsOverWhenBackendDies is the kill-one-backend-mid-
+// grid contract: jobs stuck on a dead backend are re-routed to the
+// survivor and the grid completes with identical results.
+func TestCoordinatorFailsOverWhenBackendDies(t *testing.T) {
+	release := make(chan struct{})
+	b1 := newTestBackend(t, nil)
+	b2 := newTestBackend(t, release) // b2's executions block until released
+	coord := quickCoordinator(t, []string{b1.ts.URL, b2.ts.URL})
+
+	jobs := make([]runner.Job, 16)
+	for i := range jobs {
+		jobs[i] = testJob(i)
+	}
+	tickets, err := coord.SubmitMany(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tickets) != len(jobs) {
+		t.Fatalf("tickets = %d", len(tickets))
+	}
+
+	// Kill b2 with its jobs wedged; never release them there.
+	b2.ts.Close()
+	close(release)
+
+	// Every key must reach done on the survivor within the failover
+	// budget (probe interval × threshold + resubmit + run).
+	deadline := time.Now().Add(15 * time.Second)
+	for _, tk := range tickets {
+		for {
+			res, ok := coord.Result(tk.Key)
+			if ok {
+				if res.Failed() {
+					t.Fatalf("key %s failed: %s", tk.Key, res.Err)
+				}
+				break
+			}
+			if time.Now().After(deadline) {
+				st, _ := coord.Status(tk.Key)
+				t.Fatalf("key %s stuck in %q after backend death: %+v", tk.Key, st, coord.Stats())
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	if coord.Stats().Rerouted == 0 {
+		t.Fatalf("no reroutes recorded: %+v", coord.Stats())
+	}
+	// The dead backend's circuit must be open in the report.
+	openCircuits := 0
+	for _, b := range coord.Backends() {
+		if b.Circuit == "open" {
+			openCircuits++
+		}
+	}
+	if openCircuits != 1 {
+		t.Fatalf("open circuits = %d, want 1: %+v", openCircuits, coord.Backends())
+	}
+}
+
+// TestCoordinatorResubmitsWhenBackendLosesState: a backend that
+// restarted (alive but empty) answers 404 for a key it was assigned;
+// the coordinator must re-place the job instead of polling 404 forever.
+func TestCoordinatorResubmitsWhenBackendLosesState(t *testing.T) {
+	var mu sync.Mutex
+	posts := 0
+	known := map[runner.JobKey]runner.Job{}
+	amnesiac := func() http.Handler {
+		mux := http.NewServeMux()
+		mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+			var req SubmitRequest
+			_ = jsonDecode(r, &req)
+			mu.Lock()
+			posts++
+			// The first submission is forgotten (simulated restart);
+			// later ones stick.
+			remember := posts > 1
+			tks := make([]JobTicket, 0, len(req.Jobs))
+			for _, j := range req.Jobs {
+				if remember {
+					known[j.Key()] = j
+				}
+				tks = append(tks, JobTicket{Key: j.Key(), Status: StatusQueued})
+			}
+			mu.Unlock()
+			writeJSON(w, http.StatusOK, SubmitResponse{Tickets: tks})
+		})
+		mux.HandleFunc("GET /v1/jobs/{key}", func(w http.ResponseWriter, r *http.Request) {
+			key := runner.JobKey(r.PathValue("key"))
+			mu.Lock()
+			_, ok := known[key]
+			mu.Unlock()
+			if !ok {
+				writeError(w, http.StatusNotFound, "unknown job %s", key)
+				return
+			}
+			writeJSON(w, http.StatusOK, JobStatus{Key: key, Status: StatusDone})
+		})
+		mux.HandleFunc("GET /v1/results/{key}", func(w http.ResponseWriter, r *http.Request) {
+			key := runner.JobKey(r.PathValue("key"))
+			mu.Lock()
+			job, ok := known[key]
+			mu.Unlock()
+			if !ok {
+				writeError(w, http.StatusNotFound, "unknown job %s", key)
+				return
+			}
+			writeJSON(w, http.StatusOK, WireResult{Key: key, Job: job, Metrics: testResult(job).Metrics})
+		})
+		mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, http.StatusOK, Health{OK: true, Version: "test", Scheme: "test"})
+		})
+		return mux
+	}
+	ts := httptest.NewServer(amnesiac())
+	defer ts.Close()
+	coord := quickCoordinator(t, []string{ts.URL})
+
+	job := testJob(3)
+	if _, _, err := coord.Submit(job); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if res, ok := coord.Result(job.Key()); ok {
+			if res.Failed() {
+				t.Fatalf("job failed: %s", res.Err)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("404-answering backend never triggered a resubmit: %+v", coord.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if posts < 2 {
+		t.Fatalf("posts = %d, want a resubmission", posts)
+	}
+}
+
+// TestCoordinatorQueueBound: the coordinator exerts the same 503-shaped
+// admission backpressure a station does, instead of growing its live-key
+// map without limit.
+func TestCoordinatorQueueBound(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	b1 := newTestBackend(t, release)
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Backends:      []string{b1.ts.URL},
+		ProbeInterval: 20 * time.Millisecond,
+		QueueBound:    2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(coord.Close)
+
+	tickets, err := coord.SubmitMany([]runner.Job{testJob(0), testJob(1), testJob(2)})
+	if err != ErrQueueFull {
+		t.Fatalf("over-bound SubmitMany = %v, want ErrQueueFull", err)
+	}
+	if len(tickets) != 2 {
+		t.Fatalf("accepted %d tickets before refusing, want 2", len(tickets))
+	}
+	if errHTTPStatus(ErrQueueFull) != http.StatusServiceUnavailable {
+		t.Fatal("ErrQueueFull must map to 503")
+	}
+}
+
+// TestCoordinatorTreatsBackendQueueFullAsBackpressure: a backend that
+// answers 503 (its queue is full) is ALIVE — its circuit must not open
+// and its jobs must not bounce to other backends; once capacity frees,
+// the prober's sweep re-forwards and the jobs complete where they were
+// placed.
+func TestCoordinatorTreatsBackendQueueFullAsBackpressure(t *testing.T) {
+	release := make(chan struct{})
+	ce := &countingExec{block: release}
+	station := NewStation(nil, StationConfig{Workers: 1, QueueBound: 1, Exec: ce.exec})
+	ts := httptest.NewServer(NewServer(station, nil))
+	t.Cleanup(func() { ts.Close(); station.Close() })
+
+	coord := quickCoordinator(t, []string{ts.URL})
+	// 4 jobs against capacity 2 (1 running + 1 queued): the forward's
+	// client retries, gives up on the persistent 503, and must leave the
+	// remainder parked — not fail them, not open the circuit.
+	jobs := []runner.Job{testJob(0), testJob(1), testJob(2), testJob(3)}
+	if _, err := coord.SubmitMany(jobs); err != nil {
+		t.Fatal(err)
+	}
+	if got := coord.Backends()[0].Circuit; got != "closed" {
+		t.Fatalf("backpressured backend's circuit = %q, want closed", got)
+	}
+	close(release) // capacity frees; the sweep re-forwards the parked jobs
+	deadline := time.Now().Add(15 * time.Second)
+	for _, job := range jobs {
+		for {
+			res, ok := coord.Result(job.Key())
+			if ok {
+				if res.Failed() {
+					t.Fatalf("backpressured job failed: %s", res.Err)
+				}
+				break
+			}
+			if time.Now().After(deadline) {
+				st, _ := coord.Status(job.Key())
+				t.Fatalf("job %s parked forever (status %q): %+v", job.Key(), st, coord.Stats())
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	if s := coord.Stats(); s.Rerouted != 0 {
+		t.Fatalf("backpressure caused reroutes: %+v", s)
+	}
+	if got := coord.Backends()[0].Circuit; got != "closed" {
+		t.Fatalf("circuit opened on pure backpressure: %q", got)
+	}
+}
+
+// TestCoordinatorSubmitAfterClose mirrors the station lifecycle
+// contract on the sharded tier.
+func TestCoordinatorSubmitAfterClose(t *testing.T) {
+	b1 := newTestBackend(t, nil)
+	coord := quickCoordinator(t, []string{b1.ts.URL})
+	coord.Close()
+	coord.Close() // idempotent
+	if _, _, err := coord.Submit(testJob(0)); err != ErrStationClosed {
+		t.Fatalf("Submit after Close = %v, want ErrStationClosed", err)
+	}
+}
+
+// TestCoordinatorNoBackendsIs503Shaped: with every circuit open, admission
+// refuses with ErrNoBackends (HTTP 503) rather than accepting jobs it
+// cannot place.
+func TestCoordinatorNoBackendsIs503Shaped(t *testing.T) {
+	// A backend that never existed: the address refuses connections.
+	coord := quickCoordinator(t, []string{"127.0.0.1:1"})
+	// Wait for the prober to open the circuit.
+	deadline := time.Now().Add(10 * time.Second)
+	for coord.pool.Healthy() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("dead backend never failed out")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, _, err := coord.Submit(testJob(0)); err != ErrNoBackends {
+		t.Fatalf("Submit = %v, want ErrNoBackends", err)
+	}
+	if errHTTPStatus(ErrNoBackends) != http.StatusServiceUnavailable {
+		t.Fatal("ErrNoBackends must map to 503")
+	}
+}
+
+func jsonDecode(r *http.Request, v any) error {
+	defer r.Body.Close()
+	return json.NewDecoder(r.Body).Decode(v)
+}

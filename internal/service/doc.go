@@ -16,11 +16,32 @@
 //
 //   - Server/Client: a small HTTP JSON API (POST /v1/jobs, GET
 //     /v1/jobs/{key}, GET /v1/results/{key}, /v1/healthz, /v1/statsz,
-//     /v1/catalog) and the matching client used by `gpulat submit`.
+//     /v1/backendsz, /v1/catalog) and the matching client used by
+//     `gpulat submit`. The client treats 503 as "back off and resubmit
+//     the remainder", using the accepted-tickets list the server
+//     returns with a refusal.
+//
+//   - Coordinator/BackendPool: the sharded tier behind `gpulat serve
+//     -backends`. The coordinator serves the same API but runs nothing
+//     locally: each job routes to one backend `gpulat serve` by
+//     consistent hashing on its JobKey (64 vnodes per backend), which
+//     pins keys to backends — and therefore to their persistent caches
+//     — across restarts and pool changes. A health prober plus
+//     per-backend circuit state (open after N consecutive failures,
+//     closed again on a good probe) detect death; live keys on a dead
+//     backend re-route to survivors and re-submit, which is safe
+//     because backends dedupe by key.
 //
 // The whole layer preserves the repo's determinism discipline: cached
 // results are stored in the comparable encoding (wall-clock fields
 // stripped — see internal/stats), and a warm re-run of any grid through
-// the service must export byte-identical CSV/JSON to a cold direct run,
-// which `make service-determinism` enforces in CI.
+// the service must export byte-identical CSV/JSON to a cold direct run
+// — as must a sharded run, including one that loses a backend mid-grid.
+// `make service-determinism` and `make shard-determinism` enforce both
+// in CI.
+//
+// Lifecycle is bounded: once Station.Close (or Coordinator.Close)
+// begins, Submit returns ErrStationClosed instead of admitting a job no
+// worker will ever run, so no Do or HTTP waiter can hang until its
+// context expires.
 package service

@@ -2,6 +2,7 @@ package service
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"time"
@@ -59,15 +60,42 @@ type Statsz struct {
 	Scheme  string       `json:"scheme"`
 	Cache   CacheStats   `json:"cache"`
 	Station StationStats `json:"station"`
+	// Backends is the sharded tier's per-backend view; absent for a
+	// single-node station (see also /v1/backendsz).
+	Backends []BackendStatus `json:"backends,omitempty"`
 	// UptimeSeconds is wall clock and therefore volatile; the comparable
 	// encoding strips it, so statsz snapshots can still be diffed.
 	UptimeSeconds float64 `json:"uptime_seconds"`
 }
 
-// Server is the HTTP facade over a Station: stateless handlers, JSON in
-// and out, every mutation funneled through Station.Submit.
+// JobService is the execution tier the HTTP server drives. Two
+// implementations exist: Station (single-node: local worker pool +
+// cache) and Coordinator (sharded: consistent-hash routing over a pool
+// of backend services). The server never cares which.
+type JobService interface {
+	// Submit admits one job; see Station.Submit for outcome semantics.
+	Submit(job runner.Job) (runner.JobKey, Status, error)
+	// SubmitMany admits jobs in order; on refusal it returns the tickets
+	// accepted so far plus the error.
+	SubmitMany(jobs []runner.Job) ([]JobTicket, error)
+	// Status reports a key's lifecycle position.
+	Status(key runner.JobKey) (Status, bool)
+	// Result returns the finished result once the key is terminal.
+	Result(key runner.JobKey) (runner.Result, bool)
+	// Stats snapshots the tier's counters.
+	Stats() StationStats
+}
+
+// backendReporter is the optional introspection surface a sharded tier
+// adds; /v1/backendsz answers 404 when the service doesn't provide it.
+type backendReporter interface {
+	Backends() []BackendStatus
+}
+
+// Server is the HTTP facade over a JobService: stateless handlers, JSON
+// in and out, every mutation funneled through the service's Submit.
 type Server struct {
-	station *Station
+	svc     JobService
 	cache   *Cache // may be nil
 	mux     *http.ServeMux
 	started time.Time
@@ -76,10 +104,12 @@ type Server struct {
 	MaxJobsPerRequest int
 }
 
-// NewServer wires the endpoints. cache may be nil (dedup-only service).
-func NewServer(station *Station, cache *Cache) *Server {
+// NewServer wires the endpoints over a Station or a Coordinator. cache
+// may be nil (dedup-only station, or a coordinator — backends own the
+// caches there).
+func NewServer(svc JobService, cache *Cache) *Server {
 	s := &Server{
-		station:           station,
+		svc:               svc,
 		cache:             cache,
 		mux:               http.NewServeMux(),
 		started:           time.Now(),
@@ -90,6 +120,7 @@ func NewServer(station *Station, cache *Cache) *Server {
 	s.mux.HandleFunc("GET /v1/results/{key}", s.handleResult)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/statsz", s.handleStatsz)
+	s.mux.HandleFunc("GET /v1/backendsz", s.handleBackendsz)
 	s.mux.HandleFunc("GET /v1/catalog", s.handleCatalog)
 	return s
 }
@@ -138,21 +169,32 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			"%d jobs exceeds the per-request bound of %d", len(jobs), s.MaxJobsPerRequest)
 		return
 	}
-	resp := SubmitResponse{Tickets: make([]JobTicket, 0, len(jobs))}
-	for _, job := range jobs {
-		key, status, err := s.station.Submit(job)
-		if err != nil {
-			// Bounded queue overflow: report how far we got so the
-			// client can resubmit the remainder after backing off.
-			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
-				"error":    err.Error(),
-				"accepted": resp.Tickets,
-			})
-			return
-		}
-		resp.Tickets = append(resp.Tickets, JobTicket{Key: key, Status: status})
+	tickets, err := s.svc.SubmitMany(jobs)
+	if err != nil {
+		// Admission refused part-way (queue full, station closed, no
+		// healthy backends): report how far we got so the client can
+		// resubmit the remainder after backing off.
+		writeJSON(w, errHTTPStatus(err), map[string]any{
+			"error":    err.Error(),
+			"accepted": tickets,
+		})
+		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(w, http.StatusOK, SubmitResponse{Tickets: tickets})
+}
+
+// errHTTPStatus maps a service admission error to its HTTP status:
+// transient capacity/lifecycle refusals are 503 (back off and retry),
+// anything else is a 500.
+func errHTTPStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrQueueFull),
+		errors.Is(err, ErrStationClosed),
+		errors.Is(err, ErrNoBackends):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
 }
 
 // gridSizeCapped returns the grid's expansion size, saturating at
@@ -186,14 +228,14 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	status, ok := s.station.Status(key)
+	status, ok := s.svc.Status(key)
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown job %s", key)
 		return
 	}
 	js := JobStatus{Key: key, Status: status}
 	if status == StatusFailed {
-		if res, ok := s.station.Result(key); ok {
+		if res, ok := s.svc.Result(key); ok {
 			js.Error = res.Err
 		}
 	}
@@ -205,9 +247,9 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	res, ok := s.station.Result(key)
+	res, ok := s.svc.Result(key)
 	if !ok {
-		if _, known := s.station.Status(key); known {
+		if _, known := s.svc.Status(key); known {
 			writeError(w, http.StatusConflict, "job %s not finished", key)
 		} else {
 			writeError(w, http.StatusNotFound, "unknown job %s", key)
@@ -236,13 +278,31 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	st := Statsz{
 		Version:       Version(),
 		Scheme:        SchemeTag(),
-		Station:       s.station.Stats(),
+		Station:       s.svc.Stats(),
 		UptimeSeconds: time.Since(s.started).Seconds(),
 	}
 	if s.cache != nil {
 		st.Cache = s.cache.Stats()
 	}
+	if rep, ok := s.svc.(backendReporter); ok {
+		st.Backends = rep.Backends()
+	}
 	writeJSON(w, http.StatusOK, st)
+}
+
+// Backendsz answers GET /v1/backendsz: the sharded tier's per-backend
+// routing and health view.
+type Backendsz struct {
+	Backends []BackendStatus `json:"backends"`
+}
+
+func (s *Server) handleBackendsz(w http.ResponseWriter, r *http.Request) {
+	rep, ok := s.svc.(backendReporter)
+	if !ok {
+		writeError(w, http.StatusNotFound, "not a coordinator: this service runs jobs locally")
+		return
+	}
+	writeJSON(w, http.StatusOK, Backendsz{Backends: rep.Backends()})
 }
 
 func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {

@@ -23,6 +23,11 @@ const (
 // accept more work; HTTP maps it to 503 so clients back off.
 var ErrQueueFull = errors.New("service: job queue full")
 
+// ErrStationClosed is returned by Submit once Close has begun: a job
+// accepted after the workers stop would sit in the queue forever, so the
+// station refuses it in bounded time instead. HTTP maps it to 503.
+var ErrStationClosed = errors.New("service: station closed")
+
 // StationStats are the station's monotonic counters and live gauges.
 type StationStats struct {
 	Submitted int64 `json:"submitted"`
@@ -33,11 +38,14 @@ type StationStats struct {
 	// CacheHits counts submissions answered straight from the cache.
 	CacheHits int64 `json:"cache_hits"`
 	Rejected  int64 `json:"rejected"`
-	Queued    int   `json:"queued"`
-	Running   int   `json:"running"`
-	Done      int   `json:"done"`
-	Failed    int   `json:"failed"`
-	Workers   int   `json:"workers"`
+	// Rerouted counts jobs re-forwarded to a different backend after a
+	// failure; always zero for a single-node station (coordinator only).
+	Rerouted int64 `json:"rerouted,omitempty"`
+	Queued   int   `json:"queued"`
+	Running  int   `json:"running"`
+	Done     int   `json:"done"`
+	Failed   int   `json:"failed"`
+	Workers  int   `json:"workers"`
 }
 
 // jobState tracks one key through queued → running → done/failed. The
@@ -65,6 +73,7 @@ type Station struct {
 	stop  chan struct{}
 
 	mu     sync.Mutex
+	closed bool
 	states map[runner.JobKey]*jobState
 	stats  StationStats
 }
@@ -110,8 +119,19 @@ func NewStation(cache *Cache, cfg StationConfig) *Station {
 }
 
 // Close stops the workers, waits for in-flight simulations, and fails
-// any still-queued jobs so no waiter blocks forever.
+// any still-queued jobs so no waiter blocks forever. Close is
+// idempotent, and every Submit that wins the race against it has a
+// terminal outcome: the closed flag flips under s.mu, so a job is either
+// enqueued strictly before the flag flips (and the drain below fails it
+// if no worker ran it) or refused with ErrStationClosed.
 func (s *Station) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
 	close(s.stop)
 	s.wg.Wait()
 	for {
@@ -198,9 +218,17 @@ func execCapturing(exec runner.ExecFunc, job runner.Job) (res runner.Result) {
 // A failed state does NOT dedup: failures are never cached (they may be
 // environmental), so a resubmission of a previously-failed key runs the
 // job again — earlier waiters keep the failed result they already got.
+//
+// After Close, Submit returns ErrStationClosed: the workers are gone, so
+// admitting the job would strand its waiters.
 func (s *Station) Submit(job runner.Job) (runner.JobKey, Status, error) {
 	key := job.Key()
 	s.mu.Lock()
+	if s.closed {
+		s.stats.Rejected++
+		s.mu.Unlock()
+		return key, "", ErrStationClosed
+	}
 	s.stats.Submitted++
 	if st, ok := s.states[key]; ok && st.status != StatusFailed {
 		s.stats.Deduped++
@@ -221,6 +249,11 @@ func (s *Station) Submit(job runner.Job) (runner.JobKey, Status, error) {
 			}
 			close(st.ready)
 			s.mu.Lock()
+			if s.closed {
+				s.stats.Rejected++
+				s.mu.Unlock()
+				return key, "", ErrStationClosed
+			}
 			if prior, raced := s.states[key]; raced && prior.status != StatusFailed {
 				// Another submitter registered the key meanwhile; defer
 				// to the existing state.
@@ -242,6 +275,13 @@ func (s *Station) Submit(job runner.Job) (runner.JobKey, Status, error) {
 
 	st := &jobState{job: job, status: StatusQueued, ready: make(chan struct{})}
 	s.mu.Lock()
+	if s.closed {
+		// The enqueue below happens under s.mu while closed is still
+		// false, so Close's drain can never miss a queued job.
+		s.stats.Rejected++
+		s.mu.Unlock()
+		return key, "", ErrStationClosed
+	}
 	if prior, raced := s.states[key]; raced && prior.status != StatusFailed {
 		status := prior.status
 		s.stats.Deduped++
@@ -262,6 +302,22 @@ func (s *Station) Submit(job runner.Job) (runner.JobKey, Status, error) {
 		s.mu.Unlock()
 		return key, "", ErrQueueFull
 	}
+}
+
+// SubmitMany submits jobs in order, returning one ticket per accepted
+// job. On the first refusal (queue full, station closed) it stops and
+// returns the tickets accepted so far together with the error, so the
+// HTTP layer can tell clients exactly how far the batch got.
+func (s *Station) SubmitMany(jobs []runner.Job) ([]JobTicket, error) {
+	tickets := make([]JobTicket, 0, len(jobs))
+	for _, job := range jobs {
+		key, status, err := s.Submit(job)
+		if err != nil {
+			return tickets, err
+		}
+		tickets = append(tickets, JobTicket{Key: key, Status: status})
+	}
+	return tickets, nil
 }
 
 // Status reports a key's lifecycle position.
