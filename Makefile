@@ -4,7 +4,7 @@
 GO      ?= go
 JOBS    ?= 0   # 0 = GOMAXPROCS
 
-.PHONY: all build test vet fmt bench bench-baseline repro repro-quick determinism engine-determinism corun-determinism service-determinism shard-determinism clean
+.PHONY: all build test vet fmt bench bench-baseline bench-regress repro repro-quick determinism engine-determinism corun-determinism service-determinism shard-determinism clean
 
 all: build vet fmt test
 
@@ -33,10 +33,22 @@ bench:
 	$(GO) run ./cmd/gpulat bench-kernel > /tmp/gpulat-bench-kernel.json
 
 # Refresh the committed BENCH_kernel.json baseline (wall-clock numbers
-# are machine-dependent: regenerate deliberately, not from CI).
+# are machine-dependent: regenerate deliberately, not from CI). Each
+# (workload, engine) pair is timed best-of-3 on a fresh device — the
+# minimum wall is the stable estimator under host scheduler noise (see
+# cmdBenchKernel); the simulated counters must be identical across reps
+# or the run fails.
 bench-baseline:
 	$(GO) run ./cmd/gpulat bench-kernel > BENCH_kernel.json.tmp
 	mv BENCH_kernel.json.tmp BENCH_kernel.json
+
+# Event-engine regression smoke (CI): reduced-scale workloads, single
+# rep, -check fails the run when the engines' cycle counts diverge, the
+# event engine steps more cycles than the tick engine simulates, or it
+# skips nothing. -comparable strips wall-clock fields so the artifact in
+# /tmp is byte-diffable across runs.
+bench-regress:
+	$(GO) run ./cmd/gpulat bench-kernel -quick -check -comparable > /tmp/gpulat-bench-regress.json
 
 # Full paper-reproduction grid on the parallel runner.
 repro:
@@ -167,7 +179,8 @@ shard-determinism:
 
 clean:
 	$(GO) clean
-	rm -f /tmp/gpulat-ci /tmp/gpulat-j1.csv /tmp/gpulat-j8.csv \
+	rm -f /tmp/gpulat-ci /tmp/gpulat-bench-regress.json \
+		/tmp/gpulat-j1.csv /tmp/gpulat-j8.csv \
 		/tmp/gpulat-tick.csv /tmp/gpulat-event.csv \
 		/tmp/gpulat-tick.json /tmp/gpulat-event.json \
 		/tmp/gpulat-corun-t1.csv /tmp/gpulat-corun-t8.csv \

@@ -30,6 +30,7 @@ type kernelBench struct {
 // throughput under both engines plus the headline speedups.
 type kernelBenchReport struct {
 	Arch       string             `json:"arch"`
+	TimingReps int                `json:"timing_reps"`
 	Benchmarks []kernelBench      `json:"benchmarks"`
 	Speedup    map[string]float64 `json:"speedup_event_over_tick"`
 }
@@ -38,25 +39,38 @@ type kernelBenchReport struct {
 // pointer chase (the event engine's headline case — the machine idles on
 // one DRAM access at a time), the bandwidth-bound vecadd (the stress
 // case, with almost no skippable cycles), and BFS (the paper's mixed
-// dynamic workload).
-func benchWorkloads(g *gpu.GPU, name string, seed uint64) (sim.Cycle, error) {
+// dynamic workload). quick shrinks every workload for the CI smoke gate,
+// where the point is the cross-engine checks, not the timings.
+func benchWorkloads(g *gpu.GPU, name string, seed uint64, quick bool) (sim.Cycle, error) {
 	switch name {
 	case "pointerchase":
+		accesses := 2000
+		if quick {
+			accesses = 300
+		}
 		wl, err := kernels.PChase(kernels.PChaseConfig{
-			Base: 0x10000, StrideBytes: 512, FootprintBytes: 2 << 20, Accesses: 2000,
+			Base: 0x10000, StrideBytes: 512, FootprintBytes: 2 << 20, Accesses: accesses,
 		})
 		if err != nil {
 			return 0, err
 		}
 		return kernels.Run(g, wl)
 	case "vecadd":
-		wl, err := kernels.NewByName("vecadd", kernels.ScaleExperiment, seed)
+		scale := kernels.ScaleExperiment
+		if quick {
+			scale = kernels.ScaleTest
+		}
+		wl, err := kernels.NewByName("vecadd", scale, seed)
 		if err != nil {
 			return 0, err
 		}
 		return kernels.Run(g, wl)
 	case "bfs":
-		graph := kernels.GenScaleFree(1<<11, 4, seed)
+		nodes := 1 << 11
+		if quick {
+			nodes = 1 << 9
+		}
+		graph := kernels.GenScaleFree(nodes, 4, seed)
 		mk, err := kernels.BFS(kernels.BFSConfig{Graph: graph, Source: 0, BlockDim: 128})
 		if err != nil {
 			return 0, err
@@ -69,12 +83,24 @@ func benchWorkloads(g *gpu.GPU, name string, seed uint64) (sim.Cycle, error) {
 
 // cmdBenchKernel measures simulation-kernel throughput (cycles simulated
 // per wall-second) for each workload under both engines and writes the
-// JSON report `make bench` commits as BENCH_kernel.json.
+// JSON report `make bench-baseline` commits as BENCH_kernel.json.
+//
+// Methodology: every (workload, engine) pair runs -reps times on a fresh
+// device and the MINIMUM wall time is reported. Single-run walls vary
+// tens of percent with host scheduler noise; the minimum is the stable
+// estimator of the simulator's actual cost (anything above it is
+// interference, never the simulator being "faster than possible"). The
+// simulated results themselves must be identical across repetitions —
+// any divergence fails the run, so timing reps double as a free
+// determinism check.
 func cmdBenchKernel(args []string) error {
 	fs := newFlags("bench-kernel")
 	arch := fs.String("arch", "GF100", "architecture preset (or file:<path>)")
+	reps := fs.Int("reps", 3, "timing repetitions per measurement; the minimum wall is reported")
+	quick := fs.Bool("quick", false, "reduced workload scales and a single repetition (CI smoke gate)")
+	check := fs.Bool("check", false, "exit nonzero when the engines disagree on cycle counts or the event engine steps more cycles than the tick engine simulates")
 	comparable := fs.Bool("comparable", false,
-		"strip wall-clock fields (wall_seconds, cycles_per_second, speedups) so reports from different runs can be byte-diffed")
+		"strip wall-clock fields (wall_seconds, cycles_per_second, speedups, reps) so reports from different runs can be byte-diffed")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -82,37 +108,89 @@ func cmdBenchKernel(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *quick {
+		*reps = 1
+	}
+	if *reps < 1 {
+		return usagef("bench-kernel: -reps must be >= 1")
+	}
 
-	report := kernelBenchReport{Arch: base.Name, Speedup: map[string]float64{}}
+	report := kernelBenchReport{Arch: base.Name, TimingReps: *reps, Speedup: map[string]float64{}}
 	rate := map[string]map[string]float64{}
+	result := map[string]map[string]kernelBench{}
 	for _, wl := range []string{"pointerchase", "vecadd", "bfs"} {
 		rate[wl] = map[string]float64{}
+		result[wl] = map[string]kernelBench{}
 		for _, engine := range []sim.Engine{sim.EngineTick, sim.EngineEvent} {
-			cfg := base
-			cfg.Engine = engine
-			g := gpu.New(cfg)
-			begin := time.Now()
-			cycles, err := benchWorkloads(g, wl, 42)
-			if err != nil {
-				return fmt.Errorf("bench-kernel %s/%s: %w", wl, engine, err)
+			var best kernelBench
+			for r := 0; r < *reps; r++ {
+				cfg := base
+				cfg.Engine = engine
+				g := gpu.New(cfg)
+				begin := time.Now()
+				cycles, err := benchWorkloads(g, wl, 42, *quick)
+				if err != nil {
+					return fmt.Errorf("bench-kernel %s/%s: %w", wl, engine, err)
+				}
+				wall := time.Since(begin).Seconds()
+				st := g.Stats()
+				b := kernelBench{
+					Workload:        wl,
+					Engine:          engine.String(),
+					Cycles:          uint64(cycles),
+					SteppedCycles:   st.Cycles - st.SkippedCycles,
+					SkippedCycles:   st.SkippedCycles,
+					WallSeconds:     wall,
+					CyclesPerSecond: float64(cycles) / wall,
+				}
+				if r == 0 {
+					best = b
+					continue
+				}
+				if b.Cycles != best.Cycles || b.SteppedCycles != best.SteppedCycles {
+					return fmt.Errorf("bench-kernel %s/%s: rep %d nondeterministic (cycles %d/%d, stepped %d/%d)",
+						wl, engine, r, b.Cycles, best.Cycles, b.SteppedCycles, best.SteppedCycles)
+				}
+				if b.WallSeconds < best.WallSeconds {
+					best.WallSeconds = b.WallSeconds
+					best.CyclesPerSecond = b.CyclesPerSecond
+				}
 			}
-			wall := time.Since(begin).Seconds()
-			st := g.Stats()
-			b := kernelBench{
-				Workload:        wl,
-				Engine:          engine.String(),
-				Cycles:          uint64(cycles),
-				SteppedCycles:   st.Cycles - st.SkippedCycles,
-				SkippedCycles:   st.SkippedCycles,
-				WallSeconds:     wall,
-				CyclesPerSecond: float64(cycles) / wall,
-			}
-			report.Benchmarks = append(report.Benchmarks, b)
-			rate[wl][engine.String()] = b.CyclesPerSecond
-			fmt.Fprintf(os.Stderr, "bench-kernel: %-12s %-5s %9d cycles (%d stepped, %d skipped) in %.3fs — %.0f cycles/s\n",
-				wl, engine, uint64(cycles), b.SteppedCycles, b.SkippedCycles, wall, b.CyclesPerSecond)
+			report.Benchmarks = append(report.Benchmarks, best)
+			rate[wl][engine.String()] = best.CyclesPerSecond
+			result[wl][engine.String()] = best
+			fmt.Fprintf(os.Stderr, "bench-kernel: %-12s %-5s %9d cycles (%d stepped, %d skipped) best of %d: %.3fs — %.0f cycles/s\n",
+				wl, engine, best.Cycles, best.SteppedCycles, best.SkippedCycles, *reps, best.WallSeconds, best.CyclesPerSecond)
 		}
 		report.Speedup[wl] = rate[wl]["event"] / rate[wl]["tick"]
+	}
+
+	if *check {
+		// The regression gate: the engines must agree cycle-for-cycle,
+		// and the event engine must never step more cycles than the tick
+		// engine simulates (a stepped count above that means the skip
+		// machinery stopped skipping — a perf regression even when the
+		// results still match).
+		bad := false
+		for _, wl := range []string{"pointerchase", "vecadd", "bfs"} {
+			tick, event := result[wl]["tick"], result[wl]["event"]
+			if tick.Cycles != event.Cycles {
+				fmt.Fprintf(os.Stderr, "bench-kernel: CHECK FAIL %s: tick %d cycles, event %d cycles\n", wl, tick.Cycles, event.Cycles)
+				bad = true
+			}
+			if event.SteppedCycles > tick.Cycles {
+				fmt.Fprintf(os.Stderr, "bench-kernel: CHECK FAIL %s: event stepped %d > tick cycles %d\n", wl, event.SteppedCycles, tick.Cycles)
+				bad = true
+			}
+			if event.SkippedCycles == 0 {
+				fmt.Fprintf(os.Stderr, "bench-kernel: CHECK FAIL %s: event engine skipped nothing\n", wl)
+				bad = true
+			}
+		}
+		if bad {
+			return fmt.Errorf("bench-kernel: engine regression check failed")
+		}
+		fmt.Fprintln(os.Stderr, "bench-kernel: engine regression check passed")
 	}
 
 	if *comparable {

@@ -33,15 +33,19 @@
 // The implementation is sixteen internal packages in a strict layering,
 // hardware at the bottom and the service layer at the top:
 //
-//	sim               clocks, the Component/NextEvent contract, the
-//	                  tick and event simulation engines
+//	sim               clocks, pipelines/queues/calendars, the documented
+//	                  NextEvent horizon contract (doc.go), and the
+//	                  subscriber Scheduler the event engine arms wakes on
 //	isa               the small SIMT instruction set and CFG builder
 //	warp, mem         per-warp execution state; memory request types
 //	sm                SIMT cores: warp schedulers (LRR/GTO), L1+MSHRs,
 //	                  the LDST pipeline, scoreboards
 //	cache, dram       the cache model; banked DRAM with FR-FCFS/FCFS
 //	icnt, mempart     crossbar interconnect; memory partitions
-//	gpu               assembles SMs x partitions x crossbar into a device
+//	gpu               assembles SMs x partitions x crossbar into a
+//	                  device; drives it with the cycle-driven reference
+//	                  loop or the subscriber-calendar event loop, which
+//	                  ticks only due components yet stays byte-identical
 //	sched             streams, the block dispatcher, placement policies
 //	config            presets calibrated to Table I; ablation overrides
 //	kernels           the workload catalog, BFS, the CoRun combinator

@@ -211,6 +211,14 @@ func (c *Cache) Config() Config { return c.cfg }
 // Stats returns a copy of the activity counters.
 func (c *Cache) Stats() Stats { return c.stats }
 
+// AddReservationFails credits n reservation-failed accesses without
+// performing them. This is the event engine's idle-replay hook: when a
+// requester parks behind a reservation failure and sleeps, the
+// cycle-driven loop would have retried (and provably failed) the access
+// every cycle of the span. A failed access moves nothing but this
+// counter, so crediting it is the entire replay.
+func (c *Cache) AddReservationFails(n uint64) { c.stats.ReservationFails += n }
+
 func (c *Cache) index(blockAddr uint64) int {
 	return int((blockAddr / uint64(c.cfg.LineSize)) % uint64(c.cfg.Sets))
 }

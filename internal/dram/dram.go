@@ -5,6 +5,14 @@
 // before the scheduler selects it is the paper's "DRAM(QtoSch)" stage —
 // identified in Figure 1 as one of the two dominant latency contributors —
 // and the activate/CAS/burst service time is "DRAM(SchToA)".
+//
+// Under the event engine the channel wakes its owning partition
+// (NextEvent) when an in-flight access completes or a queued request
+// first becomes schedulable — the exact cycle accounting for its bank's
+// busy window, row state (tRCD/tRP+tRCD after a conflict, tRAS floor)
+// AND data-bus arbitration. Both bounds are exact, not conservative:
+// channel state only changes inside the owning partition's Tick, so the
+// horizon computed at re-arm time stays valid until then.
 package dram
 
 import (
@@ -160,6 +168,11 @@ func (ch *Channel) FreeSlots() int { return ch.cfg.QueueDepth - len(ch.queue) }
 
 // NoteStall records upstream backpressure for statistics.
 func (ch *Channel) NoteStall() { ch.stats.Stalls++ }
+
+// AddStalls credits n per-cycle stall marks without the cycles having
+// run — the event engine's replay hook for skipped spans in which an
+// upstream producer was provably blocked on a full queue every cycle.
+func (ch *Channel) AddStalls(n uint64) { ch.stats.Stalls += n }
 
 // decode maps an address to (bank, row). Banks are interleaved at row
 // granularity across the address space within the channel.
@@ -376,18 +389,60 @@ func (ch *Channel) Completed(c sim.Cycle) []*mem.Request {
 // InflightLen returns the number of requests in service (test hook).
 func (ch *Channel) InflightLen() int { return len(ch.inflight) }
 
+// earliestSchedulable returns the first cycle t >= now at which pick
+// could schedule request p: its bank must be free (busyUntil <= t) and
+// the data bus must accept the transfer (busOK at t). Both bounds are
+// exact, because the channel's state only mutates inside its own Tick
+// and the event kernel re-arms after every tick of the owning
+// partition — so nothing the horizon depends on can change while it
+// sleeps.
+func (ch *Channel) earliestSchedulable(now sim.Cycle, p *pending) sim.Cycle {
+	b := &ch.banks[p.bank]
+	t := max(now, b.busyUntil)
+	// busOK(t) tests casStart(t)+TCL >= busFreeAt, and casStart is
+	// nondecreasing in t, so the bus constraint is a single threshold:
+	// lift t up to it. off is the command-to-CAS distance implied by
+	// p's row state.
+	var off sim.Cycle
+	switch {
+	case b.rowOpen && b.openRow == p.row:
+		off = 0
+	case !b.rowOpen:
+		off = ch.cfg.TRCD
+	default:
+		// Row conflict: casStart = max(t, lastActAt+TRAS) + TRP + TRCD.
+		// If the tRAS floor alone clears the bus window, t is
+		// unconstrained by the bus.
+		off = ch.cfg.TRP + ch.cfg.TRCD
+		if b.everActive && b.lastActAt+ch.cfg.TRAS+off+ch.cfg.TCL >= ch.busFreeAt {
+			return t
+		}
+	}
+	if ch.busFreeAt > off+ch.cfg.TCL {
+		if want := ch.busFreeAt - off - ch.cfg.TCL; want > t {
+			t = want
+		}
+	}
+	return t
+}
+
 // NextEvent implements the event-driven kernel's horizon contract: the
 // earliest cycle at or after now at which the channel can retire an
-// in-flight transfer or schedule a queued request. Bank busy windows are
-// exact bounds; data-bus arbitration (busOK) is deliberately ignored —
-// it can only make the true schedule time later, so omitting it wakes
-// the kernel early at worst, never late. Never means the channel is
-// drained.
+// in-flight transfer or schedule a queued request. Both the bank busy
+// windows and the data-bus arbitration window (busOK) are exact bounds
+// — under saturation the bus admits one CAS per burst, and modelling
+// that here is what lets a backed-up partition sleep between bursts
+// instead of polling a scheduler that cannot issue. Never means the
+// channel is drained.
 func (ch *Channel) NextEvent(now sim.Cycle) sim.Cycle {
 	h := sim.Never
 	if len(ch.inflight) > 0 {
-		// inflight is sorted by finish time.
-		h = max(now, ch.inflight[0].finish)
+		// inflight is sorted by finish time. The horizon is floored at
+		// now, so once a term reaches it the scan is over (this is the
+		// event engine's re-arm hot path).
+		if h = max(now, ch.inflight[0].finish); h == now {
+			return now
+		}
 	}
 	if len(ch.queue) == 0 {
 		return h
@@ -395,11 +450,13 @@ func (ch *Channel) NextEvent(now sim.Cycle) sim.Cycle {
 	if ch.cfg.Scheduler == FCFS {
 		// Only the oldest request can ever be scheduled.
 		head := ch.fcfsHead()
-		return min(h, max(now, ch.banks[ch.queue[head].bank].busyUntil))
+		return min(h, ch.earliestSchedulable(now, ch.queue[head]))
 	}
 	for _, p := range ch.queue {
-		if t := max(now, ch.banks[p.bank].busyUntil); t < h {
-			h = t
+		if t := ch.earliestSchedulable(now, p); t < h {
+			if h = t; h == now {
+				return now
+			}
 		}
 	}
 	return h

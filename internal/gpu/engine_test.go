@@ -78,6 +78,10 @@ func engineVariants() map[string]Config {
 func runEngineWorkload(t *testing.T, cfg Config, workload string) (*GPU, sim.Cycle) {
 	t.Helper()
 	g := New(cfg)
+	// The lost-wakeup detector re-polls every component's horizon after
+	// each stepped cycle; a component able to act before its armed wake
+	// fails the run even when the final state happens to match.
+	g.SetWakeAudit(true)
 	var k *sm.Kernel
 	switch workload {
 	case "vecinc":
@@ -98,15 +102,20 @@ func runEngineWorkload(t *testing.T, cfg Config, workload string) (*GPU, sim.Cyc
 	if err != nil {
 		t.Fatalf("%s: %v", workload, err)
 	}
+	if bad := g.WakeAuditViolations(); len(bad) > 0 {
+		t.Fatalf("%s: wake audit violations:\n%s", workload, strings.Join(bad, "\n"))
+	}
 	return g, cycles
 }
 
 // deviceSignature renders every piece of semantic device state the
-// engines must agree on. Per-cycle idle observations are excluded: the
-// device and SM cycle counters and empty-issue-slot counts advance on
-// skipped cycles by design (and are replayed by SkipIdle), and the
-// crossbar's EjectBlocked counts full-queue observations, not events.
-func deviceSignature(g *GPU) string {
+// engines must agree on, canonicalized at cycle at (the SM applies
+// due-but-undrained writebacks virtually — see sm.DebugState). Per-cycle
+// idle observations are excluded: the device and SM cycle counters and
+// empty-issue-slot counts advance on skipped cycles by design (and are
+// replayed by SkipIdle), and the crossbar's EjectBlocked counts
+// full-queue observations, not events.
+func deviceSignature(g *GPU, at sim.Cycle) string {
 	var b strings.Builder
 	gs := g.Stats()
 	gs.Cycles, gs.SkippedCycles = 0, 0
@@ -114,7 +123,7 @@ func deviceSignature(g *GPU) string {
 	for _, s := range g.sms {
 		ss := s.Stats()
 		ss.Cycles, ss.IssueStallEmpty = 0, 0
-		fmt.Fprintf(&b, "sm%d:%+v %s\n", s.Config().ID, ss, s.DebugState())
+		fmt.Fprintf(&b, "sm%d:%+v %s\n", s.Config().ID, ss, s.DebugState(at))
 		if l1 := s.L1(); l1 != nil {
 			fmt.Fprintf(&b, "  l1:%+v\n", l1.Stats())
 		}
@@ -180,7 +189,7 @@ func TestEventEngineMatchesTick(t *testing.T) {
 				if ct != ce {
 					t.Fatalf("cycles: tick %d, event %d", ct, ce)
 				}
-				if a, b := deviceSignature(gt), deviceSignature(ge); a != b {
+				if a, b := deviceSignature(gt, gt.Cycle()), deviceSignature(ge, ge.Cycle()); a != b {
 					t.Fatalf("final state diverged:\n--- tick ---\n%s--- event ---\n%s", a, b)
 				}
 				if a, b := statsSignature(gt), statsSignature(ge); a != b {
@@ -200,6 +209,7 @@ func TestEventEngineMatchesTick(t *testing.T) {
 func runCoRunWorkload(t *testing.T, cfg Config) (*GPU, sim.Cycle) {
 	t.Helper()
 	g := New(cfg)
+	g.SetWakeAudit(true)
 	const n = 256
 	for i := 0; i < n; i++ {
 		g.Memory.Store32(0x40000+uint64(i)*4, uint32(i))
@@ -214,6 +224,9 @@ func runCoRunWorkload(t *testing.T, cfg Config) (*GPU, sim.Cycle) {
 	cycles, err := g.Run()
 	if err != nil {
 		t.Fatal(err)
+	}
+	if bad := g.WakeAuditViolations(); len(bad) > 0 {
+		t.Fatalf("co-run wake audit violations:\n%s", strings.Join(bad, "\n"))
 	}
 	return g, cycles
 }
@@ -235,7 +248,7 @@ func TestEventEngineMatchesTickCoRun(t *testing.T) {
 			if ct != ce {
 				t.Fatalf("cycles: tick %d, event %d", ct, ce)
 			}
-			if a, b := deviceSignature(gt), deviceSignature(ge); a != b {
+			if a, b := deviceSignature(gt, gt.Cycle()), deviceSignature(ge, ge.Cycle()); a != b {
 				t.Fatalf("final state diverged:\n--- tick ---\n%s--- event ---\n%s", a, b)
 			}
 			if a, b := statsSignature(gt), statsSignature(ge); a != b {
@@ -282,9 +295,13 @@ func TestNextEventHorizonNeverLate(t *testing.T) {
 					if h == sim.Never {
 						t.Fatalf("cycle %d: Never horizon on a non-drained device", now)
 					}
+					// Canonicalize both captures at the SAME cycle (now):
+					// the step is allowed to drain writebacks already due
+					// at now, and the canonical rendering makes that drain
+					// invisible — any other change is a contract violation.
 					var sig string
 					if h > now {
-						sig = deviceSignature(g)
+						sig = deviceSignature(g, now)
 					}
 					g.Step()
 					if g.Cycle() > 500_000 {
@@ -292,7 +309,7 @@ func TestNextEventHorizonNeverLate(t *testing.T) {
 					}
 					if h > now {
 						quiet++
-						if got := deviceSignature(g); got != sig {
+						if got := deviceSignature(g, now); got != sig {
 							t.Fatalf("cycle %d changed state inside reported quiescence until %d:\n--- before ---\n%s--- after ---\n%s",
 								now, h, sig, got)
 						}

@@ -1,9 +1,21 @@
 // Package gpu assembles the full simulated GPU: the SMs, the request and
 // reply interconnection networks, and the memory partitions, plus the
-// block dispatcher and the top-level cycle loop. It is the integration
+// block dispatcher and the top-level run loops. It is the integration
 // point where the paper's two instrumentation hooks attach: the per-
 // request stage logs flowing through the memory system, and the per-SM
 // per-cycle issue accounting used for the exposed-latency analysis.
+//
+// Two engines drive the device. The cycle-driven loop (Step) ticks
+// every component every cycle — the reference semantics. The
+// event-driven loop (runEvent) keeps one wake registration per
+// component on a sim.Scheduler: each cycle it ticks only the components
+// whose wakes are due, re-arms the ones that changed from their
+// NextEvent horizons, and jumps the clock to the next registered wake,
+// replaying the skipped spans' idle accounting (SkipIdle/SkipStalled)
+// so both engines' results and statistics are byte-identical. The
+// dispatcher is not a subscriber: dispatch runs only in cycles where a
+// retirement or an enqueue armed it. See internal/sim/doc.go for the
+// full contract and the wake-source notes in each component package.
 package gpu
 
 import (
@@ -102,15 +114,10 @@ type GPU struct {
 
 	cycle sim.Cycle
 
-	// ffWait/ffBackoff pace the event kernel's horizon probes: when the
-	// machine is streaming (every probe finds work due the very next
-	// cycle), recomputing the global horizon each cycle costs more than
-	// it saves, so failed probes back off exponentially and any
-	// successful skip resets the pace. Probing less often is purely a
-	// scheduling choice — skipped spans are no-ops either way — so this
-	// cannot affect results.
-	ffWait    int
-	ffBackoff int
+	// ev is the event engine's subscriber-calendar state (untouched by
+	// the tick engine): per-component wake registrations, dirty marks
+	// for end-of-cycle re-arming, and the per-SM idle-replay cursors.
+	ev evState
 
 	// disp is the stream/dispatch subsystem: named streams of queued
 	// kernels and the block placement engine (replaces the old single-
@@ -183,9 +190,18 @@ func NewWithObservers(cfg Config, obs mem.Observer, issueObs IssueObserver) *GPU
 	}
 	g.disp = sched.NewDispatcher(g.sms, cfg.Placement)
 	for _, s := range g.sms {
-		s.SetBlockRetireObserver(g.disp.NoteBlockRetired)
+		s.SetBlockRetireObserver(g.noteBlockRetired)
 	}
 	return g
+}
+
+// noteBlockRetired forwards a block retirement to the dispatcher and
+// flags the event engine: a retirement frees SM capacity (and possibly
+// advances a stream), the two conditions under which a dispatch pass
+// can place new work.
+func (g *GPU) noteBlockRetired(c sim.Cycle, kernelID int) {
+	g.disp.NoteBlockRetired(c, kernelID)
+	g.ev.needDispatch = true
 }
 
 func (g *GPU) nextReqID() uint64 {
@@ -247,6 +263,10 @@ func (g *GPU) Enqueue(stream string, k *sm.Kernel) (*sched.KernelState, error) {
 	if err != nil {
 		return nil, fmt.Errorf("gpu %s: %w", g.cfg.Name, err)
 	}
+	// A new kernel may become a stream head, which the next dispatch
+	// pass must observe (it marks the head active and stamps LaunchedAt
+	// even when no block fits yet).
+	g.ev.needDispatch = true
 	return ks, nil
 }
 
@@ -365,12 +385,13 @@ func (g *GPU) Done() bool {
 // component of the device can act, or sim.Never when the machine is
 // fully drained. Inter-component handoffs need no terms of their own:
 // each component reports now while it holds an eligible item for a
-// neighbor, so a transfer opportunity always pins the horizon.
+// neighbor, so a transfer opportunity always pins the horizon. The run
+// loop no longer polls this (components push wakes onto the scheduler
+// instead); it remains the tick-oracle view the horizon property test
+// audits cycle by cycle.
 func (g *GPU) NextEvent(now sim.Cycle) sim.Cycle {
 	// Component horizons are >= now by contract, so now is a floor:
-	// once any component pins it there is nothing left to learn, and
-	// the remaining scans (notably per-warp issue checks in busy SMs)
-	// can be skipped — this probe sits on the Run loop's hot path.
+	// once any component pins it there is nothing left to learn.
 	h := sim.Never
 	for _, p := range g.parts {
 		if h = min(h, p.NextEvent(now)); h <= now {
@@ -388,39 +409,538 @@ func (g *GPU) NextEvent(now sim.Cycle) sim.Cycle {
 	return h
 }
 
-// fastForward jumps the clock to the machine's next event when every
-// component reports quiescence beyond the current cycle. The skipped
-// cycles are exactly those in which Step would have moved nothing —
-// every queue head still in traversal, every bank and bus busy, every
-// warp blocked on a timed wait — so the jump is observationally
-// identical to stepping them (SkipIdle replays the per-cycle idle
-// accounting the tick loop would have recorded). A Never horizon with a
-// cycle limit jumps straight to the limit, reproducing the tick loop's
-// runaway abort at the same cycle; without a limit it falls back to
-// stepping, again matching the tick loop.
-func (g *GPU) fastForward(start sim.Cycle) bool {
-	now := g.cycle
-	h := g.NextEvent(now)
-	if g.cfg.MaxCycles > 0 {
-		h = min(h, start+g.cfg.MaxCycles+1)
+// evState is the event engine's subscriber-calendar bookkeeping. The
+// scheduler holds one wake registration per component; dirty marks
+// record which components were mutated during the current cycle and
+// must re-arm before the clock advances; lastProc tracks, per SM, the
+// cycle through which idle accounting has been replayed (see SkipIdle
+// in internal/sm and the contract in internal/sim/doc.go).
+type evState struct {
+	sched  *sim.Scheduler
+	partID []int
+	reqID  int
+	repID  int
+	smID   []int
+
+	dirtyPart []bool
+	dirtySM   []bool
+	dirtyReq  bool
+	dirtyRep  bool
+
+	// needDispatch arms the dispatch phase. The dispatcher is not a
+	// calendar subscriber: a dispatch pass can only place work after a
+	// block retires or a kernel is enqueued, both of which happen inside
+	// a stepped cycle and set this flag for the same cycle's tail.
+	needDispatch bool
+
+	// tickAt[i] is the cycle at which SM i's own Tick next does real work
+	// (its NextSelfEvent horizon). It can be LATER than the SM's armed
+	// wake: a queued miss arms the scheduler at now so the injection
+	// transfer phase keeps running, but the core itself is only ticked
+	// when tickAt comes due. Invariant: armed <= tickAt, so the clock
+	// never jumps over a pending core tick.
+	tickAt []sim.Cycle
+
+	// partTickAt[i] is the partition analog: buffered returns arm the
+	// scheduler at now so the reply-transfer phase keeps running, but the
+	// partition's Tick — whose only interaction with the return queue is
+	// filling it — runs only when its NextSelfEvent horizon arrives.
+	// Same invariant: armed <= partTickAt.
+	partTickAt []sim.Cycle
+
+	// lastProc[i] is the cycle through which SM i's per-cycle idle
+	// counters are accounted; fired[id] counts due wake-ups processed.
+	lastProc []sim.Cycle
+	fired    []uint64
+
+	// partLastProc[i] is the partition analog of lastProc: the cycle
+	// through which partition i's per-cycle stall observations (a parked
+	// L2 queue head's retry counters) have been replayed via SkipStalled.
+	partLastProc []sim.Cycle
+
+	audit    bool
+	auditBad []string
+}
+
+// evReset (re)arms the wake registry at the start of an event-engine
+// run: every component starts due at the first cycle, so the opening
+// cycle ticks the whole machine once and each component's first real
+// horizon is registered from live state. Resetting on every Run call
+// keeps back-to-back runs on one device (the service layer's reuse
+// pattern) independent of the previous run's final registrations.
+func (g *GPU) evReset(start sim.Cycle) {
+	ev := &g.ev
+	if ev.sched == nil {
+		ev.sched = sim.NewScheduler(g.cfg.Name + ".wakes")
+		for i := range g.parts {
+			ev.partID = append(ev.partID, ev.sched.Register(fmt.Sprintf("part%d", i)))
+		}
+		ev.reqID = ev.sched.Register("reqnet")
+		ev.repID = ev.sched.Register("replynet")
+		for i := range g.sms {
+			ev.smID = append(ev.smID, ev.sched.Register(fmt.Sprintf("sm%d", i)))
+		}
+		ev.dirtyPart = make([]bool, len(g.parts))
+		ev.dirtySM = make([]bool, len(g.sms))
+		ev.lastProc = make([]sim.Cycle, len(g.sms))
+		ev.tickAt = make([]sim.Cycle, len(g.sms))
+		ev.partTickAt = make([]sim.Cycle, len(g.parts))
+		ev.partLastProc = make([]sim.Cycle, len(g.parts))
+		ev.fired = make([]uint64, ev.sched.Size())
 	}
-	if h == sim.Never || h <= now {
-		return false
+	for _, id := range ev.partID {
+		ev.sched.Rearm(id, start)
 	}
-	delta := h - now
-	g.cycle = h
-	g.stats.Cycles += uint64(delta)
-	g.stats.SkippedCycles += uint64(delta)
-	for _, s := range g.sms {
-		s.SkipIdle(delta)
+	ev.sched.Rearm(ev.reqID, start)
+	ev.sched.Rearm(ev.repID, start)
+	for _, id := range ev.smID {
+		ev.sched.Rearm(id, start)
 	}
-	return true
+	for i := range ev.lastProc {
+		ev.lastProc[i] = start
+		ev.tickAt[i] = start
+	}
+	for i := range ev.partTickAt {
+		ev.partTickAt[i] = start
+		ev.partLastProc[i] = start
+	}
+	for i := range ev.dirtyPart {
+		ev.dirtyPart[i] = false
+	}
+	for i := range ev.dirtySM {
+		ev.dirtySM[i] = false
+	}
+	ev.dirtyReq, ev.dirtyRep = false, false
+}
+
+// catchUpSM replays the idle accounting for cycles SM si slept through,
+// up to and including cycle through. Callers must invoke it BEFORE
+// delivering state-changing input or ticking: the SM's state is still
+// exactly what it was when it went to sleep, which is what makes
+// SkipIdle's busy/resident checks valid for the whole span. (A `through`
+// of Never is the wrapped c-1 at cycle zero: nothing to replay.)
+func (g *GPU) catchUpSM(si int, through sim.Cycle) {
+	if through == sim.Never || through <= g.ev.lastProc[si] {
+		return
+	}
+	g.sms[si].SkipIdle(through - g.ev.lastProc[si])
+	g.ev.lastProc[si] = through
+}
+
+// catchUpPart replays partition pi's per-cycle stall observations for
+// the cycles its Tick slept through. Like catchUpSM it must run before
+// the next Tick; the park conditions SkipStalled keys on are frozen
+// while the partition sleeps (every mutation path runs inside its own
+// Tick), and the engine's transfer phases (Accept, PopReturn) touch
+// none of them.
+func (g *GPU) catchUpPart(pi int, through sim.Cycle) {
+	if through == sim.Never || through <= g.ev.partLastProc[pi] {
+		return
+	}
+	g.parts[pi].SkipStalled(through - g.ev.partLastProc[pi])
+	g.ev.partLastProc[pi] = through
+}
+
+// stepDue advances cycle c, ticking only components whose wake is due.
+// The phase order is exactly Step's; the handoff phases between
+// components run unconditionally (a peek on an empty queue is one
+// length check) so their stall observations stay identical to the tick
+// engine's, while the per-component Tick work — the expensive part — is
+// gated on the wake calendar.
+func (g *GPU) stepDue(c sim.Cycle) {
+	ev := &g.ev
+	sc := ev.sched
+
+	// Memory partitions (includes DRAM). Like the SM core ticks below,
+	// the Tick is gated on the partition's own-work horizon, not on its
+	// armed wake: a partition whose only live state is a backed-up return
+	// queue keeps the clock stepping (for the reply-transfer phase) while
+	// its pipeline — which never drains that queue — sleeps.
+	for pi, p := range g.parts {
+		if ev.partTickAt[pi] > c {
+			continue
+		}
+		ev.fired[ev.partID[pi]]++
+		g.catchUpPart(pi, c-1)
+		p.Tick(c)
+		ev.partLastProc[pi] = c
+		ev.dirtyPart[pi] = true
+	}
+
+	// Reply network: partition return queues → network → SMs. A visible
+	// return head pins its partition's horizon at now, so every cycle on
+	// which this transfer (or its inject-stall observation) can happen
+	// is stepped.
+	injectedRep := false
+	for pi, p := range g.parts {
+		for {
+			r, ok := p.PeekReturn(c)
+			if !ok {
+				break
+			}
+			if !g.replyNet.CanInject(pi) {
+				g.replyNet.NoteInjectStall(pi)
+				break
+			}
+			p.PopReturn(c)
+			ev.dirtyPart[pi] = true
+			g.replyNet.Inject(c, pi, icnt.Packet{
+				Req: r, Dst: r.SM,
+				Size: g.cfg.ControlPacketBytes + g.cfg.DataPacketBytes,
+			})
+			injectedRep = true
+		}
+	}
+	if injectedRep || sc.Due(ev.repID, c) {
+		// A freshly injected packet can traverse this same cycle (the
+		// injection queues have zero latency), so injection forces a
+		// tick even when the network's armed wake is later.
+		if sc.Due(ev.repID, c) {
+			ev.fired[ev.repID]++
+		}
+		g.replyNet.Tick(c)
+		ev.dirtyRep = true
+	}
+	for si, s := range g.sms {
+		for s.CanAcceptResponse() {
+			pkt, ok := g.replyNet.PopEject(c, si)
+			if !ok {
+				break
+			}
+			// Replay the sleep span before the delivery mutates the SM,
+			// then wake it: a buffered response pins its horizon at now,
+			// so it is ticked later this same cycle — order (d) before
+			// (h) is what lets a reply and its processing share a cycle,
+			// exactly as in Step.
+			g.catchUpSM(si, c-1)
+			s.AcceptResponse(c, pkt.Req)
+			ev.dirtyRep = true
+			sc.WakeAt(ev.smID[si], c)
+			if ev.tickAt[si] > c {
+				ev.tickAt[si] = c
+			}
+		}
+	}
+
+	// Request network: SM miss queues → network → partitions. A waiting
+	// miss pins its SM's horizon at now, so these cycles are stepped too.
+	injectedReq := false
+	for si, s := range g.sms {
+		for {
+			r, ok := s.PeekMiss(c)
+			if !ok {
+				break
+			}
+			if !g.reqNet.CanInject(si) {
+				g.reqNet.NoteInjectStall(si)
+				break
+			}
+			// Replay the sleep span before the pop mutates the SM's
+			// pending count (SkipIdle's busy check must see the span's
+			// frozen state).
+			g.catchUpSM(si, c-1)
+			s.PopMiss(c)
+			if s.WantsMissDrain() && ev.tickAt[si] > c {
+				// The LDST unit was parked behind the full miss queue; the
+				// slot just freed, and the tick loop's retry — which runs
+				// after this phase — would succeed this very cycle.
+				ev.tickAt[si] = c
+			}
+			if !s.MissQueued() {
+				// Last miss drained: re-arm from live state (the stale
+				// now-pin would otherwise keep the clock stepping forever).
+				// While misses remain, no re-arm is needed — the pin stays,
+				// and a pop alone cannot move NextSelfEvent except through
+				// WantsMissDrain, handled above.
+				ev.dirtySM[si] = true
+			}
+			r.Partition = g.partitionOf(r.Addr)
+			if r.Log != nil {
+				r.Log.Mark(mem.PtICNTInject, c)
+			}
+			size := g.cfg.ControlPacketBytes
+			if r.Kind == mem.KindStore {
+				size += g.cfg.DataPacketBytes
+			}
+			g.reqNet.Inject(c, si, icnt.Packet{Req: r, Dst: r.Partition, Size: size})
+			injectedReq = true
+		}
+	}
+	if injectedReq || sc.Due(ev.reqID, c) {
+		if sc.Due(ev.reqID, c) {
+			ev.fired[ev.reqID]++
+		}
+		g.reqNet.Tick(c)
+		ev.dirtyReq = true
+	}
+	for pi, p := range g.parts {
+		for p.CanAccept() {
+			pkt, ok := g.reqNet.PopEject(c, pi)
+			if !ok {
+				break
+			}
+			ev.dirtyReq = true
+			p.Accept(c, pkt.Req)
+			ev.dirtyPart[pi] = true
+		}
+	}
+
+	// Cores last: issue sees this cycle's returned data next cycle. Only
+	// busy SMs whose own-tick horizon (tickAt) is due are ticked; the
+	// rest sleep, with their per-cycle idle counters replayed on the next
+	// catch-up. This is the engine's main lever: a core whose warps are
+	// all blocked on in-flight loads — or whose LDST unit is parked
+	// behind a full miss queue — costs nothing until something arrives
+	// or drains. (tickAt can be later than the SM's armed wake: a queued
+	// miss keeps the clock stepping for the injection phase above without
+	// forcing core ticks.)
+	for si, s := range g.sms {
+		if ev.tickAt[si] > c {
+			continue
+		}
+		if !s.Busy() {
+			// Drained while armed (e.g. the initial arm-everything wake
+			// on an idle core): disarm via re-arm, which yields Never.
+			ev.dirtySM[si] = true
+			continue
+		}
+		ev.fired[ev.smID[si]]++
+		g.catchUpSM(si, c-1)
+		s.Tick(c)
+		ev.lastProc[si] = c
+		ev.dirtySM[si] = true
+		g.issueObs.IssueSlot(s.Config().ID, c, s.IssuedThisCycle())
+	}
+
+	// Dispatch, only when a retirement or enqueue armed it this cycle.
+	// Every SM is caught up through c first: LaunchBlock changes the
+	// residency state SkipIdle's replay depends on, so the pre-launch
+	// span must be accounted with pre-launch state. Launched SMs are
+	// woken for c+1 by the re-arm pass (a fresh warp is issuable
+	// immediately, so NextEvent pins c+1).
+	if ev.needDispatch {
+		ev.needDispatch = false
+		for si := range g.sms {
+			g.catchUpSM(si, c)
+		}
+		g.disp.Dispatch(c)
+		for si := range g.sms {
+			ev.dirtySM[si] = true
+		}
+	}
+}
+
+// rearmDirty re-registers every component mutated during cycle c with
+// its fresh horizon NextEvent(c+1); untouched components keep their
+// registrations, which remain valid because NextEvent depends only on
+// the component's own (frozen) state.
+func (g *GPU) rearmDirty(c sim.Cycle) {
+	ev := &g.ev
+	next := c + 1
+	for pi, p := range g.parts {
+		if ev.dirtyPart[pi] {
+			ev.dirtyPart[pi] = false
+			// Tick when the pipeline itself can act; arm the scheduler
+			// additionally on a visible return head so stepping covers the
+			// reply-transfer phase. armed <= partTickAt by construction.
+			selfH := p.NextSelfEvent(next)
+			ev.partTickAt[pi] = selfH
+			armH := selfH
+			if rh := p.ReturnReady(next); rh < armH {
+				armH = rh
+			}
+			ev.sched.Rearm(ev.partID[pi], armH)
+		}
+	}
+	if ev.dirtyReq {
+		ev.dirtyReq = false
+		ev.sched.Rearm(ev.reqID, g.reqNet.NextEvent(next))
+	}
+	if ev.dirtyRep {
+		ev.dirtyRep = false
+		ev.sched.Rearm(ev.repID, g.replyNet.NextEvent(next))
+	}
+	for si, s := range g.sms {
+		if ev.dirtySM[si] {
+			ev.dirtySM[si] = false
+			// Tick the core when its own horizon arrives; arm the
+			// scheduler with the full NextEvent (selfH, or a now-pin while
+			// misses await injection) so stepping also covers the transfer
+			// phases. armed <= tickAt by construction: the clock can keep
+			// stepping without core ticks, never the reverse.
+			selfH := s.NextSelfEvent(next)
+			ev.tickAt[si] = selfH
+			armH := selfH
+			if s.MissQueued() {
+				armH = next
+			}
+			ev.sched.Rearm(ev.smID[si], armH)
+		}
+	}
+	if ev.audit {
+		g.auditWakes(next)
+	}
+}
+
+// SetWakeAudit enables the lost-wakeup detector: after every stepped
+// cycle, every component's NextEvent is re-polled and compared against
+// its armed wake. A component able to act before its registration means
+// some mutation path failed to wake or re-arm it — the classic
+// event-driven simulation bug. The audit is O(components) per cycle
+// with full horizon scans, so it is meant for tests, not production
+// runs.
+func (g *GPU) SetWakeAudit(on bool) { g.ev.audit = on }
+
+// WakeAuditViolations returns the violations the audit recorded (nil
+// when the audit is off or clean). At most 16 are kept.
+func (g *GPU) WakeAuditViolations() []string { return g.ev.auditBad }
+
+func (g *GPU) auditWakes(next sim.Cycle) {
+	ev := &g.ev
+	check := func(id int, h sim.Cycle) {
+		if h < ev.sched.Armed(id) && len(ev.auditBad) < 16 {
+			ev.auditBad = append(ev.auditBad, fmt.Sprintf(
+				"cycle %d: %s can act at %d but is armed at %d (lost wake-up)",
+				next, ev.sched.Name(id), h, ev.sched.Armed(id)))
+		}
+	}
+	for pi, p := range g.parts {
+		check(ev.partID[pi], p.NextEvent(next))
+		if h := p.NextSelfEvent(next); h < ev.partTickAt[pi] && len(ev.auditBad) < 16 {
+			ev.auditBad = append(ev.auditBad, fmt.Sprintf(
+				"cycle %d: %s can tick at %d but partTickAt is %d (lost partition tick)",
+				next, ev.sched.Name(ev.partID[pi]), h, ev.partTickAt[pi]))
+		}
+	}
+	check(ev.reqID, g.reqNet.NextEvent(next))
+	check(ev.repID, g.replyNet.NextEvent(next))
+	for si, s := range g.sms {
+		check(ev.smID[si], s.NextEvent(next))
+		// The split tick horizon has its own lost-wake mode: the core's
+		// own Tick able to act before its scheduled tick.
+		if h := s.NextSelfEvent(next); h < ev.tickAt[si] && len(ev.auditBad) < 16 {
+			ev.auditBad = append(ev.auditBad, fmt.Sprintf(
+				"cycle %d: %s can tick at %d but tickAt is %d (lost core tick)",
+				next, ev.sched.Name(ev.smID[si]), h, ev.tickAt[si]))
+		}
+	}
+}
+
+// WakeStat reports one component's event-engine wake activity: how many
+// registrations the scheduler accepted for it and how many due wake-ups
+// led to processing. The examples/engine_internals walkthrough prints
+// these to show where the engine spends its stepped cycles.
+type WakeStat struct {
+	Name  string
+	Arms  uint64
+	Fired uint64
+}
+
+// WakeStats returns per-component wake counters accumulated by the
+// event engine, in the engine's fixed component order (nil when the
+// event engine has not run).
+func (g *GPU) WakeStats() []WakeStat {
+	if g.ev.sched == nil {
+		return nil
+	}
+	out := make([]WakeStat, g.ev.sched.Size())
+	for id := range out {
+		out[id] = WakeStat{
+			Name:  g.ev.sched.Name(id),
+			Arms:  g.ev.sched.Arms(id),
+			Fired: g.ev.fired[id],
+		}
+	}
+	return out
+}
+
+// runEvent is the subscriber-calendar run loop: step the cycles at
+// which some wake is due, re-arm what changed, and jump the clock to
+// the next registered wake. The jumped cycles are exactly those in
+// which Step would have moved nothing — every queue head still in
+// traversal, every bank and bus busy, every warp blocked on a timed
+// wait — so the jump is observationally identical to stepping them
+// (SkipIdle replay reconstructs the per-cycle idle accounting).
+func (g *GPU) runEvent(start sim.Cycle) (sim.Cycle, error) {
+	g.evReset(g.cycle)
+	if g.Done() {
+		return 0, nil
+	}
+	for {
+		if g.cfg.MaxCycles > 0 && g.cycle-start > g.cfg.MaxCycles {
+			// Replay idle accounting through the last simulated cycle so
+			// an aborted run reports the same statistics as the tick
+			// loop's abort at the same cycle.
+			for si := range g.sms {
+				g.catchUpSM(si, g.cycle-1)
+			}
+			for pi := range g.parts {
+				g.catchUpPart(pi, g.cycle-1)
+			}
+			return g.cycle - start, fmt.Errorf("gpu %s: exceeded %d cycles without completing", g.cfg.Name, g.cfg.MaxCycles)
+		}
+		c := g.cycle
+		g.stepDue(c)
+		g.rearmDirty(c)
+		g.cycle++
+		g.stats.Cycles++
+		h := g.ev.sched.NextWake()
+		if h == sim.Never {
+			// Nothing is armed: either the device has fully drained
+			// (every component re-armed to Never) or the run is stuck.
+			// Done(), an O(components) scan, is only paid here — a fully
+			// drained machine always reaches Never, since the draining
+			// mutations mark their components dirty and the final re-arm
+			// of an empty component yields Never.
+			if g.Done() {
+				break
+			}
+			// Safety net: nothing is armed but the device has not
+			// drained. Degrade to tick-like stepping by waking everything
+			// — behaviorally identical to the tick loop (which would also
+			// spin here until MaxCycles aborts it).
+			g.evForceWake(g.cycle)
+			continue
+		}
+		if g.cfg.MaxCycles > 0 {
+			// Clamp so a runaway jump aborts at the same cycle as the
+			// tick loop.
+			h = min(h, start+g.cfg.MaxCycles+1)
+		}
+		if h > g.cycle {
+			delta := uint64(h - g.cycle)
+			g.cycle = h
+			g.stats.Cycles += delta
+			g.stats.SkippedCycles += delta
+		}
+	}
+	return g.cycle - start, nil
+}
+
+// evForceWake arms every component at cycle c (the Never-horizon
+// fallback).
+func (g *GPU) evForceWake(c sim.Cycle) {
+	for pi, id := range g.ev.partID {
+		g.ev.sched.WakeAt(id, c)
+		if g.ev.partTickAt[pi] > c {
+			g.ev.partTickAt[pi] = c
+		}
+	}
+	g.ev.sched.WakeAt(g.ev.reqID, c)
+	g.ev.sched.WakeAt(g.ev.repID, c)
+	for si, id := range g.ev.smID {
+		g.ev.sched.WakeAt(id, c)
+		if g.ev.tickAt[si] > c {
+			g.ev.tickAt[si] = c
+		}
+	}
 }
 
 // Run advances until every enqueued kernel completes and the device
 // drains, returning the cycles elapsed during the run. It returns an
 // error if MaxCycles is exceeded. Under the default event engine the
-// loop fast-forwards across provably idle spans; results are identical
+// run loop is driven off the wake calendar — components subscribe to
+// future cycles and everything else is skipped; results are identical
 // to the tick engine either way.
 func (g *GPU) Run() (sim.Cycle, error) {
 	start := g.cycle
@@ -429,19 +949,11 @@ func (g *GPU) Run() (sim.Cycle, error) {
 	// all streams) makes their blocks resident from the first stepped
 	// cycle, exactly like Launch.
 	g.disp.Dispatch(g.cycle)
+	if g.cfg.Engine == sim.EngineEvent {
+		return g.runEvent(start)
+	}
 	for !g.Done() {
 		g.Step()
-		if g.cfg.Engine == sim.EngineEvent && !g.Done() {
-			switch {
-			case g.ffWait > 0:
-				g.ffWait--
-			case g.fastForward(start):
-				g.ffBackoff, g.ffWait = 0, 0
-			default:
-				g.ffBackoff = min(2*g.ffBackoff+1, 31)
-				g.ffWait = g.ffBackoff
-			}
-		}
 		if g.cfg.MaxCycles > 0 && g.cycle-start > g.cfg.MaxCycles {
 			return g.cycle - start, fmt.Errorf("gpu %s: exceeded %d cycles without completing", g.cfg.Name, g.cfg.MaxCycles)
 		}

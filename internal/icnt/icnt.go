@@ -6,6 +6,12 @@
 // Time spent queued at injection — the "loaded queue ... between the SM's
 // L1 cache and the interconnection network" — is the paper's L1toICNT
 // latency component, one of the two dominant contributors in Figure 1.
+//
+// Under the event engine the crossbar wakes (NextEvent) when a packet
+// in traversal arrives at its output port or an ejection-queue head is
+// ready for its consumer; a packet freshly injected the same cycle
+// forces a tick directly (zero-latency injection queues), so the
+// network never needs a speculative now-pin of its own.
 package icnt
 
 import (
@@ -193,10 +199,15 @@ func (x *Crossbar) EjectFree(o int) int { return x.eject[o].Free() }
 // ejection head is popped externally, and that head's own readiness term
 // is always the earlier bound.
 func (x *Crossbar) NextEvent(now sim.Cycle) sim.Cycle {
+	// Early exits throughout: the horizon is floored at now, so the first
+	// term that reaches it ends the scan (the event engine re-arms after
+	// every tick, making this a hot path).
 	h := sim.Never
 	for _, q := range x.eject {
 		if q.Len() > 0 {
-			h = min(h, max(now, q.NextReady()))
+			if h = min(h, max(now, q.NextReady())); h == now {
+				return now
+			}
 		}
 	}
 	for _, q := range x.inject {
@@ -211,7 +222,9 @@ func (x *Crossbar) NextEvent(now sim.Cycle) sim.Cycle {
 			continue
 		}
 		if x.eject[pkt.Dst].CanPush() {
-			h = min(h, max(now, x.outBusy[pkt.Dst]))
+			if h = min(h, max(now, x.outBusy[pkt.Dst])); h == now {
+				return now
+			}
 		}
 	}
 	return h

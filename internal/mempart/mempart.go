@@ -4,6 +4,16 @@
 // toward the reply network. The partition stamps the PtROPArrive,
 // PtL2QArrive and PtDRAMQArrive boundaries of the paper's latency
 // breakdown; the DRAM channel stamps scheduling and completion.
+//
+// Under the event engine the partition wakes (NextEvent) when a ROP or
+// hit-pipe item, the L2 queue head, or the DRAM channel comes due, and
+// pins the horizon at now while a finished reply sits in the return
+// queue (the engine's reply-injection phase must run). An L2 head
+// parked on backpressure (a full DRAM queue, no DRAM slot, a
+// reservation failure, a blocked writeback) drops its term — the retry
+// is a provable no-op until the blocking resource frees inside a Tick —
+// and SkipStalled replays the retry counters the cycle-driven loop
+// would have recorded across the skipped span.
 package mempart
 
 import (
@@ -65,8 +75,41 @@ type Partition struct {
 	// the DRAM queue the cycle it was produced.
 	pendingWB *mem.Request
 
+	// l2Blocked/l2ParkReason record that the last accessL2 pass found the
+	// L2 queue head structurally blocked. While the park holds, a retry
+	// is a provable no-op apart from its per-cycle stall observations, so
+	// the event engine may skip those cycles and replay the counters via
+	// SkipStalled. The park is re-evaluated (set or cleared) by every
+	// accessL2 pass, and the releasing conditions are checked live in
+	// l2HeadParked; every releasing event — a hit-pipe drain, a DRAM
+	// schedule or completion — happens inside this partition's own Tick,
+	// whose remaining horizon terms cover it.
+	l2Blocked    *mem.Request
+	l2ParkReason l2Park
+
 	stats Stats
 }
+
+// l2Park enumerates why the L2 queue head is parked.
+type l2Park uint8
+
+const (
+	parkNone l2Park = iota
+	// parkHitPipe: load head with a full hit pipe (L2Stalls per cycle).
+	parkHitPipe
+	// parkDRAMSlots: would-miss head with <2 free DRAM slots (L2Stalls
+	// and a DRAM stall mark per cycle).
+	parkDRAMSlots
+	// parkResv: L2 reservation failure — MSHRs or victim ways exhausted
+	// (L2Stalls per cycle); released only by a fill.
+	parkResv
+	// parkDRAMFull: no-L2 (Tesla) path with a full DRAM queue (L2Stalls
+	// and a DRAM stall mark per cycle).
+	parkDRAMFull
+	// parkWB: deferred eviction writeback blocking on a full DRAM queue
+	// (a DRAM stall mark per cycle, no L2Stall).
+	parkWB
+)
 
 // Stats counts partition activity.
 type Stats struct {
@@ -229,6 +272,7 @@ func (p *Partition) drainHitPipe(c sim.Cycle) {
 // When the partition has no L2 (Tesla), requests pass straight to DRAM.
 func (p *Partition) accessL2(c sim.Cycle) {
 	r, ok := p.l2q.Peek(c)
+	p.l2Blocked, p.l2ParkReason = nil, parkNone
 	if !ok {
 		return
 	}
@@ -236,6 +280,7 @@ func (p *Partition) accessL2(c sim.Cycle) {
 		if !p.dram.CanPush() {
 			p.dram.NoteStall()
 			p.stats.L2Stalls++
+			p.l2Blocked, p.l2ParkReason = r, parkDRAMFull
 			return
 		}
 		p.l2q.Pop(c)
@@ -250,6 +295,7 @@ func (p *Partition) accessL2(c sim.Cycle) {
 	if p.pendingWB != nil {
 		if !p.dram.CanPush() {
 			p.dram.NoteStall()
+			p.l2Blocked, p.l2ParkReason = r, parkWB
 			return
 		}
 		p.dram.Push(c, p.pendingWB)
@@ -262,12 +308,14 @@ func (p *Partition) accessL2(c sim.Cycle) {
 	// two cases apart so DRAM backpressure never blocks L2 hits.
 	if r.Kind == mem.KindLoad && !p.hit.CanPush() {
 		p.stats.L2Stalls++
+		p.l2Blocked, p.l2ParkReason = r, parkHitPipe
 		return
 	}
 	wouldHit := p.l2.Probe(r.Addr) != cache.Miss
 	if !wouldHit && p.dram.FreeSlots() < 2 {
 		p.stats.L2Stalls++
 		p.dram.NoteStall()
+		p.l2Blocked, p.l2ParkReason = r, parkDRAMSlots
 		return
 	}
 
@@ -319,6 +367,7 @@ func (p *Partition) accessL2(c sim.Cycle) {
 		p.dram.Push(c, fetch)
 	case cache.ReservationFail:
 		p.stats.L2Stalls++
+		p.l2Blocked, p.l2ParkReason = r, parkResv
 	}
 }
 
@@ -340,34 +389,126 @@ func (p *Partition) moveROPToL2Q(c sim.Cycle) {
 	}
 }
 
-// NextEvent implements the event-driven kernel's horizon contract. The
-// partition can act when DRAM retires or schedules work, or when the
-// ROP/L2 queue heads finish their traversal latency. Anything already
-// eligible — a visible queue head, a buffered hit/return, a deferred
-// writeback — pins the horizon at now, because its progress depends on
-// state outside this component (DRAM slots, the reply network) that
-// NextEvent must not speculate about. L2 MSHR occupancy needs no term
-// of its own: an outstanding fetch is always physically present in the
-// DRAM queue or in flight, which the DRAM horizon covers.
+// NextEvent implements the event-driven kernel's horizon contract: the
+// earliest cycle at which the partition itself can make progress OR the
+// engine's reply-transfer phase can interact with it (a buffered return
+// pins the horizon, since popping it is the engine's job, not Tick's).
+// The engine arms its stepping calendar with this; the tick gate uses
+// the narrower NextSelfEvent.
 func (p *Partition) NextEvent(now sim.Cycle) sim.Cycle {
-	if p.pendingWB != nil || p.hit.Len() > 0 || p.ret.Len() > 0 {
+	h := p.NextSelfEvent(now)
+	if h == now {
 		return now
 	}
-	if p.rop.Len() > 0 && !p.l2q.CanPush() {
-		// ROP backed up behind a full L2 queue: the tick loop records a
-		// stall observation on every such cycle, so stay stepped to keep
-		// the queue counters engine-identical (EjectBlocked in the
-		// crossbar remains the single documented exception).
-		return now
+	return min(h, p.ReturnReady(now))
+}
+
+// ReturnReady is the engine-facing half of the horizon: the cycle at
+// which the return queue next has a visible head for the reply network
+// (Never when empty). Kept separate from NextSelfEvent because draining
+// the return queue is the run loop's transfer phase — it requires the
+// cycle to be *stepped*, but not the partition to be *ticked*.
+func (p *Partition) ReturnReady(now sim.Cycle) sim.Cycle {
+	if p.ret.Len() == 0 {
+		return sim.Never
 	}
-	h := p.dram.NextEvent(now)
-	if p.rop.Len() > 0 {
-		h = min(h, max(now, p.rop.NextReady()))
+	return max(now, p.ret.NextReady())
+}
+
+// NextSelfEvent is the cycle at which the partition's own Tick next does
+// observable work: a DRAM completion or scheduling opportunity, a visible
+// L2 queue head (every such cycle either performs a lookup or counts an
+// observable L2 stall), or a queue-to-queue movement that has both a
+// ready head and space to move into. Blocked movements contribute no
+// term: hit→ret waits on return-queue space freed only by the engine's
+// reply phase (which re-arms the partition after every pop), rop→l2q
+// waits on L2-queue space freed only by this partition's own lookups
+// (covered by the l2q term), and a deferred writeback drains only on
+// visible-L2-head cycles (ditto). Skipped cycles lose nothing but
+// queue-level backpressure marks (sim.Queue stall counters), which are
+// diagnostic-only and outside the engines' parity contract. L2 MSHR
+// occupancy needs no term of its own: an outstanding fetch is always
+// physically present in the DRAM queue or in flight, which the DRAM
+// horizon covers.
+func (p *Partition) NextSelfEvent(now sim.Cycle) sim.Cycle {
+	// Cheap queue-head terms first with early exits: under memory-system
+	// saturation the L2 queue head is almost always ready, and skipping
+	// the DRAM channel scan on that fast path keeps the event engine's
+	// re-arm cost (this is its hot path) proportional to what the cycle
+	// will actually do. A parked head (see l2HeadParked) drops the l2q
+	// term: its retries are provable no-ops whose stall observations
+	// SkipStalled replays, and every releasing event is covered by the
+	// remaining terms.
+	h := sim.Never
+	if p.l2q.Len() > 0 && !p.l2HeadParked() {
+		if h = max(now, p.l2q.NextReady()); h == now {
+			return now
+		}
 	}
-	if p.l2q.Len() > 0 {
-		h = min(h, max(now, p.l2q.NextReady()))
+	if p.hit.Len() > 0 && p.ret.CanPush() {
+		if h = min(h, max(now, p.hit.NextReady())); h == now {
+			return now
+		}
 	}
-	return h
+	if p.rop.Len() > 0 && p.l2q.CanPush() {
+		if h = min(h, max(now, p.rop.NextReady())); h == now {
+			return now
+		}
+	}
+	return min(h, p.dram.NextEvent(now))
+}
+
+// l2HeadParked reports whether re-running accessL2 is a provable no-op
+// apart from its per-cycle stall observations: the head's last pass
+// failed on a structural stall whose releasing condition still holds.
+// Space-based conditions are checked live (they can only change inside
+// this partition's own Tick, so they are frozen while it sleeps); a
+// reservation failure is released only by a fill, which likewise only
+// drainDRAM performs — the next tick's accessL2 pass re-evaluates it.
+func (p *Partition) l2HeadParked() bool {
+	if p.l2Blocked == nil {
+		return false
+	}
+	if head, ok := p.l2q.Head(); !ok || head != p.l2Blocked {
+		return false
+	}
+	switch p.l2ParkReason {
+	case parkHitPipe:
+		return !p.hit.CanPush()
+	case parkDRAMSlots:
+		return p.dram.FreeSlots() < 2
+	case parkDRAMFull, parkWB:
+		return !p.dram.CanPush()
+	case parkResv:
+		return true
+	}
+	return false
+}
+
+// SkipStalled replays the observable per-cycle stall counters for delta
+// skipped cycles during which the L2 queue head was parked: the
+// cycle-driven loop would have retried the blocked pass every cycle,
+// recording an L2 stall (and, for DRAM-space parks, a DRAM stall mark)
+// each time without moving any other state. The partition-side analog
+// of the SM's SkipIdle.
+func (p *Partition) SkipStalled(delta sim.Cycle) {
+	if delta == 0 || !p.l2HeadParked() {
+		return
+	}
+	switch p.l2ParkReason {
+	case parkHitPipe:
+		p.stats.L2Stalls += uint64(delta)
+	case parkResv:
+		// The blocked pass reaches the cache before failing, so the
+		// cache's own counter advances along with the partition's.
+		p.stats.L2Stalls += uint64(delta)
+		p.l2.AddReservationFails(uint64(delta))
+	case parkDRAMSlots, parkDRAMFull:
+		p.stats.L2Stalls += uint64(delta)
+		p.dram.AddStalls(uint64(delta))
+	case parkWB:
+		p.dram.AddStalls(uint64(delta))
+	}
 }
 
 // Pending returns the number of requests buffered anywhere in the

@@ -53,6 +53,30 @@ func (cl *Calendar[T]) Ready(c Cycle) []T {
 	return cl.ready
 }
 
+// Peek returns the earliest scheduled item and its ready cycle without
+// removing it. Ties at the same cycle surface in insertion order, the
+// property the engine-determinism gates rely on (see doc.go).
+func (cl *Calendar[T]) Peek() (item T, at Cycle, ok bool) {
+	if len(cl.heap) == 0 {
+		var zero T
+		return zero, 0, false
+	}
+	return cl.heap[0].item, cl.heap[0].readyAt, true
+}
+
+// Pop removes and returns the earliest scheduled item regardless of the
+// current cycle (the wake scheduler's stale-entry drain; Ready remains
+// the cycle-gated bulk path).
+func (cl *Calendar[T]) Pop() (item T, at Cycle, ok bool) {
+	if len(cl.heap) == 0 {
+		var zero T
+		return zero, 0, false
+	}
+	it, at := cl.heap[0].item, cl.heap[0].readyAt
+	cl.pop()
+	return it, at, true
+}
+
 // NextReady returns the cycle at which the earliest scheduled item
 // becomes ready, or Never when the calendar is empty (the event-driven
 // kernel's horizon hook).

@@ -69,3 +69,29 @@ func (p *Pipeline[T]) NextReady() Cycle {
 	}
 	return p.items[0].readyAt
 }
+
+// EachDue calls fn for every item complete at cycle c, in insertion
+// order, WITHOUT draining it. Canonical-state observers use it to
+// render due-but-undrained items as if already applied, so an owner
+// that defers Ready() to its next wake stays indistinguishable from
+// one draining every cycle.
+func (p *Pipeline[T]) EachDue(c Cycle, fn func(T)) {
+	for i := 0; i < len(p.items) && p.items[i].readyAt <= c; i++ {
+		fn(p.items[i].item)
+	}
+}
+
+// PendingAfter returns the number of items still in flight once
+// everything due at cycle c has drained, and the completion cycle of
+// the earliest survivor (Never when none). Non-mutating companion to
+// EachDue for canonical-state rendering.
+func (p *Pipeline[T]) PendingAfter(c Cycle) (int, Cycle) {
+	i := 0
+	for i < len(p.items) && p.items[i].readyAt <= c {
+		i++
+	}
+	if i == len(p.items) {
+		return 0, Never
+	}
+	return len(p.items) - i, p.items[i].readyAt
+}

@@ -71,6 +71,18 @@ func (q *Queue[T]) Peek(c Cycle) (T, bool) {
 	return q.items[0].item, true
 }
 
+// Head returns the front item regardless of whether it is visible yet
+// (contrast Peek, which respects the traversal latency). Horizon code
+// uses it to reason about what the head WILL be when it becomes visible
+// without needing to know the current cycle.
+func (q *Queue[T]) Head() (T, bool) {
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	return q.items[0].item, true
+}
+
 // Pop removes and returns the front item if it is visible at cycle c.
 func (q *Queue[T]) Pop(c Cycle) (T, bool) {
 	var zero T

@@ -1,11 +1,3 @@
-// Package sim provides the low-level building blocks of the cycle-level
-// GPU timing simulator: the simulation clock, bounded latency queues,
-// fixed-depth pipelines, and deterministic pseudo-random number generation.
-//
-// Every timed component in the simulator implements Ticker and is advanced
-// once per cycle by its owner in a fixed order, which makes whole-GPU
-// simulations fully deterministic and therefore exactly reproducible in
-// tests and experiments.
 package sim
 
 // Cycle is a point in simulated time, measured in core ("hot") clock cycles.
@@ -16,8 +8,10 @@ type Cycle uint64
 
 // Ticker is implemented by every component that performs work each cycle.
 type Ticker interface {
-	// Tick advances the component to cycle c. Tick is called exactly once
-	// per cycle with strictly increasing values of c.
+	// Tick advances the component to cycle c. Tick is called at most once
+	// per cycle with strictly increasing values of c; under the event
+	// engine, cycles at which the component provably cannot act are
+	// skipped entirely (see the package contract in doc.go).
 	Tick(c Cycle)
 }
 

@@ -1,6 +1,8 @@
 package sm
 
 import (
+	"math/bits"
+
 	"gpulat/internal/isa"
 	"gpulat/internal/sim"
 )
@@ -15,8 +17,11 @@ func (s *SM) issue(c sim.Cycle) {
 	for slot := 0; slot < s.cfg.IssueWidth; slot++ {
 		ws := s.pickWarp(c, issuedWarp)
 		if ws < 0 {
-			s.stats.IssueStallEmpty++
-			continue
+			// No warp can issue this slot, so none can issue the remaining
+			// slots either (a failed pick changes no state the next pick
+			// reads). Account every leftover slot and skip the re-scans.
+			s.stats.IssueStallEmpty += uint64(s.cfg.IssueWidth - slot)
+			break
 		}
 		s.issueFrom(c, ws)
 		issuedWarp[ws] = true
@@ -73,6 +78,74 @@ func (s *SM) issuableIgnoringDelay(ws int) bool {
 		return false
 	}
 	return true
+}
+
+// issueReadyAt returns the earliest cycle at which warp slot ws could
+// pass issuableIgnoringDelay, given the SM's pending timed releases.
+// For every scoreboard bit the next instruction needs, regClearAt /
+// predClearAt hold the exact cycle its in-flight writeback lands, so the
+// answer is simply the max of those (zero when nothing is pending). The
+// caller floors it at now and at the warp's branch-delay window.
+//
+// ok=false means the time is not knowable from timed state alone and
+// the warp contributes no horizon term; its wake rides another: a load
+// dependence (Never clearAt) rides the response/retire terms, and a
+// full LDST queue frees only inside a Tick the queue's own term (or the
+// miss-drain re-tick) already schedules. A slot relaunched while a
+// previous resident's writebacks are still in flight (sbHazard) is the
+// one case where pending clears are not described by regClearAt — the
+// foreign masks may strike the new warp's bits early — so the term
+// falls back to the next pipe drain, the earliest any release can land.
+func (s *SM) issueReadyAt(ws int) (sim.Cycle, bool) {
+	if s.sbHazard[ws] {
+		if s.exec.Len() == 0 {
+			// Unreachable (the hazard clears when the pipe drains), but
+			// never report a horizon term of Never as ok.
+			return 0, false
+		}
+		return s.exec.NextReady(), true
+	}
+	w := s.warps[ws]
+	prog := s.blocks[w.BlockSlot].kernel.Program
+	in := prog.At(w.PC())
+
+	var regMask uint64
+	var buf [4]isa.Reg
+	for _, r := range in.SrcRegs(buf[:0]) {
+		regMask |= 1 << r
+	}
+	if in.Op.WritesDst() && in.Dst != isa.RZ {
+		regMask |= 1 << in.Dst
+	}
+	var at sim.Cycle
+	for m := s.sbRegs[ws] & regMask; m != 0; m &= m - 1 {
+		rel := s.regClearAt[ws*64+bits.TrailingZeros64(m)]
+		if rel == sim.Never {
+			return 0, false
+		}
+		if rel > at {
+			at = rel
+		}
+	}
+	var predMask uint8
+	if in.Pred != isa.PT {
+		predMask |= 1 << in.Pred
+	}
+	if (in.Op == isa.OpISETP || in.Op == isa.OpSELP) && in.PDst != isa.PT {
+		predMask |= 1 << in.PDst
+	}
+	for m := s.sbPreds[ws] & predMask; m != 0; m &= m - 1 {
+		if rel := s.predClearAt[ws*8+bits.TrailingZeros8(m)]; rel > at {
+			at = rel
+		}
+	}
+
+	// Structural: LDST queue occupancy only changes inside Tick, so a
+	// full queue has no timed release visible here.
+	if in.Op.IsMemory() && !s.ldstQ.CanPush() {
+		return 0, false
+	}
+	return at, true
 }
 
 // pickWarp selects the next warp per the configured policy.
@@ -177,6 +250,14 @@ func (s *SM) issueFrom(c sim.Cycle, ws int) {
 			s.sbRegs[ws] |= regMask
 			s.sbPreds[ws] |= predMask
 			s.exec.Enter(c, wbEvent{warpSlot: ws, regMask: regMask, predMask: predMask})
+			s.wbInFlight[ws]++
+			ready := c + s.exec.Depth()
+			if regMask != 0 {
+				s.regClearAt[ws*64+int(in.Dst)] = ready
+			}
+			if predMask != 0 {
+				s.predClearAt[ws*8+int(in.PDst)] = ready
+			}
 		}
 		w.Advance(pc + 1)
 	}

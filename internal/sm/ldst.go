@@ -113,6 +113,10 @@ func (s *SM) issueMemInst(c sim.Cycle, ws int, in *isa.Instruction, passMask uin
 		s.stats.LoadsIssued++
 		if in.Dst != isa.RZ {
 			s.sbRegs[ws] |= 1 << in.Dst
+			// The release time (an L1-hit retire or a network reply) is
+			// not knowable here; the warp's horizon term drops out and its
+			// wake rides the response/retire terms instead.
+			s.regClearAt[ws*64+int(in.Dst)] = sim.Never
 		}
 	} else {
 		s.stats.StoresIssued++
@@ -220,8 +224,10 @@ func (s *SM) issueTransaction(c sim.Cycle, mi *memInst) bool {
 		// lookup would have happened).
 		if !s.missQ.CanPush() {
 			s.missQ.NoteStall()
+			s.ldstBlockedOn, s.ldstBlockReason = mi, blockMissQ
 			return false
 		}
+		s.ldstBlockedOn, s.ldstBlockReason = nil, blockNone
 		req.Log.Mark(mem.PtL1Access, c)
 		if mi.kind == mem.KindLoad {
 			mi.outstanding++
@@ -236,8 +242,10 @@ func (s *SM) issueTransaction(c sim.Cycle, mi *memInst) bool {
 	// before accessing so an allocated MSHR is never stranded.
 	if !s.missQ.CanPush() {
 		s.missQ.NoteStall()
+		s.ldstBlockedOn, s.ldstBlockReason = mi, blockMissQ
 		return false
 	}
+	s.ldstBlockedOn, s.ldstBlockReason = nil, blockNone
 	res := s.l1.Access(c, req)
 	if res.Status != cache.ReservationFail {
 		req.Log.Mark(mem.PtL1Access, c)
@@ -272,6 +280,7 @@ func (s *SM) issueTransaction(c sim.Cycle, mi *memInst) bool {
 		s.missQ.Push(c, req)
 		return true
 	case cache.ReservationFail:
+		s.ldstBlockedOn, s.ldstBlockReason = mi, blockL1
 		return false
 	}
 	return false

@@ -6,6 +6,18 @@
 // request spends inside the SM before its L1 access is the paper's
 // "SM Base" latency component; the time a miss waits in the miss queue
 // before network injection is "L1toICNT".
+//
+// Under the event engine the SM wakes the device (NextEvent /
+// NextSelfEvent) when: a buffered response awaits processing (pins now);
+// a retire event or the LDST queue head comes due; a warp's next
+// instruction becomes issuable — computed exactly from its branch-delay
+// window and the per-register release times of in-flight arithmetic
+// writebacks (regClearAt/predClearAt), so pure pipe-drain cycles are
+// never stepped; or, with nothing else pending, when the execution pipe
+// must drain so the core can report itself idle. A queued miss pins
+// NextEvent (the engine's injection phase must run) without forcing a
+// core tick. Warps blocked on loads carry no term: their wake rides the
+// response/retire horizons.
 package sm
 
 import (
@@ -166,6 +178,24 @@ type SM struct {
 	blockedTo []sim.Cycle  // warp issue blocked until cycle (branch delay)
 	blocks    []blockSlot
 
+	// regClearAt/predClearAt record, for every scoreboard bit currently
+	// set, the cycle at which its pending writeback will clear it:
+	// the exact exec-pipe exit for arithmetic results, Never for memory
+	// loads (their completion time is not knowable from SM-local state —
+	// those releases ride the response/retire horizon terms instead).
+	// Entries are written at issue time only; a stale entry under a
+	// cleared bit is never read. Indexed [slot*64+reg] / [slot*8+pred].
+	regClearAt  []sim.Cycle
+	predClearAt []sim.Cycle
+	// wbInFlight counts in-flight exec-pipe writebacks per warp slot;
+	// sbHazard marks slots relaunched while a previous resident's
+	// writebacks were still in flight — their foreign masks will clear
+	// the new warp's scoreboard bits at times regClearAt cannot know, so
+	// NextSelfEvent falls back to waking at every exec drain until the
+	// slot's in-flight count returns to zero.
+	wbInFlight []int
+	sbHazard   []bool
+
 	ldstQ  *sim.Queue[*memInst]
 	missQ  *sim.Queue[*mem.Request]
 	respQ  *sim.Queue[*mem.Request]
@@ -175,6 +205,29 @@ type SM struct {
 
 	// outstanding maps request ID → transaction bookkeeping.
 	outstanding map[uint64]*txnCtx
+
+	// ldstBlockedOn remembers the LDST-queue head whose last transaction
+	// attempt failed on a structural stall, and ldstBlockReason records
+	// which one:
+	//
+	//   - blockMissQ: the miss queue was full. Releases only when the
+	//     engine's injection phase pops a miss (external to the SM).
+	//   - blockL1: the L1 refused the access (MSHRs exhausted, merge
+	//     slots exhausted, or no evictable way). All three release only
+	//     via an L1 fill, which happens exclusively in this SM's own
+	//     response processing.
+	//
+	// While the same instruction is still at the head and its stall
+	// reason has not been released, re-ticking the LDST unit is a
+	// provable no-op (the retry's only effects — a queue-stall note, a
+	// cache reservation-fail count and LRU stamp advance — are invisible
+	// to the engine-equivalence signatures and preserve relative LRU
+	// order), so NextSelfEvent drops the LDST term and the SM sleeps
+	// until the releasing event arrives, each of which re-ticks the SM in
+	// the same cycle the cycle-driven loop's retry would first succeed.
+	// Cleared whenever an attempt gets past the failing check.
+	ldstBlockedOn   *memInst
+	ldstBlockReason ldstBlock
 
 	newReqID func() uint64
 	observer mem.Observer
@@ -200,6 +253,15 @@ type txnCtx struct {
 	fillL1    bool
 	blockAddr uint64
 }
+
+// ldstBlock is the structural-stall reason parking the LDST head.
+type ldstBlock uint8
+
+const (
+	blockNone ldstBlock = iota
+	blockMissQ
+	blockL1
+)
 
 // Stats counts SM activity.
 type Stats struct {
@@ -236,6 +298,10 @@ func New(cfg Config, memory *mem.Memory, newReqID func() uint64, observer mem.Ob
 		sbRegs:      make([]uint64, cfg.MaxWarps),
 		sbPreds:     make([]uint8, cfg.MaxWarps),
 		blockedTo:   make([]sim.Cycle, cfg.MaxWarps),
+		regClearAt:  make([]sim.Cycle, cfg.MaxWarps*64),
+		predClearAt: make([]sim.Cycle, cfg.MaxWarps*8),
+		wbInFlight:  make([]int, cfg.MaxWarps),
+		sbHazard:    make([]bool, cfg.MaxWarps),
 		blocks:      make([]blockSlot, cfg.MaxBlocks),
 		ldstQ:       sim.NewQueue[*memInst](name+".ldst", cfg.LDSTQueueDepth, cfg.LDSTIssueLatency),
 		missQ:       sim.NewQueue[*mem.Request](name+".miss", cfg.MissQueueDepth, 0),
@@ -341,6 +407,7 @@ func (s *SM) LaunchBlock(k *Kernel, ctaid int, kernelID int) {
 		s.sbRegs[ws] = 0
 		s.sbPreds[ws] = 0
 		s.blockedTo[ws] = 0
+		s.sbHazard[ws] = s.wbInFlight[ws] > 0
 	}
 }
 
@@ -381,33 +448,145 @@ func (s *SM) Pending() int {
 // the scoreboard need no term of their own: every release path (exec
 // drain, retire, LDST completion) is already covered by the timed terms.
 func (s *SM) NextEvent(now sim.Cycle) sim.Cycle {
+	if s.missQ.Len() > 0 {
+		return now
+	}
+	return s.NextSelfEvent(now)
+}
+
+// NextSelfEvent is the horizon of the SM's own Tick: the earliest cycle
+// at which calling Tick could do anything beyond idle accounting. It is
+// NextEvent minus the miss-queue pin — a queued miss needs the ENGINE
+// to act (the network-injection transfer phase), not the SM itself, so
+// the event engine arms the scheduler with NextEvent (keeping injection
+// cycles stepped) but ticks the core only when NextSelfEvent is due.
+// Additionally, when the LDST head's last transaction attempt failed on
+// a full miss queue and the queue is still full, the retry is a provable
+// no-op and the LDST term drops out entirely; the engine re-ticks the SM
+// in the same cycle it drains a miss, which is exactly when the
+// cycle-driven loop's retry would first succeed.
+//
+// Execution-pipe writebacks carry no term of their own: draining one
+// only clears private scoreboard bits, which is invisible until some
+// warp's issue depends on it — and the per-warp terms below already
+// account for every pending clear at its exact time (issueReadyAt).
+// A canonical-state observer (DebugState) applies due-but-undrained
+// writebacks virtually, so deferring the drain to the next real wake
+// is unobservable. The one exception is liveness: with no other term
+// left, the SM must still wake to drain the pipe so the device can
+// report itself done.
+func (s *SM) NextSelfEvent(now sim.Cycle) sim.Cycle {
 	if !s.Busy() {
 		return sim.Never
 	}
-	if s.respQ.Len() > 0 || s.missQ.Len() > 0 {
+	if s.respQ.Len() > 0 {
 		return now
 	}
+	// Every term below is floored at now, so the horizon cannot improve
+	// once it reaches now — return immediately and skip the remaining
+	// scans. The per-warp loop additionally skips the (expensive) decode
+	// and scoreboard check for any warp whose delay window alone already
+	// rules out improving the horizon. This is the event engine's re-arm
+	// hot path: it runs after every core tick.
 	h := sim.Never
-	if s.exec.Len() > 0 {
-		h = min(h, max(now, s.exec.NextReady()))
-	}
 	if s.retire.Len() > 0 {
-		h = min(h, max(now, s.retire.NextReady()))
-	}
-	if s.ldstQ.Len() > 0 {
-		h = min(h, max(now, s.ldstQ.NextReady()))
-	}
-	for ws := range s.warps {
-		if s.issuableIgnoringDelay(ws) {
-			h = min(h, max(now, s.blockedTo[ws]))
+		if h = min(h, max(now, s.retire.NextReady())); h == now {
+			return now
 		}
+	}
+	if s.ldstQ.Len() > 0 && !s.ldstHeadParked() {
+		if h = min(h, max(now, s.ldstQ.NextReady())); h == now {
+			return now
+		}
+	}
+	for ws, w := range s.warps {
+		if w == nil || w.Done() || w.AtBarrier {
+			continue
+		}
+		t := max(now, s.blockedTo[ws])
+		if t >= h {
+			continue
+		}
+		at, ok := s.issueReadyAt(ws)
+		if !ok {
+			continue
+		}
+		if at > t {
+			t = at
+		}
+		if t < h {
+			if h = t; h == now {
+				return now
+			}
+		}
+	}
+	if h == sim.Never && s.exec.Len() > 0 {
+		// Liveness fallback: nothing will issue, but the pipe must still
+		// drain before the SM can report itself idle.
+		h = max(now, s.exec.NextReady())
 	}
 	return h
 }
 
+// ldstHeadParked reports whether re-ticking the LDST unit is a provable
+// no-op: the head's last transaction attempt failed on a structural
+// stall whose releasing event has not happened. For a full miss queue
+// the release is a pop (checked live via CanPush); for an L1 reservation
+// failure the release is a fill, which only this SM's own response
+// processing performs — and a buffered response already pins the horizon
+// at now, so no liveness check is needed here.
+func (s *SM) ldstHeadParked() bool {
+	if s.ldstBlockedOn == nil {
+		return false
+	}
+	if head, ok := s.ldstQ.Head(); !ok || head != s.ldstBlockedOn {
+		return false
+	}
+	switch s.ldstBlockReason {
+	case blockMissQ:
+		return !s.missQ.CanPush()
+	case blockL1:
+		return true
+	}
+	return false
+}
+
+// WantsMissDrain reports whether the LDST unit is parked on miss-queue
+// backpressure: its head instruction's last transaction attempt failed
+// because the miss queue was full. When the engine pops a miss for
+// network injection and this holds, it must tick the SM in the same
+// cycle — the cycle-driven loop's retry (which runs after the injection
+// phase) would succeed that very cycle. Deliberately ignores the queue's
+// current fill level: the engine calls this right after popping, when
+// space exists again.
+func (s *SM) WantsMissDrain() bool {
+	if s.ldstBlockedOn == nil || s.ldstBlockReason != blockMissQ {
+		return false
+	}
+	head, ok := s.ldstQ.Head()
+	return ok && head == s.ldstBlockedOn
+}
+
+// MissQueued reports whether any outbound request is waiting for network
+// injection (the engine-side transfer phase's wake condition).
+func (s *SM) MissQueued() bool { return s.missQ.Len() > 0 }
+
 // DebugState renders the SM's full semantic state — warps, scoreboard,
-// delay windows, buffer occupancy — for the engine-equivalence audit.
-func (s *SM) DebugState() string {
+// delay windows, buffer occupancy — for the engine-equivalence audit,
+// canonicalized at cycle c: execution-pipe writebacks due at or before
+// c are applied virtually (their scoreboard bits rendered clear, the
+// pipe rendered post-drain). The event engine may leave a due writeback
+// undrained until the SM's next real wake — the drain is representation-
+// only, so a device that deferred it and one that drained every cycle
+// are in the same semantic state and must render identically.
+func (s *SM) DebugState(c sim.Cycle) string {
+	effRegs := append([]uint64(nil), s.sbRegs...)
+	effPreds := append([]uint8(nil), s.sbPreds...)
+	s.exec.EachDue(c, func(wb wbEvent) {
+		effRegs[wb.warpSlot] &^= wb.regMask
+		effPreds[wb.warpSlot] &^= wb.predMask
+	})
+	execLen, execNext := s.exec.PendingAfter(c)
 	var b strings.Builder
 	for ws, w := range s.warps {
 		if w == nil {
@@ -415,11 +594,11 @@ func (s *SM) DebugState() string {
 		}
 		fmt.Fprintf(&b, "w%d={pc=%d m=%#x d=%v b=%v sb=%#x/%#x to=%d} ",
 			ws, w.PC(), w.ActiveMask(), w.Done(), w.AtBarrier,
-			s.sbRegs[ws], s.sbPreds[ws], s.blockedTo[ws])
+			effRegs[ws], effPreds[ws], s.blockedTo[ws])
 	}
 	fmt.Fprintf(&b, "ldst=%d@%d miss=%d resp=%d exec=%d@%d ret=%d@%d out=%d sched=%d/%d",
 		s.ldstQ.Len(), s.ldstQ.NextReady(), s.missQ.Len(), s.respQ.Len(),
-		s.exec.Len(), s.exec.NextReady(), s.retire.Len(), s.retire.NextReady(),
+		execLen, execNext, s.retire.Len(), s.retire.NextReady(),
 		len(s.outstanding), s.lastSched, s.greedyWarp)
 	return b.String()
 }
@@ -437,6 +616,16 @@ func (s *SM) SkipIdle(delta sim.Cycle) {
 	s.stats.Cycles += uint64(delta)
 	if s.ActiveBlocks() > 0 {
 		s.stats.IssueStallEmpty += uint64(delta) * uint64(s.cfg.IssueWidth)
+	}
+	// An LDST head parked on an L1 reservation failure would have retried
+	// the access — and provably failed, the cache's reservation state
+	// being frozen while the SM sleeps — on every skipped cycle, counting
+	// one ReservationFail each time. (The miss-queue park's retries touch
+	// only queue-level stall marks, which are diagnostic-only.)
+	if s.ldstBlockReason == blockL1 && s.ldstBlockedOn != nil {
+		if head, ok := s.ldstQ.Head(); ok && head == s.ldstBlockedOn {
+			s.l1.AddReservationFails(uint64(delta))
+		}
 	}
 }
 
@@ -472,6 +661,10 @@ func (s *SM) drainExec(c sim.Cycle) {
 	for _, wb := range s.exec.Ready(c) {
 		s.sbRegs[wb.warpSlot] &^= wb.regMask
 		s.sbPreds[wb.warpSlot] &^= wb.predMask
+		s.wbInFlight[wb.warpSlot]--
+		if s.wbInFlight[wb.warpSlot] == 0 {
+			s.sbHazard[wb.warpSlot] = false
+		}
 	}
 }
 

@@ -16,6 +16,7 @@ var volatileKeys = map[string]bool{
 	"wall_seconds":            true,
 	"cycles_per_second":       true,
 	"speedup_event_over_tick": true,
+	"timing_reps":             true,
 	"elapsed":                 true,
 	"uptime_seconds":          true,
 }
