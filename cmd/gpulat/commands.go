@@ -103,7 +103,7 @@ func cmdSweep(args []string) error {
 		return nil
 	}
 	grid := runner.Grid{Kind: runner.KindChase, Archs: []string{*arch}, Variants: variants}
-	set, err := runJobsExec(grid.Jobs(), *jobs, true, *engine, exec)
+	set, err := runJobsExec(grid.Jobs(), *jobs, true, *engine, 1, exec)
 	if err != nil {
 		return err
 	}
@@ -422,8 +422,12 @@ func cmdSimRun(args []string) error {
 	vertices := fs.Int("vertices", 1<<13, "BFS graph size")
 	verbose := fs.Bool("v", false, "dump per-SM and per-partition counters")
 	engine := engineFlag(fs)
+	par := parFlag(fs)
 	if err := parseFlags(fs, args); err != nil {
 		return err
+	}
+	if *par < 1 {
+		return usagef("-par must be >= 1 (got %d)", *par)
 	}
 
 	cfg, err := mustConfig(*arch)
@@ -433,6 +437,7 @@ func cmdSimRun(args []string) error {
 	if cfg, err = applyEngineConfig(cfg, *engine); err != nil {
 		return err
 	}
+	cfg.Workers = *par
 	job := runner.Job{
 		Kind: runner.KindDynamic, Arch: *arch, Kernel: *kernel, Seed: 42,
 		Options: runner.Options{Vertices: *vertices},

@@ -36,6 +36,7 @@ func TestCoRunUsageErrorsExitTwo(t *testing.T) {
 		"bad placement":  {"-placements", "diagonal"},
 		"bad arch":       {"-archs", "RTX9090"},
 		"bad engine":     {"-engine", "warp9"},
+		"bad par":        {"-par", "0"},
 		"json and csv":   {"-json", "-csv"},
 	} {
 		err := cmdCoRun(args)
@@ -54,6 +55,7 @@ func TestCoRunUsageErrorsExitTwo(t *testing.T) {
 func TestBenchSuiteUsageErrorsExitTwo(t *testing.T) {
 	for name, args := range map[string][]string{
 		"bad engine":   {"-engine", "tachyon"},
+		"bad par":      {"-par", "-3"},
 		"json and csv": {"-json", "-csv"},
 		"bad flag":     {"-definitely-not-a-flag"},
 	} {
@@ -77,6 +79,29 @@ func TestSubmitUsageErrorsExitTwo(t *testing.T) {
 		"nothing to do":  {"-quiet"},
 	} {
 		err := cmdSubmit(args)
+		if err == nil {
+			t.Errorf("%s: accepted", name)
+			continue
+		}
+		if got := exitCode(err); got != 2 {
+			t.Errorf("%s: exit %d, want 2 (%v)", name, got, err)
+		}
+	}
+}
+
+// TestServeCoordinatorRejectsStationFlags covers serve's coordinator
+// mode refusing station-only flags (exit 2, before any network I/O):
+// caches, workers, engines, and the per-simulation -par width all
+// belong to the backends.
+func TestServeCoordinatorRejectsStationFlags(t *testing.T) {
+	for name, args := range map[string][]string{
+		"par":       {"-backends", "127.0.0.1:1", "-par", "8"},
+		"engine":    {"-backends", "127.0.0.1:1", "-engine", "tick"},
+		"jobs":      {"-backends", "127.0.0.1:1", "-j", "4"},
+		"cache dir": {"-backends", "127.0.0.1:1", "-cache-dir", "/tmp/x"},
+		"bad par":   {"-par", "0"},
+	} {
+		err := cmdServe(args)
 		if err == nil {
 			t.Errorf("%s: accepted", name)
 			continue

@@ -40,12 +40,16 @@ func cmdServe(args []string) error {
 	probe := fs.Duration("probe", 250*time.Millisecond, "coordinator health-probe interval (with -backends)")
 	jobs := jobsFlag(fs)
 	engine := engineFlag(fs)
+	par := parFlag(fs)
 	quiet := fs.Bool("quiet", false, "suppress the startup banner on stderr")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if _, err := sim.ParseEngine(*engine); err != nil {
 		return usagef("%v", err)
+	}
+	if *par < 1 {
+		return usagef("-par must be >= 1 (got %d)", *par)
 	}
 
 	var svc service.JobService
@@ -59,7 +63,7 @@ func cmdServe(args []string) error {
 		var incompatible []string
 		fs.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "cache-dir", "cache-entries", "no-cache", "j", "engine":
+			case "cache-dir", "cache-entries", "no-cache", "j", "engine", "par":
 				incompatible = append(incompatible, "-"+f.Name)
 			}
 		})
@@ -95,6 +99,7 @@ func cmdServe(args []string) error {
 			Workers:    *jobs,
 			QueueBound: *queueBound,
 			Engine:     *engine,
+			Par:        *par,
 		})
 		defer station.Close()
 		svc = station

@@ -63,6 +63,15 @@ type Config struct {
 	// co-resident streams: shared breadth-first (default) or spatial
 	// SM partitioning. Single-stream runs behave identically under both.
 	Placement sched.Placement
+	// Workers is the phase-parallel stepping width: the number of
+	// goroutines (caller included) sharding the independent components
+	// of each tick phase — SMs across the core phase, partitions across
+	// the memory phase. 0 or 1 steps serially. Results are identical at
+	// any width (the parallel-stepping contract in internal/sim/doc.go),
+	// so Workers is, like Engine, execution machinery rather than an
+	// experiment parameter: it is excluded from serialized configs and
+	// must never influence a job's identity.
+	Workers int `json:"-"`
 }
 
 // Every timed building block of the device honors the event-driven
@@ -103,11 +112,23 @@ type GPU struct {
 	cfg    Config
 	Memory *mem.Memory
 
-	sms        []*sm.SM
-	parts      []*mempart.Partition
-	reqNet     *icnt.Crossbar
-	replyNet   *icnt.Crossbar
-	reqCounter uint64
+	sms      []*sm.SM
+	parts    []*mempart.Partition
+	reqNet   *icnt.Crossbar
+	replyNet *icnt.Crossbar
+
+	// reqSeq holds each SM's private request-ID sequence (IDs are only
+	// SM-local bookkeeping keys, tagged with the SM index for global
+	// uniqueness); giving every SM its own counter removes the last
+	// shared-state write from the parallel core phase.
+	reqSeq []uint64
+
+	// pool shards the parallel tick phases; nil (Workers <= 1, or
+	// stepping outside Run) steps serially through the same code path.
+	// smTicked marks which SMs ticked this cycle, for the end-of-phase
+	// flush pass.
+	pool     *sim.Pool
+	smTicked []bool
 
 	observer mem.Observer
 	issueObs IssueObserver
@@ -175,11 +196,16 @@ func NewWithObservers(cfg Config, obs mem.Observer, issueObs IssueObserver) *GPU
 	repCfg.Outputs = cfg.NumSMs
 	g.replyNet = icnt.New(repCfg)
 
+	g.reqSeq = make([]uint64, cfg.NumSMs)
+	g.smTicked = make([]bool, cfg.NumSMs)
 	for i := 0; i < cfg.NumSMs; i++ {
 		smCfg := cfg.SM
 		smCfg.ID = i
 		smCfg.L1.Name = fmt.Sprintf("%s.sm%d.l1", cfg.Name, i)
-		g.sms = append(g.sms, sm.New(smCfg, g.Memory, g.nextReqID, obs))
+		seq := &g.reqSeq[i]
+		tag := uint64(i) << 40
+		newID := func() uint64 { *seq++; return tag | *seq }
+		g.sms = append(g.sms, sm.New(smCfg, g.Memory, newID, obs))
 	}
 	for i := 0; i < cfg.NumPartitions; i++ {
 		pc := cfg.Partition
@@ -202,11 +228,6 @@ func NewWithObservers(cfg Config, obs mem.Observer, issueObs IssueObserver) *GPU
 func (g *GPU) noteBlockRetired(c sim.Cycle, kernelID int) {
 	g.disp.NoteBlockRetired(c, kernelID)
 	g.ev.needDispatch = true
-}
-
-func (g *GPU) nextReqID() uint64 {
-	g.reqCounter++
-	return g.reqCounter
 }
 
 // Config returns the device configuration.
@@ -274,10 +295,11 @@ func (g *GPU) Enqueue(stream string, k *sm.Kernel) (*sched.KernelState, error) {
 func (g *GPU) Step() {
 	c := g.cycle
 
-	// Memory partitions (includes DRAM).
-	for _, p := range g.parts {
-		p.Tick(c)
-	}
+	// Memory partitions (includes DRAM). Each partition's Tick touches
+	// only its own state, so the phase shards across the worker pool;
+	// Run's barrier orders every partition's writes before the transfer
+	// phase below reads its return queue.
+	g.pool.Run(len(g.parts), func(pi int) { g.parts[pi].Tick(c) })
 
 	// Reply network: partition return queues → network → SMs.
 	for pi, p := range g.parts {
@@ -345,12 +367,26 @@ func (g *GPU) Step() {
 	// Cores last: issue sees this cycle's returned data next cycle.
 	// Idle SMs (no resident blocks, nothing in flight) are skipped; they
 	// cannot issue and hold no outstanding loads, so neither the timing
-	// nor the exposure accounting is affected.
-	for _, s := range g.sms {
+	// nor the exposure accounting is affected. SMs are mutually
+	// independent within the phase — every cross-SM effect (functional
+	// stores/atomics, tracked completions, block retirements) defers
+	// inside the SM — so the phase shards across the pool, and the
+	// flush pass below commits the deferred effects in SM index order,
+	// making results independent of the worker count.
+	g.pool.Run(len(g.sms), func(si int) {
+		s := g.sms[si]
 		if !s.Busy() {
-			continue
+			g.smTicked[si] = false
+			return
 		}
 		s.Tick(c)
+		g.smTicked[si] = true
+	})
+	for si, s := range g.sms {
+		if !g.smTicked[si] {
+			continue
+		}
+		s.FlushCycle()
 		g.issueObs.IssueSlot(s.Config().ID, c, s.IssuedThisCycle())
 	}
 
@@ -555,17 +591,20 @@ func (g *GPU) stepDue(c sim.Cycle) {
 	// the Tick is gated on the partition's own-work horizon, not on its
 	// armed wake: a partition whose only live state is a backed-up return
 	// queue keeps the clock stepping (for the reply-transfer phase) while
-	// its pipeline — which never drains that queue — sleeps.
-	for pi, p := range g.parts {
+	// its pipeline — which never drains that queue — sleeps. The phase
+	// shards across the pool: the gate, the replay, and every write
+	// (fired/partLastProc/dirtyPart slots, the partition itself) are
+	// per-index state.
+	g.pool.Run(len(g.parts), func(pi int) {
 		if ev.partTickAt[pi] > c {
-			continue
+			return
 		}
 		ev.fired[ev.partID[pi]]++
 		g.catchUpPart(pi, c-1)
-		p.Tick(c)
+		g.parts[pi].Tick(c)
 		ev.partLastProc[pi] = c
 		ev.dirtyPart[pi] = true
-	}
+	})
 
 	// Reply network: partition return queues → network → SMs. A visible
 	// return head pins its partition's horizon at now, so every cycle on
@@ -694,21 +733,33 @@ func (g *GPU) stepDue(c sim.Cycle) {
 	// or drains. (tickAt can be later than the SM's armed wake: a queued
 	// miss keeps the clock stepping for the injection phase above without
 	// forcing core ticks.)
-	for si, s := range g.sms {
+	// As in Step, the SM ticks shard across the pool — the due gate and
+	// all wake bookkeeping are per-index — and the flush pass after the
+	// barrier commits each SM's deferred effects in index order.
+	g.pool.Run(len(g.sms), func(si int) {
+		g.smTicked[si] = false
 		if ev.tickAt[si] > c {
-			continue
+			return
 		}
+		s := g.sms[si]
 		if !s.Busy() {
 			// Drained while armed (e.g. the initial arm-everything wake
 			// on an idle core): disarm via re-arm, which yields Never.
 			ev.dirtySM[si] = true
-			continue
+			return
 		}
 		ev.fired[ev.smID[si]]++
 		g.catchUpSM(si, c-1)
 		s.Tick(c)
 		ev.lastProc[si] = c
 		ev.dirtySM[si] = true
+		g.smTicked[si] = true
+	})
+	for si, s := range g.sms {
+		if !g.smTicked[si] {
+			continue
+		}
+		s.FlushCycle()
 		g.issueObs.IssueSlot(s.Config().ID, c, s.IssuedThisCycle())
 	}
 
@@ -944,6 +995,16 @@ func (g *GPU) evForceWake(c sim.Cycle) {
 // to the tick engine either way.
 func (g *GPU) Run() (sim.Cycle, error) {
 	start := g.cycle
+	// The worker pool lives for the duration of the run; direct Step()
+	// callers outside Run keep the nil pool's serial path, which by the
+	// parallel-stepping contract produces the same results.
+	if g.pool == nil && g.cfg.Workers > 1 {
+		g.pool = sim.NewPool(g.cfg.Workers)
+		defer func() {
+			g.pool.Close()
+			g.pool = nil
+		}()
+	}
 	// Kernels enqueued without Launch have not dispatched yet; placing
 	// them now (with every stream registered, so spatial slices cover
 	// all streams) makes their blocks resident from the first stepped

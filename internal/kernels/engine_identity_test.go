@@ -41,12 +41,28 @@ func engineStatsSig(g *gpu.GPU) string {
 // the engine-equivalence micro-workloads in internal/gpu are too small
 // to reach them.
 func TestEngineIdentityOnCatalogKernels(t *testing.T) {
-	for _, name := range []string{"vecadd", "spmv", "gather", "histogram"} {
+	// pchase and bfs bracket the horizon extremes: the latency-bound
+	// chase (one outstanding load, everything skippable) and the
+	// throughput-bound multi-launch BFS (dense traffic, host loop
+	// between launches). bfs is not a catalog entry, so it runs through
+	// the MultiKernel path.
+	for _, name := range []string{"vecadd", "spmv", "gather", "histogram", "pchase", "bfs"} {
 		t.Run(name, func(t *testing.T) {
 			run := func(engine sim.Engine) *gpu.GPU {
 				cfg := config.GF100()
 				cfg.Engine = engine
 				g := gpu.New(cfg)
+				if name == "bfs" {
+					graph := GenScaleFree(512, 4, 1)
+					mk, err := BFS(BFSConfig{Graph: graph, Source: 0, BlockDim: 128})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if _, _, err := RunMulti(g, mk); err != nil {
+						t.Fatal(err)
+					}
+					return g
+				}
 				wl, err := NewByName(name, ScaleTest, 1)
 				if err != nil {
 					t.Fatal(err)

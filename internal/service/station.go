@@ -67,6 +67,7 @@ type Station struct {
 	cache  *Cache // may be nil: dedup still works, nothing persists
 	exec   runner.ExecFunc
 	engine string
+	par    int
 
 	queue chan *jobState
 	wg    sync.WaitGroup
@@ -88,6 +89,10 @@ type StationConfig struct {
 	// Engine pins the simulation loop for executed jobs ("" → default;
 	// engines are result-identical, so this never affects cached bytes).
 	Engine string
+	// Par sets each simulation's phase-parallel stepping width
+	// (gpu.Config.Workers; <=1 → serial). Worker counts are
+	// result-identical too, so this never affects cached bytes either.
+	Par int
 	// Exec overrides the job executor (tests; nil → runner.Execute).
 	Exec runner.ExecFunc
 }
@@ -103,6 +108,7 @@ func NewStation(cache *Cache, cfg StationConfig) *Station {
 		cache:  cache,
 		exec:   cfg.Exec,
 		engine: cfg.Engine,
+		par:    cfg.Par,
 		queue:  make(chan *jobState, bound),
 		stop:   make(chan struct{}),
 		states: map[runner.JobKey]*jobState{},
@@ -171,6 +177,7 @@ func (s *Station) run(st *jobState) {
 
 	job := st.job
 	job.Engine = s.engine
+	job.Workers = s.par
 	res := execCapturing(s.exec, job)
 	res.Job = st.job // wire identity: what was submitted, not how it ran
 

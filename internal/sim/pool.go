@@ -1,0 +1,99 @@
+package sim
+
+import "sync/atomic"
+
+// Pool is a fixed set of worker goroutines for phase-parallel component
+// stepping. A phase hands the pool an index range and a function; the
+// caller and the workers race through the indices via an atomic cursor
+// and Run returns only once every index has been processed — the barrier
+// the parallel-stepping contract in doc.go requires between phases.
+//
+// Index distribution is dynamic (fetch-and-add), so which goroutine
+// processes which index varies run to run — callers must restrict fn(i)
+// to state owned by component i (see doc.go, "Parallel phase stepping");
+// everything order-sensitive is buffered and merged in index order after
+// Run returns. Under that contract the worker count cannot influence
+// results, which is what the -par 1 vs -par 8 determinism gates pin.
+//
+// A nil *Pool is valid and runs every phase serially; NewPool returns
+// nil for workers <= 1 so single-worker configurations take the exact
+// same code path with zero goroutine overhead.
+type Pool struct {
+	work []chan poolJob
+	done chan struct{}
+}
+
+type poolJob struct {
+	n    int
+	fn   func(i int)
+	next *atomic.Int64
+}
+
+// NewPool starts workers-1 goroutines (the caller participates in every
+// Run, so workers is the total parallelism). It returns nil — a valid,
+// serial pool — when workers <= 1. Close must be called to release the
+// goroutines.
+func NewPool(workers int) *Pool {
+	if workers <= 1 {
+		return nil
+	}
+	p := &Pool{
+		work: make([]chan poolJob, workers-1),
+		done: make(chan struct{}, workers-1),
+	}
+	for i := range p.work {
+		ch := make(chan poolJob, 1)
+		p.work[i] = ch
+		go func() {
+			for j := range ch {
+				runShard(j)
+				p.done <- struct{}{}
+			}
+		}()
+	}
+	return p
+}
+
+// runShard claims indices from the job's shared cursor until none remain.
+func runShard(j poolJob) {
+	for {
+		i := int(j.next.Add(1)) - 1
+		if i >= j.n {
+			return
+		}
+		j.fn(i)
+	}
+}
+
+// Run invokes fn(i) exactly once for every i in [0, n) and returns after
+// all invocations complete (the phase barrier). The channel handoffs
+// order each worker's writes before Run returns, so the caller may read
+// anything fn wrote without further synchronization. Trivial shards
+// (n <= 1) and nil pools run inline.
+func (p *Pool) Run(n int, fn func(i int)) {
+	if p == nil || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	j := poolJob{n: n, fn: fn, next: new(atomic.Int64)}
+	for _, ch := range p.work {
+		ch <- j
+	}
+	runShard(j)
+	for range p.work {
+		<-p.done
+	}
+}
+
+// Close releases the worker goroutines. The pool must not be used after
+// Close. Closing a nil pool is a no-op.
+func (p *Pool) Close() {
+	if p == nil {
+		return
+	}
+	for _, ch := range p.work {
+		close(ch)
+	}
+}

@@ -39,6 +39,9 @@ type memInst struct {
 // issueMemInst is called at instruction issue: functional effects happen
 // now (stores write memory, loads read it into registers), addresses are
 // captured, and the instruction enters the LDST queue for timing.
+// Global/local effects are deferred — logged and overlaid rather than
+// applied — so the shared functional store stays read-only until the
+// GPU's end-of-phase FlushCycle commits the logs in SM index order.
 func (s *SM) issueMemInst(c sim.Cycle, ws int, in *isa.Instruction, passMask uint32) {
 	w := s.warps[ws]
 	bs := &s.blocks[w.BlockSlot]
@@ -84,13 +87,11 @@ func (s *SM) issueMemInst(c sim.Cycle, ws int, in *isa.Instruction, passMask uin
 		case mem.SpaceGlobal:
 			switch {
 			case in.Op == isa.OpATOM:
-				old := s.memory.Load32(addr)
-				s.memory.Store32(addr, old+r.StoreVal)
-				t.WriteReg(in.Dst, old)
+				s.deferAtom(addr, r.StoreVal, t, in.Dst)
 			case kind == mem.KindStore:
-				s.memory.Store32(addr, r.StoreVal)
+				s.deferStore(addr, r.StoreVal)
 			default:
-				t.WriteReg(in.Dst, s.memory.Load32(addr))
+				t.WriteReg(in.Dst, s.readGlobal(addr))
 			}
 		case mem.SpaceShared:
 			if len(bs.shared) == 0 {

@@ -246,6 +246,55 @@ type SM struct {
 
 	// issuedThisCycle is exported to the GPU for exposure accounting.
 	issuedThisCycle int
+
+	// Deferred cycle effects. During a tick — which the GPU may run
+	// concurrently with other SMs' ticks — the functional global store
+	// is read-only: stores and atomics append to memLog and shadow
+	// themselves in memOvl so this SM's own loads still observe them,
+	// while observer completions and block retirements queue in
+	// obsLog/retireLog. FlushCycle commits and delivers everything;
+	// it is the only place deferred state escapes the SM, so results
+	// cannot depend on tick concurrency (see internal/sim/doc.go,
+	// "Parallel phase stepping").
+	memLog    []memOp
+	memOvl    map[uint64]ovlEntry
+	obsLog    []obsEvent
+	retireLog []retireEvent
+}
+
+// memOp is one deferred functional-memory effect, replayed in program
+// order by FlushCycle.
+type memOp struct {
+	atom bool
+	addr uint64
+	val  uint32 // store value, or atomic add operand
+	// Atomics write the pre-add word back to a lane register; the lane
+	// and destination are captured here because the old value is only
+	// known at commit. Deferring the write is safe: the destination is
+	// scoreboarded until the atomic's response returns, cycles later.
+	t   *isa.ThreadCtx
+	dst isa.Reg
+}
+
+// ovlEntry shadows a deferred word so this SM's later same-cycle loads
+// observe it: abs entries carry a full value (a store happened); plain
+// entries accumulate atomic deltas over the committed word.
+type ovlEntry struct {
+	abs   bool
+	val   uint32
+	delta uint32
+}
+
+// obsEvent is a deferred observer.RequestDone delivery.
+type obsEvent struct {
+	c   sim.Cycle
+	req *mem.Request
+}
+
+// retireEvent is a deferred onBlockRetire delivery.
+type retireEvent struct {
+	c        sim.Cycle
+	kernelID int
 }
 
 type txnCtx struct {
@@ -311,6 +360,7 @@ func New(cfg Config, memory *mem.Memory, newReqID func() uint64, observer mem.Ob
 		outstanding: make(map[uint64]*txnCtx),
 		newReqID:    newReqID,
 		observer:    observer,
+		memOvl:      make(map[uint64]ovlEntry),
 	}
 	if cfg.L1Enabled || cfg.L1LocalEnabled {
 		s.l1 = cache.New(cfg.L1)
@@ -657,6 +707,81 @@ func (s *SM) Tick(c sim.Cycle) {
 	s.issue(c)
 }
 
+// readGlobal reads the functional global store as this SM's deferred
+// ops would leave it: the cycle's overlay first, the committed word
+// otherwise. Concurrent ticks only ever reach the committed store
+// through Load32, which is safe because every writer defers.
+func (s *SM) readGlobal(addr uint64) uint32 {
+	if len(s.memOvl) != 0 {
+		if e, ok := s.memOvl[addr]; ok {
+			if e.abs {
+				return e.val
+			}
+			return s.memory.Load32(addr) + e.delta
+		}
+	}
+	return s.memory.Load32(addr)
+}
+
+// deferStore queues a functional store for commit at FlushCycle.
+func (s *SM) deferStore(addr uint64, v uint32) {
+	s.memLog = append(s.memLog, memOp{addr: addr, val: v})
+	s.memOvl[addr] = ovlEntry{abs: true, val: v}
+}
+
+// deferAtom queues a functional atomic add; the lane's old-value write
+// happens at commit, where the pre-add word is known.
+func (s *SM) deferAtom(addr uint64, delta uint32, t *isa.ThreadCtx, dst isa.Reg) {
+	s.memLog = append(s.memLog, memOp{atom: true, addr: addr, val: delta, t: t, dst: dst})
+	e := s.memOvl[addr]
+	if e.abs {
+		e.val += delta
+	} else {
+		e.delta += delta
+	}
+	s.memOvl[addr] = e
+}
+
+// FlushCycle commits the SM's deferred cycle effects: the functional
+// memory log replays in program order (atomics read-modify-write the
+// committed store and deliver old values to their lanes), completed
+// requests reach the observer, and block retirements reach the
+// dispatcher hook. The GPU calls it once per ticked SM, in SM index
+// order, after the whole SM phase — with every writer deferred, same-
+// cycle cross-SM effects resolve in that fixed order no matter how the
+// ticks were scheduled. Standalone harnesses driving Tick directly
+// (tests) must call it after each Tick.
+func (s *SM) FlushCycle() {
+	if len(s.memLog) != 0 {
+		for i := range s.memLog {
+			op := &s.memLog[i]
+			if op.atom {
+				old := s.memory.Load32(op.addr)
+				s.memory.Store32(op.addr, old+op.val)
+				op.t.WriteReg(op.dst, old)
+			} else {
+				s.memory.Store32(op.addr, op.val)
+			}
+		}
+		s.memLog = s.memLog[:0]
+		clear(s.memOvl)
+	}
+	if len(s.obsLog) != 0 {
+		for _, e := range s.obsLog {
+			s.observer.RequestDone(e.c, e.req)
+		}
+		s.obsLog = s.obsLog[:0]
+	}
+	if len(s.retireLog) != 0 {
+		for _, e := range s.retireLog {
+			if s.onBlockRetire != nil {
+				s.onBlockRetire(e.c, e.kernelID)
+			}
+		}
+		s.retireLog = s.retireLog[:0]
+	}
+}
+
 func (s *SM) drainExec(c sim.Cycle) {
 	for _, wb := range s.exec.Ready(c) {
 		s.sbRegs[wb.warpSlot] &^= wb.regMask
@@ -678,7 +803,7 @@ func (s *SM) drainRetire(c sim.Cycle) {
 func (s *SM) completeTransaction(c sim.Cycle, comp completion) {
 	if comp.req != nil && comp.req.Log != nil {
 		comp.req.Log.Mark(mem.PtReturnSM, c)
-		s.observer.RequestDone(c, comp.req)
+		s.obsLog = append(s.obsLog, obsEvent{c: c, req: comp.req})
 	}
 	mi := comp.mi
 	if mi == nil {
@@ -711,8 +836,6 @@ func (s *SM) retireWarpIfDone(c sim.Cycle, ws int) {
 	if bs.liveWarps == 0 {
 		bs.active = false
 		s.stats.BlocksRetired++
-		if s.onBlockRetire != nil {
-			s.onBlockRetire(c, bs.kernelID)
-		}
+		s.retireLog = append(s.retireLog, retireEvent{c: c, kernelID: bs.kernelID})
 	}
 }

@@ -96,6 +96,7 @@ func runSM(t *testing.T, s *SM, k *Kernel, lb *loopback, limit sim.Cycle) sim.Cy
 	for c := sim.Cycle(0); c < limit; c++ {
 		lb.tick(c, s)
 		s.Tick(c)
+		s.FlushCycle()
 		if !s.Busy() && len(lb.pending) == 0 {
 			return c
 		}
