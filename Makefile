@@ -4,7 +4,7 @@
 GO      ?= go
 JOBS    ?= 0   # 0 = GOMAXPROCS
 
-.PHONY: all build test vet fmt bench bench-baseline bench-regress repro repro-quick determinism engine-determinism corun-determinism par-determinism service-determinism shard-determinism clean
+.PHONY: all build test vet fmt bench bench-baseline bench-regress alloc-regress alloc-baseline repro repro-quick determinism engine-determinism corun-determinism par-determinism service-determinism shard-determinism clean
 
 all: build vet fmt test
 
@@ -39,7 +39,7 @@ bench:
 # cmdBenchKernel); the simulated counters must be identical across reps
 # or the run fails.
 bench-baseline:
-	$(GO) run ./cmd/gpulat bench-kernel -par 1,2,4,8 > BENCH_kernel.json.tmp
+	$(GO) run ./cmd/gpulat bench-kernel -par 1,8 > BENCH_kernel.json.tmp
 	mv BENCH_kernel.json.tmp BENCH_kernel.json
 
 # Event-engine regression smoke (CI): reduced-scale workloads, single
@@ -49,6 +49,21 @@ bench-baseline:
 # /tmp is byte-diffable across runs.
 bench-regress:
 	$(GO) run ./cmd/gpulat bench-kernel -quick -check -comparable > /tmp/gpulat-bench-regress.json
+
+# Allocation-regression gate (CI): the per-cycle hot path — coalescer,
+# cache miss+fill, full-device Step — must stay within the committed
+# BENCH_alloc.json budget (allocs/op, zero for every gated benchmark).
+# Runs WITHOUT -race: the detector's instrumentation allocates, which
+# would drown the measurement (the gate skips itself under -race). Also
+# replays the coalescer fuzz seed corpus against the naive reference.
+alloc-regress:
+	$(GO) test -count=1 -run 'TestAllocRegression' .
+	$(GO) test -count=1 -run 'TestCoalesce|FuzzCoalesce' ./internal/mem
+
+# Refresh the committed BENCH_alloc.json allocation budget (after an
+# intentional hot-path change; allocs/op is machine-independent).
+alloc-baseline:
+	GPULAT_ALLOC_BASELINE=write $(GO) test -count=1 -run 'TestAllocRegression' .
 
 # Full paper-reproduction grid on the parallel runner.
 repro:

@@ -1,0 +1,6 @@
+//go:build !race
+
+package gpulat
+
+// raceEnabled: see alloc_race_test.go.
+const raceEnabled = false

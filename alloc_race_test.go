@@ -1,0 +1,10 @@
+//go:build race
+
+package gpulat
+
+// raceEnabled reports whether the race detector instrumented this build.
+// Allocation counting is meaningless under -race — the instrumentation
+// itself allocates — so the allocation-regression gate skips there and
+// runs in the plain `go test` configuration instead (see Makefile
+// alloc-regress).
+const raceEnabled = true

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -131,8 +133,35 @@ func cmdBenchKernel(args []string) error {
 	comparable := fs.Bool("comparable", false,
 		"strip wall-clock fields (wall_seconds, cycles_per_second, speedups, reps) so reports from different runs can be byte-diffed")
 	par := fs.String("par", "1", "comma-separated -par widths to measure (e.g. 1,2,4,8); the first is the speedup baseline")
+	cpuProf := fs.String("cpuprofile", "", "write a CPU profile to this file (inspect with `go tool pprof`)")
+	memProf := fs.String("memprofile", "", "write an allocation profile to this file at exit")
 	if err := parseFlags(fs, args); err != nil {
 		return err
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bench-kernel:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "bench-kernel:", err)
+			}
+		}()
 	}
 	widths, err := parseParList(*par)
 	if err != nil {

@@ -174,6 +174,13 @@ type Cache struct {
 	mshrs   map[uint64]*mshrEntry
 	stampSq uint64
 
+	// mshrFree recycles MSHR entries (and their merged-request slices)
+	// released by Fill, so steady-state miss traffic allocates nothing;
+	// wbScratch backs the AccessResult.Writeback pointer, overwritten by
+	// the next Access.
+	mshrFree  []*mshrEntry
+	wbScratch Eviction
+
 	stats Stats
 }
 
@@ -270,10 +277,26 @@ func (c *Cache) victim(blockAddr uint64) *line {
 	return best
 }
 
+// getMSHR pops a recycled MSHR entry (retained requests capacity) or
+// allocates one.
+func (c *Cache) getMSHR() *mshrEntry {
+	n := len(c.mshrFree)
+	if n == 0 {
+		return &mshrEntry{}
+	}
+	e := c.mshrFree[n-1]
+	c.mshrFree = c.mshrFree[:n-1]
+	e.requests = e.requests[:0]
+	e.storeFill = false
+	return e
+}
+
 // Access performs a timing-model access for req at cycle cy. For loads,
 // a Miss reserves a line and an MSHR entry and the caller forwards the
 // request downstream; HitReserved parks the request on the existing MSHR
 // entry. Store behavior depends on the write policy; see WritePolicy.
+// The result's Writeback pointer aliases cache-owned scratch and is
+// valid only until the next Access; callers copy the fields.
 func (c *Cache) Access(cy sim.Cycle, req *mem.Request) AccessResult {
 	blockAddr := c.BlockAddr(req.Addr)
 	c.stampSq++
@@ -338,7 +361,8 @@ func (c *Cache) Access(cy sim.Cycle, req *mem.Request) AccessResult {
 	if vic.state == lineValid {
 		c.stats.Evictions++
 		if vic.dirty {
-			wb = &Eviction{Addr: vic.tag, Size: c.cfg.LineSize}
+			c.wbScratch = Eviction{Addr: vic.tag, Size: c.cfg.LineSize}
+			wb = &c.wbScratch
 			c.stats.Writebacks++
 		}
 	}
@@ -348,7 +372,9 @@ func (c *Cache) Access(cy sim.Cycle, req *mem.Request) AccessResult {
 	vic.lastUse = c.stampSq
 	vic.allocAt = c.stampSq
 
-	entry := &mshrEntry{blockAddr: blockAddr, requests: []*mem.Request{req}}
+	entry := c.getMSHR()
+	entry.blockAddr = blockAddr
+	entry.requests = append(entry.requests, req)
 	if req.Kind == mem.KindStore {
 		entry.storeFill = true
 	}
@@ -361,6 +387,10 @@ func (c *Cache) Access(cy sim.Cycle, req *mem.Request) AccessResult {
 // becomes valid and all merged requests are returned so the owner can
 // complete them. Fill panics if no fetch is in flight for blockAddr —
 // that would mean the memory system delivered an unrequested fill.
+// The returned slice aliases a recycled MSHR entry and is valid only
+// until the next Access on this cache; both owners (the SM's response
+// drain, the partition's DRAM drain) consume it before their next
+// access pass.
 func (c *Cache) Fill(cy sim.Cycle, blockAddr uint64) []*mem.Request {
 	entry := c.mshrs[blockAddr]
 	if entry == nil {
@@ -377,6 +407,7 @@ func (c *Cache) Fill(cy sim.Cycle, blockAddr uint64) []*mem.Request {
 	c.stampSq++
 	ln.lastUse = c.stampSq
 	c.stats.Fills++
+	c.mshrFree = append(c.mshrFree, entry)
 	return entry.requests
 }
 
@@ -414,5 +445,5 @@ func (c *Cache) Reset() {
 			c.sets[s][w] = line{}
 		}
 	}
-	c.mshrs = make(map[uint64]*mshrEntry, c.cfg.MSHREntries)
+	clear(c.mshrs)
 }

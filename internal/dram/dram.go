@@ -120,10 +120,12 @@ type inflight struct {
 type Channel struct {
 	cfg       Config
 	banks     []bankState
-	queue     []*pending
+	queue     []pending  // value slice: entries are small and never escape
 	inflight  []inflight // sorted by finish
 	busFreeAt sim.Cycle
 	seq       uint64
+	// completed is the reusable backing store for Completed's result.
+	completed []*mem.Request
 
 	stats Stats
 }
@@ -189,7 +191,7 @@ func (ch *Channel) Push(c sim.Cycle, req *mem.Request) {
 	}
 	bank, row := ch.decode(req.Addr)
 	ch.seq++
-	ch.queue = append(ch.queue, &pending{req: req, bank: bank, row: row, arrived: c, seq: ch.seq})
+	ch.queue = append(ch.queue, pending{req: req, bank: bank, row: row, arrived: c, seq: ch.seq})
 }
 
 // Tick advances the channel one cycle: the scheduler may initiate service
@@ -199,9 +201,9 @@ func (ch *Channel) Tick(c sim.Cycle) {
 	if idx < 0 {
 		return
 	}
-	p := ch.queue[idx]
+	p := ch.queue[idx] // copy out before the shift below invalidates idx
 	ch.queue = append(ch.queue[:idx], ch.queue[idx+1:]...)
-	ch.service(c, p)
+	ch.service(c, &p)
 }
 
 // busOK reports whether a request on bank b targeting row would reach
@@ -231,8 +233,8 @@ func (ch *Channel) busOK(c sim.Cycle, b *bankState, row uint64) bool {
 // scheduler and its horizon cannot drift apart.
 func (ch *Channel) fcfsHead() int {
 	head := 0
-	for i, p := range ch.queue {
-		if p.seq < ch.queue[head].seq {
+	for i := range ch.queue {
+		if ch.queue[i].seq < ch.queue[head].seq {
 			head = i
 		}
 	}
@@ -250,7 +252,8 @@ func (ch *Channel) pick(c sim.Cycle) int {
 			cap = 4
 		}
 		bestHit, bestAny := -1, -1
-		for i, p := range ch.queue {
+		for i := range ch.queue {
+			p := &ch.queue[i]
 			b := &ch.banks[p.bank]
 			if b.busyUntil > c || !ch.busOK(c, b, p.row) {
 				continue
@@ -279,7 +282,8 @@ func (ch *Channel) pick(c sim.Cycle) int {
 		return -1
 	case FRFCFS:
 		bestHit, bestAny := -1, -1
-		for i, p := range ch.queue {
+		for i := range ch.queue {
+			p := &ch.queue[i]
 			b := &ch.banks[p.bank]
 			if b.busyUntil > c || !ch.busOK(c, b, p.row) {
 				continue
@@ -365,7 +369,9 @@ func (ch *Channel) service(c sim.Cycle, p *pending) {
 }
 
 // Completed removes and returns all requests whose data transfer has
-// finished by cycle c, marking their PtDRAMDone point.
+// finished by cycle c, marking their PtDRAMDone point. The returned
+// slice aliases a reusable buffer and is valid only until the next
+// Completed call; the owning partition drains it within the same tick.
 func (ch *Channel) Completed(c sim.Cycle) []*mem.Request {
 	n := 0
 	for n < len(ch.inflight) && ch.inflight[n].finish <= c {
@@ -374,13 +380,15 @@ func (ch *Channel) Completed(c sim.Cycle) []*mem.Request {
 	if n == 0 {
 		return nil
 	}
-	out := make([]*mem.Request, n)
+	out := ch.completed[:0]
 	for i := 0; i < n; i++ {
-		out[i] = ch.inflight[i].req
-		if out[i].Log != nil {
-			out[i].Log.Mark(mem.PtDRAMDone, ch.inflight[i].finish)
+		r := ch.inflight[i].req
+		if r.Log != nil {
+			r.Log.Mark(mem.PtDRAMDone, ch.inflight[i].finish)
 		}
+		out = append(out, r)
 	}
+	ch.completed = out
 	copy(ch.inflight, ch.inflight[n:])
 	ch.inflight = ch.inflight[:len(ch.inflight)-n]
 	return out
@@ -450,10 +458,10 @@ func (ch *Channel) NextEvent(now sim.Cycle) sim.Cycle {
 	if ch.cfg.Scheduler == FCFS {
 		// Only the oldest request can ever be scheduled.
 		head := ch.fcfsHead()
-		return min(h, ch.earliestSchedulable(now, ch.queue[head]))
+		return min(h, ch.earliestSchedulable(now, &ch.queue[head]))
 	}
-	for _, p := range ch.queue {
-		if t := ch.earliestSchedulable(now, p); t < h {
+	for i := range ch.queue {
+		if t := ch.earliestSchedulable(now, &ch.queue[i]); t < h {
 			if h = t; h == now {
 				return now
 			}

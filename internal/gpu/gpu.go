@@ -130,6 +130,17 @@ type GPU struct {
 	pool     *sim.Pool
 	smTicked []bool
 
+	// stepC publishes the cycle being stepped to the four persistent
+	// phase closures below. Hoisting them out of Step/stepDue keeps the
+	// per-cycle path allocation-free: a closure literal capturing the
+	// loop cycle would escape to the pool workers and heap-allocate on
+	// every call.
+	stepC      sim.Cycle
+	partTickFn func(int)
+	smTickFn   func(int)
+	partDueFn  func(int)
+	smDueFn    func(int)
+
 	observer mem.Observer
 	issueObs IssueObserver
 
@@ -215,10 +226,71 @@ func NewWithObservers(cfg Config, obs mem.Observer, issueObs IssueObserver) *GPU
 		g.parts = append(g.parts, mempart.New(pc))
 	}
 	g.disp = sched.NewDispatcher(g.sms, cfg.Placement)
+	// One request free list serves the whole device: requests cross SM
+	// and partition boundaries, so the pool must too. Its mutex is off
+	// the critical path (a handful of Get/Put per simulated cycle), and
+	// reuse order can only change pointer identity — every component
+	// keys requests by Request.ID, so simulated results are unaffected
+	// at any -par width.
+	reqPool := &mem.RequestPool{}
 	for _, s := range g.sms {
 		s.SetBlockRetireObserver(g.noteBlockRetired)
+		s.SetRequestPool(reqPool)
 	}
+	for _, p := range g.parts {
+		p.SetRequestPool(reqPool)
+	}
+	g.bindPhaseFns()
 	return g
+}
+
+// bindPhaseFns builds the persistent closures the parallel phases pass
+// to pool.Run. They read the cycle from g.stepC, set by Step/stepDue
+// immediately before each Run call.
+func (g *GPU) bindPhaseFns() {
+	ev := &g.ev
+	g.partTickFn = func(pi int) { g.parts[pi].Tick(g.stepC) }
+	g.smTickFn = func(si int) {
+		c := g.stepC
+		s := g.sms[si]
+		if !s.Busy() {
+			g.smTicked[si] = false
+			return
+		}
+		s.Tick(c)
+		g.smTicked[si] = true
+	}
+	g.partDueFn = func(pi int) {
+		c := g.stepC
+		if ev.partTickAt[pi] > c {
+			return
+		}
+		ev.fired[ev.partID[pi]]++
+		g.catchUpPart(pi, c-1)
+		g.parts[pi].Tick(c)
+		ev.partLastProc[pi] = c
+		ev.dirtyPart[pi] = true
+	}
+	g.smDueFn = func(si int) {
+		c := g.stepC
+		g.smTicked[si] = false
+		if ev.tickAt[si] > c {
+			return
+		}
+		s := g.sms[si]
+		if !s.Busy() {
+			// Drained while armed (e.g. the initial arm-everything wake
+			// on an idle core): disarm via re-arm, which yields Never.
+			ev.dirtySM[si] = true
+			return
+		}
+		ev.fired[ev.smID[si]]++
+		g.catchUpSM(si, c-1)
+		s.Tick(c)
+		ev.lastProc[si] = c
+		ev.dirtySM[si] = true
+		g.smTicked[si] = true
+	}
 }
 
 // noteBlockRetired forwards a block retirement to the dispatcher and
@@ -299,7 +371,8 @@ func (g *GPU) Step() {
 	// only its own state, so the phase shards across the worker pool;
 	// Run's barrier orders every partition's writes before the transfer
 	// phase below reads its return queue.
-	g.pool.Run(len(g.parts), func(pi int) { g.parts[pi].Tick(c) })
+	g.stepC = c
+	g.pool.Run(len(g.parts), g.partTickFn)
 
 	// Reply network: partition return queues → network → SMs.
 	for pi, p := range g.parts {
@@ -373,15 +446,7 @@ func (g *GPU) Step() {
 	// inside the SM — so the phase shards across the pool, and the
 	// flush pass below commits the deferred effects in SM index order,
 	// making results independent of the worker count.
-	g.pool.Run(len(g.sms), func(si int) {
-		s := g.sms[si]
-		if !s.Busy() {
-			g.smTicked[si] = false
-			return
-		}
-		s.Tick(c)
-		g.smTicked[si] = true
-	})
+	g.pool.Run(len(g.sms), g.smTickFn)
 	for si, s := range g.sms {
 		if !g.smTicked[si] {
 			continue
@@ -595,16 +660,8 @@ func (g *GPU) stepDue(c sim.Cycle) {
 	// shards across the pool: the gate, the replay, and every write
 	// (fired/partLastProc/dirtyPart slots, the partition itself) are
 	// per-index state.
-	g.pool.Run(len(g.parts), func(pi int) {
-		if ev.partTickAt[pi] > c {
-			return
-		}
-		ev.fired[ev.partID[pi]]++
-		g.catchUpPart(pi, c-1)
-		g.parts[pi].Tick(c)
-		ev.partLastProc[pi] = c
-		ev.dirtyPart[pi] = true
-	})
+	g.stepC = c
+	g.pool.Run(len(g.parts), g.partDueFn)
 
 	// Reply network: partition return queues → network → SMs. A visible
 	// return head pins its partition's horizon at now, so every cycle on
@@ -736,25 +793,7 @@ func (g *GPU) stepDue(c sim.Cycle) {
 	// As in Step, the SM ticks shard across the pool — the due gate and
 	// all wake bookkeeping are per-index — and the flush pass after the
 	// barrier commits each SM's deferred effects in index order.
-	g.pool.Run(len(g.sms), func(si int) {
-		g.smTicked[si] = false
-		if ev.tickAt[si] > c {
-			return
-		}
-		s := g.sms[si]
-		if !s.Busy() {
-			// Drained while armed (e.g. the initial arm-everything wake
-			// on an idle core): disarm via re-arm, which yields Never.
-			ev.dirtySM[si] = true
-			return
-		}
-		ev.fired[ev.smID[si]]++
-		g.catchUpSM(si, c-1)
-		s.Tick(c)
-		ev.lastProc[si] = c
-		ev.dirtySM[si] = true
-		g.smTicked[si] = true
-	})
+	g.pool.Run(len(g.sms), g.smDueFn)
 	for si, s := range g.sms {
 		if !g.smTicked[si] {
 			continue

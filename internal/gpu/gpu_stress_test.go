@@ -56,9 +56,9 @@ func TestNoL1Configuration(t *testing.T) {
 		t.Fatal("L1 hits recorded with L1 disabled")
 	}
 	// Every load must still have a complete, monotonic log.
-	for _, r := range col.reqs {
-		if !r.Log.Complete() || !r.Log.Monotonic() {
-			t.Fatalf("bad log: %v", r.Log)
+	for i := range col.reqs {
+		if lg := &col.reqs[i].Log; !lg.Complete() || !lg.Monotonic() {
+			t.Fatalf("bad log: %v", lg)
 		}
 	}
 }

@@ -143,19 +143,31 @@ func TestStageLogsCompleteAndMonotonic(t *testing.T) {
 	if len(col.reqs) == 0 {
 		t.Fatal("no tracked requests observed")
 	}
-	for _, r := range col.reqs {
-		if !r.Log.Complete() {
-			t.Fatalf("incomplete log: %v", r.Log)
+	for i := range col.reqs {
+		lg := &col.reqs[i].Log
+		if !lg.Complete() {
+			t.Fatalf("incomplete log: %v", lg)
 		}
-		if !r.Log.Monotonic() {
-			t.Fatalf("non-monotonic log: %v", r.Log)
+		if !lg.Monotonic() {
+			t.Fatalf("non-monotonic log: %v", lg)
 		}
 	}
 }
 
-type collector struct{ reqs []*mem.Request }
+// collector snapshots completed requests by value: per the Observer
+// contract the request and its Log are recycled right after RequestDone
+// returns, so retaining the pointers would read recycled objects.
+type reqRecord struct {
+	Addr   uint64
+	Kernel int
+	Log    mem.StageLog
+}
 
-func (c *collector) RequestDone(_ sim.Cycle, r *mem.Request) { c.reqs = append(c.reqs, r) }
+type collector struct{ reqs []reqRecord }
+
+func (c *collector) RequestDone(_ sim.Cycle, r *mem.Request) {
+	c.reqs = append(c.reqs, reqRecord{Addr: r.Addr, Kernel: r.Kernel, Log: *r.Log})
+}
 
 func TestIssueObserverFires(t *testing.T) {
 	cnt := &issueCounter{}

@@ -68,6 +68,9 @@ type Crossbar struct {
 	eject   []*sim.Queue[Packet]
 	outBusy []sim.Cycle
 	rr      []int
+	// usedInput is Tick's per-cycle arbitration scratch, cleared at the
+	// start of each tick so arbitration allocates nothing.
+	usedInput []bool
 
 	stats Stats
 }
@@ -90,11 +93,12 @@ func New(cfg Config) *Crossbar {
 		panic(err)
 	}
 	x := &Crossbar{
-		cfg:     cfg,
-		inject:  make([]*sim.Queue[Packet], cfg.Inputs),
-		eject:   make([]*sim.Queue[Packet], cfg.Outputs),
-		outBusy: make([]sim.Cycle, cfg.Outputs),
-		rr:      make([]int, cfg.Outputs),
+		cfg:       cfg,
+		inject:    make([]*sim.Queue[Packet], cfg.Inputs),
+		eject:     make([]*sim.Queue[Packet], cfg.Outputs),
+		outBusy:   make([]sim.Cycle, cfg.Outputs),
+		rr:        make([]int, cfg.Outputs),
+		usedInput: make([]bool, cfg.Inputs),
 	}
 	for i := range x.inject {
 		x.inject[i] = sim.NewQueue[Packet](fmt.Sprintf("%s.inject%d", cfg.Name, i), cfg.InjectDepth, 0)
@@ -143,7 +147,8 @@ func (x *Crossbar) occupancy(size uint32) sim.Cycle {
 // Tick arbitrates each output port: round-robin over inputs whose head
 // packet targets the port. An input forwards at most one packet per cycle.
 func (x *Crossbar) Tick(c sim.Cycle) {
-	usedInput := make([]bool, x.cfg.Inputs)
+	usedInput := x.usedInput
+	clear(usedInput)
 	for o := 0; o < x.cfg.Outputs; o++ {
 		if x.outBusy[o] > c {
 			continue

@@ -1,0 +1,136 @@
+package mem
+
+import (
+	"math/rand"
+	"slices"
+	"sort"
+	"testing"
+)
+
+// coalesceRef is the naive map-based reference implementation (the
+// pre-scratch algorithm): group each access's touched segments in a map,
+// then sort. The scratch coalescer must match it exactly on any input.
+func coalesceRef(accesses []LaneAccess, segmentSize uint32) CoalesceResult {
+	segLanes := make(map[uint64][]int)
+	for _, a := range accesses {
+		first := LineAddr(a.Addr, segmentSize)
+		last := LineAddr(a.Addr+uint64(a.Size)-1, segmentSize)
+		for s := first; s <= last; s += uint64(segmentSize) {
+			segLanes[s] = append(segLanes[s], a.Lane)
+		}
+	}
+	segs := make([]uint64, 0, len(segLanes))
+	for s := range segLanes {
+		segs = append(segs, s)
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	lanes := make([][]int, len(segs))
+	for i, s := range segs {
+		lanes[i] = segLanes[s]
+	}
+	return CoalesceResult{Segments: segs, SegmentSize: segmentSize, Lanes: lanes}
+}
+
+func sameResult(t *testing.T, got, want CoalesceResult) {
+	t.Helper()
+	// slices.Equal semantics: nil and empty are the same result.
+	if !slices.Equal(got.Segments, want.Segments) {
+		t.Fatalf("segments diverge:\n got  %v\n want %v", got.Segments, want.Segments)
+	}
+	if got.SegmentSize != want.SegmentSize {
+		t.Fatalf("segment size %d, want %d", got.SegmentSize, want.SegmentSize)
+	}
+	if len(got.Lanes) != len(want.Lanes) {
+		t.Fatalf("lane lists %d, want %d", len(got.Lanes), len(want.Lanes))
+	}
+	for i := range got.Lanes {
+		if !slices.Equal(got.Lanes[i], want.Lanes[i]) {
+			t.Fatalf("lanes[%d] = %v, want %v", i, got.Lanes[i], want.Lanes[i])
+		}
+	}
+}
+
+// decodeAccesses turns fuzz bytes into a lane-access list exercising the
+// interesting shapes: sizes 1..16 (8/16B straddle segment boundaries),
+// addresses spread over a few segments with arbitrary misalignment.
+func decodeAccesses(data []byte) []LaneAccess {
+	var acc []LaneAccess
+	sizes := []uint32{1, 2, 4, 8, 16}
+	for i := 0; i+3 < len(data) && len(acc) < 32; i += 4 {
+		addr := uint64(data[i])<<4 | uint64(data[i+1])
+		acc = append(acc, LaneAccess{
+			Lane: len(acc),
+			Addr: addr,
+			Size: sizes[int(data[i+2])%len(sizes)],
+		})
+		if data[i+3]&1 != 0 {
+			// Duplicate lane IDs are legal input; the reference keeps
+			// duplicates, so the scratch must too.
+			acc = append(acc, acc[len(acc)-1])
+		}
+	}
+	return acc
+}
+
+// FuzzCoalesce drives the scratch coalescer against the map reference on
+// arbitrary lane sets. The scratch is called twice per input — a dirty
+// reuse after a first, differently-shaped call — so buffer-reset bugs
+// cannot hide behind fresh state.
+func FuzzCoalesce(f *testing.F) {
+	// Seed corpus: convergent unit-stride, fully divergent, segment-
+	// straddling 8/16B accesses, duplicates, single lane.
+	f.Add([]byte{0, 0, 2, 0, 0, 4, 2, 0, 0, 8, 2, 0}, uint32(128))
+	f.Add([]byte{1, 0, 3, 0, 9, 0, 4, 1, 0, 124, 3, 0}, uint32(32))
+	f.Add([]byte{0, 120, 4, 0, 0, 124, 4, 0, 7, 252, 4, 1}, uint32(64))
+	f.Add([]byte{15, 255, 4, 1, 0, 31, 3, 0}, uint32(256))
+	f.Add([]byte{3, 3, 0, 0}, uint32(128))
+	f.Fuzz(func(t *testing.T, data []byte, segRaw uint32) {
+		segSizes := []uint32{32, 64, 128, 256}
+		segmentSize := segSizes[int(segRaw)%len(segSizes)]
+		acc := decodeAccesses(data)
+
+		var cs CoalesceScratch
+		// Dirty the scratch with a different shape first.
+		cs.Coalesce([]LaneAccess{{Lane: 0, Addr: 0xfff0, Size: 16}, {Lane: 1, Addr: 4, Size: 8}}, 32)
+		sameResult(t, cs.Coalesce(acc, segmentSize), coalesceRef(acc, segmentSize))
+		// And the package-level convenience form.
+		sameResult(t, Coalesce(acc, segmentSize), coalesceRef(acc, segmentSize))
+	})
+}
+
+// TestCoalesceScratchMatchesReference is the deterministic property
+// test: one scratch reused across many random warps (as the per-SM
+// scratch is in the simulator) always matches the reference.
+func TestCoalesceScratchMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	sizes := []uint32{1, 2, 4, 8, 16}
+	segSizes := []uint32{32, 64, 128, 256}
+	var cs CoalesceScratch
+	for trial := 0; trial < 500; trial++ {
+		segmentSize := segSizes[rng.Intn(len(segSizes))]
+		n := rng.Intn(33)
+		acc := make([]LaneAccess, n)
+		for i := range acc {
+			acc[i] = LaneAccess{
+				Lane: i,
+				Addr: uint64(rng.Intn(4096)),
+				Size: sizes[rng.Intn(len(sizes))],
+			}
+		}
+		sameResult(t, cs.Coalesce(acc, segmentSize), coalesceRef(acc, segmentSize))
+	}
+}
+
+// TestCoalescePanicsOnBadSegment pins the input contract for both forms.
+func TestCoalescePanicsOnBadSegment(t *testing.T) {
+	for _, bad := range []uint32{0, 3, 96} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Coalesce(segmentSize=%d) did not panic", bad)
+				}
+			}()
+			Coalesce([]LaneAccess{{Lane: 0, Addr: 0, Size: 4}}, bad)
+		}()
+	}
+}

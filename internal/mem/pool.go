@@ -1,0 +1,89 @@
+package mem
+
+import "sync"
+
+// RequestPool is a free list recycling Request and StageLog objects
+// through the memory pipeline, so the steady-state simulation path
+// allocates nothing per transaction. One pool serves a whole device:
+// requests are acquired by SMs and partitions (writebacks, fetches) and
+// released at their retire points — the observer delivery for tracked
+// loads, the drain points for stores and internal requests.
+//
+// Recycling cannot affect simulated results: request identity is carried
+// by Request.ID everywhere (the one pointer-identity comparison, the
+// L1 fill's merged-self check, happens strictly before either pointer is
+// released), and phase-parallel ticking (-par) only reorders which
+// pointer a component happens to receive, never any field value.
+//
+// The zero value is ready to use; a nil *RequestPool degrades to plain
+// allocation, so standalone components work unpooled. Methods are
+// safe for concurrent use.
+type RequestPool struct {
+	mu   sync.Mutex
+	reqs []*Request
+	logs []*StageLog
+}
+
+// Get returns a zeroed request, with a zeroed StageLog attached when
+// tracked is true (load-latency instrumentation), reusing released
+// objects when available.
+func (p *RequestPool) Get(tracked bool) *Request {
+	if p == nil {
+		r := &Request{}
+		if tracked {
+			r.Log = &StageLog{}
+		}
+		return r
+	}
+	var (
+		r  *Request
+		lg *StageLog
+	)
+	p.mu.Lock()
+	if n := len(p.reqs); n > 0 {
+		r, p.reqs = p.reqs[n-1], p.reqs[:n-1]
+	}
+	if tracked {
+		if n := len(p.logs); n > 0 {
+			lg, p.logs = p.logs[n-1], p.logs[:n-1]
+		}
+	}
+	p.mu.Unlock()
+	if r == nil {
+		r = &Request{}
+	} else {
+		*r = Request{}
+	}
+	if tracked {
+		if lg == nil {
+			lg = &StageLog{}
+		}
+		r.Log = lg
+	}
+	return r
+}
+
+// Put releases a request (and its log, if any) back to the pool. The
+// caller must be the request's sole owner: after Put the object's fields
+// are zeroed and will be handed to an unrelated transaction. Releasing
+// the same request twice panics at the second release. Put(nil) and
+// calls on a nil pool are no-ops.
+func (p *RequestPool) Put(r *Request) {
+	if p == nil || r == nil {
+		return
+	}
+	if r.pooled {
+		panic("mem: request released to pool twice: " + r.String())
+	}
+	lg := r.Log
+	*r = Request{pooled: true}
+	if lg != nil {
+		*lg = StageLog{}
+	}
+	p.mu.Lock()
+	p.reqs = append(p.reqs, r)
+	if lg != nil {
+		p.logs = append(p.logs, lg)
+	}
+	p.mu.Unlock()
+}

@@ -1,0 +1,64 @@
+package mem
+
+import "testing"
+
+func TestRequestPoolReusesAndZeroes(t *testing.T) {
+	var p RequestPool
+	r := p.Get(true)
+	if r.Log == nil {
+		t.Fatal("tracked Get returned no log")
+	}
+	r.ID, r.Addr, r.SM = 7, 0x100, 3
+	r.Log.Mark(PtIssue, 42)
+	lg := r.Log
+	p.Put(r)
+
+	r2 := p.Get(true)
+	if r2 != r || r2.Log != lg {
+		t.Fatal("pool did not reuse the released objects")
+	}
+	if r2.ID != 0 || r2.Addr != 0 || r2.SM != 0 || r2.pooled {
+		t.Fatalf("reused request not zeroed: %+v", r2)
+	}
+	if c, ok := r2.Log.At(PtIssue); ok || c != 0 {
+		t.Fatal("reused log not zeroed")
+	}
+}
+
+func TestRequestPoolUntracked(t *testing.T) {
+	var p RequestPool
+	r := p.Get(false)
+	if r.Log != nil {
+		t.Fatal("untracked Get attached a log")
+	}
+	p.Put(r)
+	// The released untracked request may come back for a tracked Get;
+	// it must gain a log then.
+	r2 := p.Get(true)
+	if r2.Log == nil {
+		t.Fatal("tracked Get after untracked Put returned no log")
+	}
+}
+
+func TestRequestPoolDoubleReleasePanics(t *testing.T) {
+	var p RequestPool
+	r := p.Get(false)
+	p.Put(r)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Put did not panic")
+		}
+	}()
+	p.Put(r)
+}
+
+func TestRequestPoolNilSafety(t *testing.T) {
+	var p *RequestPool
+	r := p.Get(true)
+	if r == nil || r.Log == nil {
+		t.Fatal("nil pool Get must allocate")
+	}
+	p.Put(r) // no-op
+	var p2 RequestPool
+	p2.Put(nil) // no-op
+}

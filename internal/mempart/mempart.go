@@ -87,6 +87,13 @@ type Partition struct {
 	l2Blocked    *mem.Request
 	l2ParkReason l2Park
 
+	// pool recycles Request objects device-wide (nil: plain allocation).
+	// The partition releases requests at their retire points — drained
+	// stores and eviction writebacks, and store-miss fill carriers after
+	// their merged requests are finished — and acquires the writeback and
+	// fetch-carrier requests it generates.
+	pool *mem.RequestPool
+
 	stats Stats
 }
 
@@ -157,6 +164,11 @@ func New(cfg Config) *Partition {
 	}
 }
 
+// SetRequestPool wires the device-wide request free list. The GPU calls
+// it once at construction; standalone partitions (tests) may leave it
+// unset and run unpooled.
+func (p *Partition) SetRequestPool(pool *mem.RequestPool) { p.pool = pool }
+
 // Config returns the partition configuration.
 func (p *Partition) Config() Config { return p.cfg }
 
@@ -214,7 +226,8 @@ func (p *Partition) drainDRAM(c sim.Cycle) {
 			continue
 		}
 		if r.Kind == mem.KindStore {
-			// Eviction writeback drained to DRAM; no reply.
+			// Eviction writeback drained to DRAM; no reply. Retire point.
+			p.pool.Put(r)
 			continue
 		}
 		block := p.l2.BlockAddr(r.Addr)
@@ -230,7 +243,11 @@ func (p *Partition) drainDRAM(c sim.Cycle) {
 			p.finish(c, m)
 		}
 		// A fill carrier created for a store miss is not among the
-		// merged requests' replies; nothing further to do for it.
+		// merged requests' replies; it retires here, after the merged
+		// loop's identity checks against it.
+		if r.SM < 0 {
+			p.pool.Put(r)
+		}
 	}
 }
 
@@ -240,6 +257,7 @@ func (p *Partition) drainDRAM(c sim.Cycle) {
 func (p *Partition) finish(c sim.Cycle, r *mem.Request) {
 	if r.Kind == mem.KindStore {
 		p.stats.StoresDrained++
+		p.pool.Put(r) // stores retire silently at the partition
 		return
 	}
 	// The return queue was reserved before the L2 access/DRAM fill, but
@@ -338,12 +356,11 @@ func (p *Partition) accessL2(c sim.Cycle) {
 		p.stats.L2Misses++
 		if res.Writeback != nil {
 			p.stats.Writebacks++
-			wb := &mem.Request{
-				Addr: res.Writeback.Addr,
-				Size: res.Writeback.Size,
-				Kind: mem.KindStore,
-				SM:   -1, Warp: -1,
-			}
+			wb := p.pool.Get(false)
+			wb.Addr = res.Writeback.Addr
+			wb.Size = res.Writeback.Size
+			wb.Kind = mem.KindStore
+			wb.SM, wb.Warp = -1, -1
 			if p.dram.CanPush() {
 				p.dram.Push(c, wb)
 			} else {
@@ -354,12 +371,11 @@ func (p *Partition) accessL2(c sim.Cycle) {
 		if r.Kind == mem.KindStore {
 			// Write-allocate: fetch the line with an untracked read
 			// carrier; the store completes when the fill arrives.
-			fetch = &mem.Request{
-				Addr: p.l2.BlockAddr(r.Addr),
-				Size: p.cfg.L2.LineSize,
-				Kind: mem.KindLoad,
-				SM:   -1, Warp: -1,
-			}
+			fetch = p.pool.Get(false)
+			fetch.Addr = p.l2.BlockAddr(r.Addr)
+			fetch.Size = p.cfg.L2.LineSize
+			fetch.Kind = mem.KindLoad
+			fetch.SM, fetch.Warp = -1, -1
 		}
 		if fetch.Log != nil {
 			fetch.Log.Mark(mem.PtDRAMQArrive, c)

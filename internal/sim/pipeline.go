@@ -8,6 +8,8 @@ type Pipeline[T any] struct {
 	name  string
 	depth Cycle
 	items []queueEntry[T]
+	// ready is the reusable backing store for Ready's result.
+	ready []T
 }
 
 // NewPipeline returns a pipeline with the given depth in cycles.
@@ -28,6 +30,8 @@ func (p *Pipeline[T]) Enter(c Cycle, item T) {
 
 // Ready removes and returns all items that have completed by cycle c.
 // Items complete in insertion order (depth is constant, so FIFO holds).
+// The returned slice aliases a reusable buffer and is valid only until
+// the next Ready call on this pipeline.
 func (p *Pipeline[T]) Ready(c Cycle) []T {
 	n := 0
 	for n < len(p.items) && p.items[n].readyAt <= c {
@@ -36,10 +40,11 @@ func (p *Pipeline[T]) Ready(c Cycle) []T {
 	if n == 0 {
 		return nil
 	}
-	out := make([]T, n)
+	out := p.ready[:0]
 	for i := 0; i < n; i++ {
-		out[i] = p.items[i].item
+		out = append(out, p.items[i].item)
 	}
+	p.ready = out
 	copy(p.items, p.items[n:])
 	p.items = p.items[:len(p.items)-n]
 	return out

@@ -21,6 +21,10 @@ import "sync/atomic"
 type Pool struct {
 	work []chan poolJob
 	done chan struct{}
+	// next is the shared index cursor, reset at the start of every Run.
+	// Run is a barrier — no job outlives the call that issued it — so one
+	// cursor serves all jobs without a per-Run allocation.
+	next atomic.Int64
 }
 
 type poolJob struct {
@@ -77,7 +81,8 @@ func (p *Pool) Run(n int, fn func(i int)) {
 		}
 		return
 	}
-	j := poolJob{n: n, fn: fn, next: new(atomic.Int64)}
+	p.next.Store(0)
+	j := poolJob{n: n, fn: fn, next: &p.next}
 	for _, ch := range p.work {
 		ch <- j
 	}

@@ -13,7 +13,9 @@ func (s *SM) issue(c sim.Cycle) {
 	if s.ActiveBlocks() == 0 {
 		return
 	}
-	issuedWarp := make(map[int]bool, s.cfg.IssueWidth)
+	// issuedWarp is a warp-slot bitmask (validate caps MaxWarps at 64),
+	// so the per-cycle exclude set costs no allocation.
+	var issuedWarp uint64
 	for slot := 0; slot < s.cfg.IssueWidth; slot++ {
 		ws := s.pickWarp(c, issuedWarp)
 		if ws < 0 {
@@ -24,7 +26,7 @@ func (s *SM) issue(c sim.Cycle) {
 			break
 		}
 		s.issueFrom(c, ws)
-		issuedWarp[ws] = true
+		issuedWarp |= 1 << ws
 		s.lastSched = ws
 		s.greedyWarp = ws
 	}
@@ -148,24 +150,25 @@ func (s *SM) issueReadyAt(ws int) (sim.Cycle, bool) {
 	return at, true
 }
 
-// pickWarp selects the next warp per the configured policy.
-func (s *SM) pickWarp(c sim.Cycle, exclude map[int]bool) int {
+// pickWarp selects the next warp per the configured policy; exclude is
+// a bitmask of warp slots already issued this cycle.
+func (s *SM) pickWarp(c sim.Cycle, exclude uint64) int {
 	n := s.cfg.MaxWarps
 	switch s.cfg.Scheduler {
 	case LRR:
 		for k := 1; k <= n; k++ {
 			ws := (s.lastSched + k) % n
-			if !exclude[ws] && s.canIssue(c, ws) {
+			if exclude&(1<<ws) == 0 && s.canIssue(c, ws) {
 				return ws
 			}
 		}
 	case GTO:
-		if g := s.greedyWarp; g >= 0 && g < n && !exclude[g] && s.canIssue(c, g) {
+		if g := s.greedyWarp; g >= 0 && g < n && exclude&(1<<g) == 0 && s.canIssue(c, g) {
 			return g
 		}
 		best, bestSeq := -1, ^uint64(0)
 		for ws := 0; ws < n; ws++ {
-			if exclude[ws] || s.warps[ws] == nil || !s.canIssue(c, ws) {
+			if exclude&(1<<ws) != 0 || s.warps[ws] == nil || !s.canIssue(c, ws) {
 				continue
 			}
 			if s.warpSeq[ws] < bestSeq {

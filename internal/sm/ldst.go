@@ -36,6 +36,21 @@ type memInst struct {
 	issuedAll   bool
 }
 
+// getMemInst pops a recycled memInst from the per-SM free list (or
+// allocates the first few times), zeroed except for the retained
+// accesses capacity.
+func (s *SM) getMemInst() *memInst {
+	n := len(s.miFree)
+	if n == 0 {
+		return &memInst{}
+	}
+	mi := s.miFree[n-1]
+	s.miFree = s.miFree[:n-1]
+	acc := mi.accesses[:0]
+	*mi = memInst{accesses: acc}
+	return mi
+}
+
 // issueMemInst is called at instruction issue: functional effects happen
 // now (stores write memory, loads read it into registers), addresses are
 // captured, and the instruction enters the LDST queue for timing.
@@ -61,17 +76,16 @@ func (s *SM) issueMemInst(c sim.Cycle, ws int, in *isa.Instruction, passMask uin
 		kind = mem.KindStore
 	}
 
-	mi := &memInst{
-		warpSlot:  ws,
-		blockSlot: w.BlockSlot,
-		kernelID:  bs.kernelID,
-		op:        in.Op,
-		dst:       in.Dst,
-		space:     space,
-		kind:      kind,
-		seq:       s.instSeq,
-		issuedAt:  c,
-	}
+	mi := s.getMemInst()
+	mi.warpSlot = ws
+	mi.blockSlot = w.BlockSlot
+	mi.kernelID = bs.kernelID
+	mi.op = in.Op
+	mi.dst = in.Dst
+	mi.space = space
+	mi.kind = kind
+	mi.seq = s.instSeq
+	mi.issuedAt = c
 
 	for l := 0; l < s.cfg.WarpSize; l++ {
 		if passMask&(1<<l) == 0 {
@@ -162,7 +176,10 @@ func (s *SM) tickLDST(c sim.Cycle) {
 			s.ldstQ.Pop(c)
 			return
 		}
-		mi.txns = mem.Coalesce(mi.accesses, s.cfg.CoalesceSegment)
+		// The result aliases the per-SM scratch: safe because only the
+		// queue head coalesces, and the next head cannot coalesce until
+		// this one has issued every transaction and popped.
+		mi.txns = s.coalesce.Coalesce(mi.accesses, s.cfg.CoalesceSegment)
 	}
 
 	// Issue the next transaction.
@@ -200,19 +217,17 @@ func (s *SM) issueTransaction(c sim.Cycle, mi *memInst) bool {
 	// latency methodology.
 	req := mi.pendingReq
 	if req == nil {
-		req = &mem.Request{
-			ID:     s.newReqID(),
-			Addr:   mi.txns.Segments[mi.nextTxn],
-			Size:   mi.txns.SegmentSize,
-			Kind:   mi.kind,
-			Space:  mi.space,
-			SM:     s.cfg.ID,
-			Warp:   mi.warpSlot,
-			Inst:   mi.seq,
-			Kernel: mi.kernelID,
-		}
+		req = s.reqPool.Get(mi.kind == mem.KindLoad)
+		req.ID = s.newReqID()
+		req.Addr = mi.txns.Segments[mi.nextTxn]
+		req.Size = mi.txns.SegmentSize
+		req.Kind = mi.kind
+		req.Space = mi.space
+		req.SM = s.cfg.ID
+		req.Warp = mi.warpSlot
+		req.Inst = mi.seq
+		req.Kernel = mi.kernelID
 		if mi.kind == mem.KindLoad {
-			req.Log = &mem.StageLog{}
 			req.Log.Mark(mem.PtIssue, mi.issuedAt)
 			req.Log.Mark(mem.PtCreated, c)
 		}
@@ -232,7 +247,7 @@ func (s *SM) issueTransaction(c sim.Cycle, mi *memInst) bool {
 		req.Log.Mark(mem.PtL1Access, c)
 		if mi.kind == mem.KindLoad {
 			mi.outstanding++
-			s.outstanding[req.ID] = &txnCtx{mi: mi, fillL1: false}
+			s.outstanding[req.ID] = txnCtx{mi: mi, fillL1: false}
 		}
 		s.missQ.Push(c, req)
 		mi.pendingReq = nil
@@ -269,14 +284,14 @@ func (s *SM) issueTransaction(c sim.Cycle, mi *memInst) bool {
 			req.Log.MergedAtL1 = true
 		}
 		mi.outstanding++
-		s.outstanding[req.ID] = &txnCtx{mi: mi, fillL1: false}
+		s.outstanding[req.ID] = txnCtx{mi: mi, fillL1: false}
 		// Completion arrives via the primary's fill.
 		return true
 	case cache.Miss:
 		s.stats.L1Misses++
 		if mi.kind == mem.KindLoad {
 			mi.outstanding++
-			s.outstanding[req.ID] = &txnCtx{mi: mi, fillL1: true, blockAddr: s.l1.BlockAddr(req.Addr)}
+			s.outstanding[req.ID] = txnCtx{mi: mi, fillL1: true, blockAddr: s.l1.BlockAddr(req.Addr)}
 		}
 		s.missQ.Push(c, req)
 		return true
@@ -290,7 +305,7 @@ func (s *SM) issueTransaction(c sim.Cycle, mi *memInst) bool {
 // processShared completes a shared-memory access with bank-conflict
 // serialization: the latency grows by one cycle per extra pass.
 func (s *SM) processShared(c sim.Cycle, mi *memInst) {
-	passes := s.sharedPasses(mi.accesses)
+	passes := s.sharedPasses(mi.accesses, len(s.blocks[mi.blockSlot].shared))
 	if passes > 1 {
 		s.stats.SharedConflicts += uint64(passes - 1)
 	}
@@ -308,23 +323,53 @@ func (s *SM) processShared(c sim.Cycle, mi *memInst) {
 
 // sharedPasses computes the number of serialized passes caused by bank
 // conflicts: lanes touching distinct words in the same bank serialize;
-// lanes reading the same word broadcast.
-func (s *SM) sharedPasses(acc []mem.LaneAccess) int {
-	perBank := make(map[int]map[uint64]bool)
+// lanes reading the same word broadcast. Each access is decomposed into
+// the 4-byte bank words it covers ([Addr, Addr+Size)), and word indices
+// wrap into the block's shared array of sharedWords words exactly as
+// the functional access path does, so lanes that alias the same word
+// after the wrap broadcast (sharedWords == 0 — no shared memory
+// allocated — disables wrapping). The per-bank word sets live in SM
+// scratch slices reset in O(banks touched), so the steady-state path
+// allocates nothing.
+func (s *SM) sharedPasses(acc []mem.LaneAccess, sharedWords int) int {
+	banks := uint64(s.cfg.SharedBanks)
 	passes := 1
 	for _, a := range acc {
-		word := a.Addr / 4
-		bank := int(word % uint64(s.cfg.SharedBanks))
-		set := perBank[bank]
-		if set == nil {
-			set = make(map[uint64]bool)
-			perBank[bank] = set
+		first := a.Addr / 4
+		last := first
+		if a.Size > 0 {
+			last = (a.Addr + uint64(a.Size) - 1) / 4
 		}
-		set[word] = true
-		if len(set) > passes {
-			passes = len(set)
+		for w := first; w <= last; w++ {
+			word := w
+			if sharedWords > 0 {
+				word %= uint64(sharedWords)
+			}
+			bank := word % banks
+			words := s.bankWords[bank]
+			if len(words) == 0 {
+				s.touchedBanks = append(s.touchedBanks, int(bank))
+			}
+			dup := false
+			for _, seen := range words {
+				if seen == word {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			s.bankWords[bank] = append(words, word)
+			if len(words)+1 > passes {
+				passes = len(words) + 1
+			}
 		}
 	}
+	for _, b := range s.touchedBanks {
+		s.bankWords[b] = s.bankWords[b][:0]
+	}
+	s.touchedBanks = s.touchedBanks[:0]
 	return passes
 }
 
@@ -336,8 +381,8 @@ func (s *SM) processResponses(c sim.Cycle) {
 		if !ok {
 			return
 		}
-		ctx := s.outstanding[r.ID]
-		if ctx == nil {
+		ctx, ok := s.outstanding[r.ID]
+		if !ok {
 			// A reply for an untracked or already-completed request is
 			// a protocol error.
 			panic("sm: response for unknown request")
@@ -349,8 +394,8 @@ func (s *SM) processResponses(c sim.Cycle) {
 				if m == r {
 					continue
 				}
-				mctx := s.outstanding[m.ID]
-				if mctx == nil {
+				mctx, ok := s.outstanding[m.ID]
+				if !ok {
 					continue
 				}
 				delete(s.outstanding, m.ID)

@@ -103,6 +103,11 @@ func (c Config) validate() error {
 		return fmt.Errorf("sm %d: warp size must be in 1..32", c.ID)
 	case c.MaxWarps <= 0 || c.MaxBlocks <= 0:
 		return fmt.Errorf("sm %d: warp/block capacity must be positive", c.ID)
+	case c.MaxWarps > 64:
+		// Warp-slot sets are uint64 bitmasks (issue's per-cycle exclude
+		// set); every real GPU generation modeled resides well under 64
+		// warps per SM.
+		return fmt.Errorf("sm %d: at most 64 warp slots supported, got %d", c.ID, c.MaxWarps)
 	case c.IssueWidth <= 0:
 		return fmt.Errorf("sm %d: issue width must be positive", c.ID)
 	case c.LDSTQueueDepth <= 0 || c.MissQueueDepth <= 0 || c.ResponseQueueDepth <= 0:
@@ -203,8 +208,11 @@ type SM struct {
 	exec   *sim.Pipeline[wbEvent]
 	retire *sim.Calendar[completion] // delivers at writeback time
 
-	// outstanding maps request ID → transaction bookkeeping.
-	outstanding map[uint64]*txnCtx
+	// outstanding maps request ID → transaction bookkeeping. Values, not
+	// pointers: entries are written once and deleted on completion, so
+	// the steady-state insert-after-delete churn reuses map buckets
+	// without heap traffic.
+	outstanding map[uint64]txnCtx
 
 	// ldstBlockedOn remembers the LDST-queue head whose last transaction
 	// attempt failed on a structural stall, and ldstBlockReason records
@@ -260,6 +268,29 @@ type SM struct {
 	memOvl    map[uint64]ovlEntry
 	obsLog    []obsEvent
 	retireLog []retireEvent
+
+	// Shared bank-conflict scratch, reused across processShared calls so
+	// the steady-state path allocates nothing: bankWords[b] collects the
+	// distinct (wrapped) word indices touched in bank b by the current
+	// instruction; touchedBanks lists the dirty entries so the reset is
+	// O(banks touched), not O(banks).
+	bankWords    [][]uint64
+	touchedBanks []int
+
+	// coalesce is the per-SM scratch buffer behind mem.Coalesce's flat
+	// rewrite; its result is consumed before the next coalesce (only the
+	// LDST-queue head ever coalesces, and strictly after the previous
+	// head popped).
+	coalesce mem.CoalesceScratch
+
+	// reqPool recycles Request/StageLog objects device-wide (nil means
+	// plain allocation); miFree recycles this SM's memInst objects. A
+	// memInst is recycled at finishMemInst, where provably nothing
+	// references it: it left the LDST queue when its last transaction
+	// issued, its outstanding map entries are deleted, and ldstBlockedOn
+	// is cleared on every successful issue attempt.
+	reqPool *mem.RequestPool
+	miFree  []*memInst
 }
 
 // memOp is one deferred functional-memory effect, replayed in program
@@ -357,16 +388,22 @@ func New(cfg Config, memory *mem.Memory, newReqID func() uint64, observer mem.Ob
 		respQ:       sim.NewQueue[*mem.Request](name+".resp", cfg.ResponseQueueDepth, 0),
 		exec:        sim.NewPipeline[wbEvent](name+".exec", cfg.ALULatency),
 		retire:      sim.NewCalendar[completion](name + ".retire"),
-		outstanding: make(map[uint64]*txnCtx),
+		outstanding: make(map[uint64]txnCtx),
 		newReqID:    newReqID,
 		observer:    observer,
 		memOvl:      make(map[uint64]ovlEntry),
+		bankWords:   make([][]uint64, cfg.SharedBanks),
 	}
 	if cfg.L1Enabled || cfg.L1LocalEnabled {
 		s.l1 = cache.New(cfg.L1)
 	}
 	return s
 }
+
+// SetRequestPool wires the device-wide request free list. The GPU calls
+// it once at construction; standalone SMs (tests) may leave it unset and
+// run unpooled. Must not be called while a simulation is in flight.
+func (s *SM) SetRequestPool(p *mem.RequestPool) { s.reqPool = p }
 
 // Config returns the SM configuration.
 func (s *SM) Config() Config { return s.cfg }
@@ -401,9 +438,24 @@ func (s *SM) freeWarpSlots(n int) []int {
 	return nil
 }
 
+// hasFreeWarpSlots reports whether n warp slots are free, without
+// building the slot list (CanLaunch runs every dispatch pass, so it must
+// not allocate).
+func (s *SM) hasFreeWarpSlots(n int) bool {
+	free := 0
+	for i := range s.warps {
+		if s.warps[i] == nil {
+			if free++; free == n {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // CanLaunch reports whether a block of kernel k fits right now.
 func (s *SM) CanLaunch(k *Kernel) bool {
-	return s.FreeBlockSlot() >= 0 && s.freeWarpSlots(k.WarpsPerBlock(s.cfg.WarpSize)) != nil
+	return s.FreeBlockSlot() >= 0 && s.hasFreeWarpSlots(k.WarpsPerBlock(s.cfg.WarpSize))
 }
 
 // SetBlockRetireObserver installs the per-block retire hook (called with
@@ -769,6 +821,10 @@ func (s *SM) FlushCycle() {
 	if len(s.obsLog) != 0 {
 		for _, e := range s.obsLog {
 			s.observer.RequestDone(e.c, e.req)
+			// The observer delivery is the tracked load's retire point;
+			// per the Observer contract the request is dead afterwards
+			// and its objects go back to the pool.
+			s.reqPool.Put(e.req)
 		}
 		s.obsLog = s.obsLog[:0]
 	}
@@ -816,11 +872,13 @@ func (s *SM) completeTransaction(c sim.Cycle, comp completion) {
 }
 
 // finishMemInst releases the scoreboard entries of a completed warp
-// memory instruction.
+// memory instruction and recycles it (finishMemInst is called exactly
+// once per memInst, after its last reference left every queue).
 func (s *SM) finishMemInst(mi *memInst) {
 	if mi.op.WritesDst() && mi.dst != isa.RZ {
 		s.sbRegs[mi.warpSlot] &^= 1 << mi.dst
 	}
+	s.miFree = append(s.miFree, mi)
 }
 
 // retireWarpIfDone updates block bookkeeping when a warp completes.
