@@ -4,7 +4,7 @@
 GO      ?= go
 JOBS    ?= 0   # 0 = GOMAXPROCS
 
-.PHONY: all build test vet fmt bench bench-baseline bench-regress alloc-regress alloc-baseline repro repro-quick determinism engine-determinism corun-determinism par-determinism service-determinism shard-determinism clean
+.PHONY: all build test vet fmt bench bench-baseline bench-regress alloc-regress alloc-baseline repro repro-quick determinism engine-determinism corun-determinism par-determinism service-determinism shard-determinism load-smoke bench-service clean
 
 all: build vet fmt test
 
@@ -217,6 +217,61 @@ shard-determinism:
 	grep -q '"circuit": "open"' /tmp/gpulat-shard-backendsz.json
 	@echo "shard-determinism: 2-backend coordinator byte-identical to direct, including across a mid-grid backend kill"
 
+# Proves the observability tier under load (CI): a short dedup-heavy
+# loadgen run against a 2-backend coordinator, every /metrics scrape
+# Lint-validated by loadgen itself. The tier is then fully restarted —
+# backends included, because a surviving backend answers repeats from
+# in-memory dedup and masks the disk cache — and the warm replay must
+# be answered with real cache hits (-min-hits) out of the persistent
+# backend caches.
+LOAD_COORD ?= 127.0.0.1:18767
+LOAD_B1    ?= 127.0.0.1:18768
+LOAD_B2    ?= 127.0.0.1:18769
+load-smoke:
+	$(GO) build -o /tmp/gpulat-ci ./cmd/gpulat
+	rm -rf /tmp/gpulat-load-b1 /tmp/gpulat-load-b2 \
+		/tmp/gpulat-lb1.pid /tmp/gpulat-lb2.pid /tmp/gpulat-lcoord.pid
+	set -e; \
+	trap 'for f in /tmp/gpulat-lb1.pid /tmp/gpulat-lb2.pid /tmp/gpulat-lcoord.pid; do \
+		test -f $$f && kill -9 $$(cat $$f) 2>/dev/null; done; true' EXIT; \
+	/tmp/gpulat-ci serve -addr $(LOAD_B1) -cache-dir /tmp/gpulat-load-b1 -quiet & echo $$! > /tmp/gpulat-lb1.pid; \
+	/tmp/gpulat-ci serve -addr $(LOAD_B2) -cache-dir /tmp/gpulat-load-b2 -quiet & echo $$! > /tmp/gpulat-lb2.pid; \
+	/tmp/gpulat-ci serve -addr $(LOAD_COORD) -backends $(LOAD_B1),$(LOAD_B2) -quiet & echo $$! > /tmp/gpulat-lcoord.pid; \
+	/tmp/gpulat-ci loadgen -addr http://$(LOAD_COORD) -scrape-addrs $(LOAD_B1),$(LOAD_B2) \
+		-requests 60 -clients 4 -unique 12 -accesses 8 -scrape 200ms \
+		-out /tmp/gpulat-load-cold.json; \
+	for f in /tmp/gpulat-lcoord.pid /tmp/gpulat-lb1.pid /tmp/gpulat-lb2.pid; do \
+		kill $$(cat $$f); wait $$(cat $$f) 2>/dev/null || true; done; \
+	/tmp/gpulat-ci serve -addr $(LOAD_B1) -cache-dir /tmp/gpulat-load-b1 -quiet & echo $$! > /tmp/gpulat-lb1.pid; \
+	/tmp/gpulat-ci serve -addr $(LOAD_B2) -cache-dir /tmp/gpulat-load-b2 -quiet & echo $$! > /tmp/gpulat-lb2.pid; \
+	/tmp/gpulat-ci serve -addr $(LOAD_COORD) -backends $(LOAD_B1),$(LOAD_B2) -quiet & echo $$! > /tmp/gpulat-lcoord.pid; \
+	/tmp/gpulat-ci loadgen -addr http://$(LOAD_COORD) -scrape-addrs $(LOAD_B1),$(LOAD_B2) \
+		-requests 60 -clients 4 -unique 12 -accesses 8 -scrape 200ms \
+		-min-hits 1 -out /tmp/gpulat-load-warm.json; \
+	grep -q '"served_qps"' /tmp/gpulat-load-warm.json; \
+	grep -q '"hit_ratio"' /tmp/gpulat-load-warm.json
+	@echo "load-smoke: warm replay hit the persistent backend caches; every /metrics scrape stayed valid"
+
+# Refresh the committed BENCH_service.json service-tier baseline
+# (wall-clock numbers are machine-dependent: regenerate deliberately,
+# not from CI). A cold loadgen run at the default mix populates a
+# single station's persistent cache, the server is restarted so
+# in-process dedup can't answer, and the warm replay is the committed
+# artifact: served QPS, latency quantiles, cache outcome, hit curve.
+BENCHSVC_ADDR ?= 127.0.0.1:18770
+bench-service:
+	$(GO) build -o /tmp/gpulat-ci ./cmd/gpulat
+	rm -rf /tmp/gpulat-benchsvc-cache /tmp/gpulat-benchsvc.pid
+	set -e; \
+	trap 'test -f /tmp/gpulat-benchsvc.pid && kill -9 $$(cat /tmp/gpulat-benchsvc.pid) 2>/dev/null; true' EXIT; \
+	/tmp/gpulat-ci serve -addr $(BENCHSVC_ADDR) -cache-dir /tmp/gpulat-benchsvc-cache -quiet & echo $$! > /tmp/gpulat-benchsvc.pid; \
+	/tmp/gpulat-ci loadgen -addr http://$(BENCHSVC_ADDR) -out /tmp/gpulat-benchsvc-cold.json; \
+	kill $$(cat /tmp/gpulat-benchsvc.pid); wait $$(cat /tmp/gpulat-benchsvc.pid) 2>/dev/null || true; \
+	/tmp/gpulat-ci serve -addr $(BENCHSVC_ADDR) -cache-dir /tmp/gpulat-benchsvc-cache -quiet & echo $$! > /tmp/gpulat-benchsvc.pid; \
+	/tmp/gpulat-ci loadgen -addr http://$(BENCHSVC_ADDR) -min-hits 1 -out BENCH_service.json.tmp; \
+	mv BENCH_service.json.tmp BENCH_service.json
+	@echo "bench-service: BENCH_service.json refreshed (warm replay against the persistent cache)"
+
 clean:
 	$(GO) clean
 	rm -f /tmp/gpulat-ci /tmp/gpulat-bench-regress.json \
@@ -236,5 +291,9 @@ clean:
 		/tmp/gpulat-serve.pid \
 		/tmp/gpulat-shard-cold.csv /tmp/gpulat-shard-kill.csv \
 		/tmp/gpulat-shard-kill.json /tmp/gpulat-shard-backendsz.json \
-		/tmp/gpulat-b1.pid /tmp/gpulat-b2.pid /tmp/gpulat-coord.pid
-	rm -rf /tmp/gpulat-svc-cache /tmp/gpulat-shard-b1 /tmp/gpulat-shard-b2
+		/tmp/gpulat-b1.pid /tmp/gpulat-b2.pid /tmp/gpulat-coord.pid \
+		/tmp/gpulat-load-cold.json /tmp/gpulat-load-warm.json \
+		/tmp/gpulat-lb1.pid /tmp/gpulat-lb2.pid /tmp/gpulat-lcoord.pid \
+		/tmp/gpulat-benchsvc-cold.json /tmp/gpulat-benchsvc.pid
+	rm -rf /tmp/gpulat-svc-cache /tmp/gpulat-shard-b1 /tmp/gpulat-shard-b2 \
+		/tmp/gpulat-load-b1 /tmp/gpulat-load-b2 /tmp/gpulat-benchsvc-cache

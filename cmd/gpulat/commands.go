@@ -9,6 +9,7 @@ import (
 	"gpulat/internal/config"
 	"gpulat/internal/core"
 	"gpulat/internal/kernels"
+	"gpulat/internal/metrics"
 	"gpulat/internal/runner"
 	"gpulat/internal/sched"
 	"gpulat/internal/service"
@@ -421,6 +422,8 @@ func cmdSimRun(args []string) error {
 	kernel := fs.String("kernel", "vecadd", "workload")
 	vertices := fs.Int("vertices", 1<<13, "BFS graph size")
 	verbose := fs.Bool("v", false, "dump per-SM and per-partition counters")
+	traceSim := fs.String("trace-sim", "",
+		"write a Prometheus text exposition of engine wake/skip and per-kernel dispatch/retire counters to this file after the run (\"-\" for stdout)")
 	engine := engineFlag(fs)
 	par := parFlag(fs)
 	if err := parseFlags(fs, args); err != nil {
@@ -463,7 +466,34 @@ func cmdSimRun(args []string) error {
 		fmt.Println()
 		dumpDeviceStats(cfg, res, *vertices)
 	}
+	if *traceSim != "" {
+		if err := writeSimTrace(*traceSim, res); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// writeSimTrace exports the finished run's device counters as a
+// Prometheus text exposition — the -trace-sim sink. The device is read
+// after the simulation completes, so the export can never perturb the
+// run it describes.
+func writeSimTrace(path string, res *core.DynamicResult) error {
+	if res.Device == nil {
+		return fmt.Errorf("simrun: no device retained for -trace-sim")
+	}
+	reg := metrics.NewRegistry()
+	res.Device.ExportMetrics(reg)
+	if path == "-" {
+		fmt.Println()
+		_, err := reg.WriteTo(os.Stdout)
+		return err
+	}
+	var b strings.Builder
+	if _, err := reg.WriteTo(&b); err != nil {
+		return err
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
 }
 
 func cmdExport(args []string) error {

@@ -117,6 +117,7 @@ func commands() map[string]func([]string) error {
 		"list":             cmdList,
 		"serve":            cmdServe,
 		"submit":           cmdSubmit,
+		"loadgen":          cmdLoadgen,
 		"version":          cmdVersion,
 	}
 }
@@ -146,6 +147,8 @@ commands:
                 -backends b1,b2 runs a sharding coordinator over them
   submit        submit jobs to a running service and collect results
                 (-shard i/n for key-hash fan-out, -backendsz for pool view)
+  loadgen       replay a Zipf-distributed dedup-heavy job mix against a
+                running service, scraping /metrics; writes BENCH_service.json
   version       report the build version and cache scheme tag
 
 sweep-shaped commands take -j N (parallel experiment workers); sweep,

@@ -30,7 +30,7 @@
 //
 // # Architecture
 //
-// The implementation is sixteen internal packages in a strict layering,
+// The implementation is seventeen internal packages in a strict layering,
 // hardware at the bottom and the service layer at the top:
 //
 //	sim               clocks, pipelines/queues/calendars, the documented
@@ -64,6 +64,11 @@
 //	                  per-backend circuit state, and re-route on failure
 //	stats             summaries, histograms, tables, and the comparable
 //	                  JSON encoding determinism gates diff
+//	metrics           zero-dependency Prometheus instruments (counters,
+//	                  gauges, histograms, scrape-time collectors), the
+//	                  text exposition writer, and a parser + format
+//	                  validator; backs the servers' /metrics endpoint,
+//	                  simrun -trace-sim, and the loadgen harness
 //
 // A job flows top-down: the CLI (or a service client) builds a
 // runner.Grid; the runner expands it deterministically and executes

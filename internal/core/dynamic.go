@@ -19,6 +19,10 @@ type DynamicResult struct {
 	Launches int
 	// Instructions is the total dynamic instruction count.
 	Instructions uint64
+	// Device is the GPU the run executed on, retained so callers can
+	// export its engine/dispatch counters (gpu.ExportMetrics) after the
+	// run. Never serialized; excluded from comparable encodings.
+	Device *gpu.GPU `json:"-"`
 }
 
 // Breakdown builds the Figure 1 report over the run's tracked loads.
@@ -86,5 +90,6 @@ func finish(cfg gpu.Config, name string, g *gpu.GPU, tr *Tracker, cycles sim.Cyc
 		Cycles:       cycles,
 		Launches:     launches,
 		Instructions: inst,
+		Device:       g,
 	}
 }

@@ -1,0 +1,223 @@
+package metrics
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// testRegistry builds one family of every shape the service exposes, so
+// the golden file and the linter exercise the full writer surface.
+func testRegistry() *Registry {
+	r := NewRegistry()
+	r.Info("test_build_info", "Build identity.", map[string]string{
+		"version": "v1.2.3", "scheme": "s1-v1.2.3",
+	})
+	c := r.NewCounter("test_requests_total", "Requests served.")
+	c.Add(41)
+	c.Inc()
+	g := r.NewGauge("test_queue_depth", "Jobs waiting.")
+	g.Set(7)
+	cv := r.NewCounterVec("test_http_requests_total", "Requests by route and code.", "route", "code")
+	cv.With("/v1/jobs", "200").Add(3)
+	cv.With("/v1/jobs", "503").Inc()
+	cv.With("/v1/healthz", "200").Add(9)
+	gv := r.NewGaugeVec("test_backend_up", "Backend routability.", "backend")
+	gv.With("http://b1:1").Set(1)
+	gv.With("http://b2:2").Set(0)
+	h := r.NewHistogram("test_latency_seconds", "Request latency.", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.002, 0.02, 0.05, 0.5, 3} {
+		h.Observe(v)
+	}
+	hv := r.NewHistogramVec("test_route_latency_seconds", "Latency by route.", []float64{0.25, 2.5}, "route")
+	hv.With("/v1/results").Observe(0.1)
+	hv.With("/v1/results").Observe(1)
+	r.CounterFunc("test_collected_total", "Scrape-time counter.", func() float64 { return 12 })
+	r.GaugeFunc("test_collected_gauge", "Scrape-time gauge.", func() float64 { return 2.5 })
+	r.VecFunc(KindGauge, "test_collected_vec", "Scrape-time labeled gauge.", []string{"state"},
+		func(emit func([]string, float64)) {
+			emit([]string{"queued"}, 4)
+			emit([]string{"running"}, 2)
+		})
+	return r
+}
+
+func expose(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	return b.String()
+}
+
+// TestExpositionGolden byte-compares the writer's output against the
+// committed golden file; GPULAT_METRICS_GOLDEN=write refreshes it.
+func TestExpositionGolden(t *testing.T) {
+	got := expose(t, testRegistry())
+	golden := filepath.Join("testdata", "exposition.golden")
+	if os.Getenv("GPULAT_METRICS_GOLDEN") == "write" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with GPULAT_METRICS_GOLDEN=write to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("exposition differs from %s:\n--- got ---\n%s--- want ---\n%s", golden, got, want)
+	}
+}
+
+// TestLintAcceptsWriterOutput: whatever the writer emits must pass the
+// validator — the invariant the /metrics endpoint tests lean on.
+func TestLintAcceptsWriterOutput(t *testing.T) {
+	if err := Lint([]byte(expose(t, testRegistry()))); err != nil {
+		t.Fatalf("Lint rejected writer output: %v", err)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	s, err := Parse([]byte(expose(t, testRegistry())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := s.Value("test_requests_total", nil); !ok || v != 42 {
+		t.Errorf("test_requests_total = %v, %v; want 42", v, ok)
+	}
+	if v, ok := s.Value("test_http_requests_total", map[string]string{"route": "/v1/jobs", "code": "503"}); !ok || v != 1 {
+		t.Errorf("labeled lookup = %v, %v; want 1", v, ok)
+	}
+	if got := s.Sum("test_http_requests_total"); got != 13 {
+		t.Errorf("Sum = %v, want 13", got)
+	}
+	if v, ok := s.Value("test_build_info", map[string]string{"version": "v1.2.3"}); !ok || v != 1 {
+		t.Errorf("info metric = %v, %v; want 1", v, ok)
+	}
+	if s.Type["test_latency_seconds"] != KindHistogram {
+		t.Errorf("TYPE of histogram = %q", s.Type["test_latency_seconds"])
+	}
+	// Cumulative buckets: 0.01→1, 0.1→3, 1→4, +Inf→5.
+	if v, _ := s.Value("test_latency_seconds_bucket", map[string]string{"le": "+Inf"}); v != 5 {
+		t.Errorf("+Inf bucket = %v, want 5", v)
+	}
+	if v, _ := s.Value("test_latency_seconds_bucket", map[string]string{"le": "0.1"}); v != 3 {
+		t.Errorf("0.1 bucket = %v, want 3", v)
+	}
+	if v, _ := s.Value("test_latency_seconds_count", nil); v != 5 {
+		t.Errorf("_count = %v, want 5", v)
+	}
+}
+
+func TestLintRejects(t *testing.T) {
+	cases := map[string]string{
+		"no TYPE":  "# HELP x_total things\nx_total 1\n",
+		"no HELP":  "# TYPE x_total counter\nx_total 1\n",
+		"bad name": "# HELP BadName things\n# TYPE BadName counter\nBadName 1\n",
+		"histogram missing +Inf": "# HELP h x\n# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+		"histogram missing _sum": "# HELP h x\n# TYPE h histogram\n" +
+			"h_bucket{le=\"+Inf\"} 1\nh_count 1\n",
+		"histogram missing _count": "# HELP h x\n# TYPE h histogram\n" +
+			"h_bucket{le=\"+Inf\"} 1\nh_sum 1\n",
+		"buckets decrease": "# HELP h x\n# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 3\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 2\n",
+		"reserved le": "# HELP x x\n# TYPE x gauge\nx{le=\"1\"} 2\n",
+		"garbage":     "!!!\n",
+	}
+	for name, doc := range cases {
+		if err := Lint([]byte(doc)); err == nil {
+			t.Errorf("%s: Lint accepted %q", name, doc)
+		}
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	gv := r.NewGaugeVec("test_escape", "Label escaping.", "path")
+	gv.With("a\"b\\c\nd").Set(1)
+	out := expose(t, r)
+	if err := Lint([]byte(out)); err != nil {
+		t.Fatalf("Lint: %v\n%s", err, out)
+	}
+	s, err := Parse([]byte(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := s.Value("test_escape", map[string]string{"path": "a\"b\\c\nd"}); !ok || v != 1 {
+		t.Errorf("escaped label did not round-trip: %v %v\n%s", v, ok, out)
+	}
+}
+
+func TestHistogramBoundaries(t *testing.T) {
+	h := newHistogram([]float64{1, 2})
+	h.Observe(1) // le="1" is inclusive
+	h.Observe(1.5)
+	h.Observe(99)
+	s := h.snapshot()
+	if s.counts[0] != 1 || s.counts[1] != 1 || s.counts[2] != 1 {
+		t.Errorf("bucket counts = %v", s.counts)
+	}
+	if s.count != 3 || s.sum != 101.5 {
+		t.Errorf("sum/count = %v/%v", s.sum, s.count)
+	}
+}
+
+func TestCounterPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Add did not panic")
+		}
+	}()
+	(&Counter{}).Add(-1)
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("dup_total", "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate name did not panic")
+		}
+	}()
+	r.NewGauge("dup_total", "x")
+}
+
+// TestConcurrentScrape hammers instruments while scraping — the -race
+// gate for the atomic cells and vec child map.
+func TestConcurrentScrape(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("test_total", "x")
+	h := r.NewHistogram("test_hist", "x", nil)
+	cv := r.NewCounterVec("test_vec_total", "x", "k")
+	const iters = 1000
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for n := 0; n < iters; n++ {
+				c.Inc()
+				h.Observe(float64(i))
+				cv.With([]string{"a", "b", "c", "d"}[i]).Inc()
+			}
+		}(i)
+	}
+	for i := 0; i < 50; i++ {
+		out := expose(t, r)
+		if err := Lint([]byte(out)); err != nil {
+			t.Fatalf("scrape %d: %v", i, err)
+		}
+	}
+	wg.Wait()
+	if got := c.Value(); got != 4*iters || math.IsNaN(got) {
+		t.Fatalf("counter = %v, want %d", got, 4*iters)
+	}
+}

@@ -32,6 +32,8 @@ type CacheStats struct {
 	Puts      int64 `json:"puts"`
 	Evictions int64 `json:"evictions"`
 	Entries   int   `json:"entries"`
+	// Bytes is the summed on-disk size of the stored entries.
+	Bytes int64 `json:"bytes"`
 }
 
 // Cache is a persistent content-addressed result store. Entries live as
@@ -47,6 +49,7 @@ type Cache struct {
 
 	mu      sync.Mutex
 	entries int
+	bytes   int64
 	hits    int64
 	misses  int64
 	puts    int64
@@ -92,6 +95,9 @@ func OpenCache(dir string, maxEntries int) (*Cache, error) {
 	for _, e := range names {
 		if !e.IsDir() && filepath.Ext(e.Name()) == ".json" {
 			c.entries++
+			if info, err := e.Info(); err == nil {
+				c.bytes += info.Size()
+			}
 		}
 	}
 	return c, nil
@@ -125,6 +131,10 @@ func (c *Cache) Get(key runner.JobKey) (Entry, bool) {
 		c.misses++
 		if c.entries > 0 {
 			c.entries--
+			c.bytes -= int64(len(data))
+		}
+		if c.bytes < 0 {
+			c.bytes = 0
 		}
 		c.mu.Unlock()
 		return Entry{}, false
@@ -164,15 +174,21 @@ func (c *Cache) Put(job runner.Job, res runner.Result) error {
 		return fmt.Errorf("service: cache write: %w", err)
 	}
 	p := c.path(key)
-	_, existed := fileExists(p)
+	prior, existed := fileExists(p)
 	if err := os.Rename(tmp.Name(), p); err != nil {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("service: cache write: %w", err)
 	}
 	c.mu.Lock()
 	c.puts++
-	if !existed {
+	c.bytes += int64(len(data))
+	if existed {
+		c.bytes -= prior.Size()
+	} else {
 		c.entries++
+	}
+	if c.bytes < 0 {
+		c.bytes = 0
 	}
 	over := c.entries - c.maxEntries
 	c.mu.Unlock()
@@ -192,6 +208,7 @@ func (c *Cache) evictLRU(n int, keep runner.JobKey) {
 	type aged struct {
 		name string
 		mod  time.Time
+		size int64
 	}
 	var files []aged
 	for _, e := range names {
@@ -202,20 +219,26 @@ func (c *Cache) evictLRU(n int, keep runner.JobKey) {
 		if err != nil {
 			continue
 		}
-		files = append(files, aged{e.Name(), info.ModTime()})
+		files = append(files, aged{e.Name(), info.ModTime(), info.Size()})
 	}
 	sort.Slice(files, func(i, j int) bool { return files[i].mod.Before(files[j].mod) })
 	removed := 0
+	var freed int64
 	for i := 0; i < len(files) && removed < n; i++ {
 		if os.Remove(filepath.Join(c.dir, files[i].name)) == nil {
 			removed++
+			freed += files[i].size
 		}
 	}
 	c.mu.Lock()
 	c.evicts += int64(removed)
 	c.entries -= removed
+	c.bytes -= freed
 	if c.entries < 0 {
 		c.entries = 0
+	}
+	if c.bytes < 0 {
+		c.bytes = 0
 	}
 	c.mu.Unlock()
 }
@@ -226,7 +249,7 @@ func (c *Cache) Stats() CacheStats {
 	defer c.mu.Unlock()
 	return CacheStats{
 		Hits: c.hits, Misses: c.misses, Puts: c.puts,
-		Evictions: c.evicts, Entries: c.entries,
+		Evictions: c.evicts, Entries: c.entries, Bytes: c.bytes,
 	}
 }
 

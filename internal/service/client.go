@@ -53,6 +53,7 @@ func (c *Client) getJSON(ctx context.Context, path string, out any) error {
 	if err != nil {
 		return err
 	}
+	setTraceHeader(ctx, req)
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return err
@@ -198,6 +199,7 @@ func (c *Client) submitOnce(ctx context.Context, jobs []runner.Job) ([]JobTicket
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	setTraceHeader(ctx, req)
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return nil, err

@@ -149,9 +149,9 @@ func (c *Coordinator) failLocked(st *routedJob, msg string) {
 }
 
 // Submit admits one job; see SubmitMany.
-func (c *Coordinator) Submit(job runner.Job) (runner.JobKey, Status, error) {
+func (c *Coordinator) Submit(ctx context.Context, job runner.Job) (runner.JobKey, Status, error) {
 	key := job.Key()
-	tickets, err := c.SubmitMany([]runner.Job{job})
+	tickets, err := c.SubmitMany(ctx, []runner.Job{job})
 	if err != nil {
 		return key, "", err
 	}
@@ -166,7 +166,12 @@ func (c *Coordinator) Submit(job runner.Job) (runner.JobKey, Status, error) {
 // replaced and re-run. Returns ErrStationClosed after Close and
 // ErrNoBackends (with the tickets accepted so far) when a job cannot be
 // placed.
-func (c *Coordinator) SubmitMany(jobs []runner.Job) ([]JobTicket, error) {
+//
+// ctx rides along on the forwarded POSTs for its values (the trace ID,
+// so a submission is greppable across the tier), but forwards detach
+// from its cancellation: an admitted job's forward must complete even if
+// the submitting request is abandoned mid-flight.
+func (c *Coordinator) SubmitMany(ctx context.Context, jobs []runner.Job) ([]JobTicket, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.rejected += int64(len(jobs))
@@ -191,7 +196,7 @@ func (c *Coordinator) SubmitMany(jobs []runner.Job) ([]JobTicket, error) {
 			// (or explicitly failing) job, never to one silently
 			// stranded in the states map.
 			for gb, g := range groups {
-				c.forward(gb, g)
+				c.forward(ctx, gb, g)
 			}
 			return tickets, err
 		}
@@ -216,7 +221,7 @@ func (c *Coordinator) SubmitMany(jobs []runner.Job) ([]JobTicket, error) {
 	c.mu.Unlock()
 
 	for b, group := range groups {
-		c.forward(b, group)
+		c.forward(ctx, b, group)
 	}
 
 	// Refresh ticket statuses after forwarding: a backend answering from
@@ -238,22 +243,24 @@ func (c *Coordinator) SubmitMany(jobs []runner.Job) ([]JobTicket, error) {
 const maxForwardBatch = 5000
 
 // forward submits one backend's batch in bounded chunks, re-placing
-// jobs whose backend turns out to be dead.
-func (c *Coordinator) forward(b *Backend, group []*routedJob) {
+// jobs whose backend turns out to be dead. ctx contributes only values
+// (the trace ID); each chunk gets its own timeout detached from the
+// caller's cancellation.
+func (c *Coordinator) forward(ctx context.Context, b *Backend, group []*routedJob) {
 	for len(group) > 0 {
 		n := min(len(group), maxForwardBatch)
-		c.forwardChunk(b, group[:n])
+		c.forwardChunk(ctx, b, group[:n])
 		group = group[n:]
 	}
 }
 
-func (c *Coordinator) forwardChunk(b *Backend, group []*routedJob) {
+func (c *Coordinator) forwardChunk(ctx context.Context, b *Backend, group []*routedJob) {
 	jobs := make([]runner.Job, len(group))
 	for i, st := range group {
 		jobs[i] = st.job
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.CallTimeout)
-	tks, err := b.client.Submit(ctx, jobs)
+	fctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), c.cfg.CallTimeout)
+	tks, err := b.client.Submit(fctx, jobs)
 	cancel()
 	if err == nil {
 		b.reportSuccess(false)
@@ -284,18 +291,18 @@ func (c *Coordinator) forwardChunk(b *Backend, group []*routedJob) {
 		case ae.Code == http.StatusRequestEntityTooLarge && len(group) > 1:
 			// The operator lowered the backend's per-request bound below
 			// ours: bisect until it fits.
-			c.forwardChunk(b, group[:len(group)/2])
-			c.forwardChunk(b, group[len(group)/2:])
+			c.forwardChunk(ctx, b, group[:len(group)/2])
+			c.forwardChunk(ctx, b, group[len(group)/2:])
 			return
 		}
 	}
 	b.reportFailure(c.cfg.FailThreshold, err, false)
-	c.replaceGroup(group, b)
+	c.replaceGroup(ctx, group, b)
 }
 
 // resubmit re-places one key after its backend failed it.
 func (c *Coordinator) resubmit(st *routedJob, from *Backend) {
-	c.replaceGroup([]*routedJob{st}, from)
+	c.replaceGroup(context.Background(), []*routedJob{st}, from)
 }
 
 // replaceGroup re-places every live key of group off `from`: each key
@@ -308,7 +315,7 @@ func (c *Coordinator) resubmit(st *routedJob, from *Backend) {
 // their waiters unblock. Safe to call concurrently for the same state:
 // the first caller to move st.backend wins and later callers (guarded
 // by st.backend != from) skip it.
-func (c *Coordinator) replaceGroup(group []*routedJob, from *Backend) {
+func (c *Coordinator) replaceGroup(ctx context.Context, group []*routedJob, from *Backend) {
 	targets := map[*Backend][]*routedJob{}
 	c.mu.Lock()
 	for _, st := range group {
@@ -339,7 +346,7 @@ func (c *Coordinator) replaceGroup(group []*routedJob, from *Backend) {
 				from.noteRerouted()
 			}
 		}
-		c.forward(b, sub)
+		c.forward(ctx, b, sub)
 	}
 }
 
@@ -398,10 +405,10 @@ func (c *Coordinator) sweepStranded() {
 	}
 	c.mu.Unlock()
 	for from, group := range replace {
-		c.replaceGroup(group, from)
+		c.replaceGroup(context.Background(), group, from)
 	}
 	for b, group := range reforward {
-		c.forward(b, group)
+		c.forward(context.Background(), b, group)
 	}
 }
 

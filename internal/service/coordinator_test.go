@@ -146,7 +146,7 @@ func TestCoordinatorFailsOverWhenBackendDies(t *testing.T) {
 	for i := range jobs {
 		jobs[i] = testJob(i)
 	}
-	tickets, err := coord.SubmitMany(jobs)
+	tickets, err := coord.SubmitMany(context.Background(), jobs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,7 +251,7 @@ func TestCoordinatorResubmitsWhenBackendLosesState(t *testing.T) {
 	coord := quickCoordinator(t, []string{ts.URL})
 
 	job := testJob(3)
-	if _, _, err := coord.Submit(job); err != nil {
+	if _, _, err := coord.Submit(context.Background(), job); err != nil {
 		t.Fatal(err)
 	}
 	deadline := time.Now().Add(10 * time.Second)
@@ -291,7 +291,7 @@ func TestCoordinatorQueueBound(t *testing.T) {
 	}
 	t.Cleanup(coord.Close)
 
-	tickets, err := coord.SubmitMany([]runner.Job{testJob(0), testJob(1), testJob(2)})
+	tickets, err := coord.SubmitMany(context.Background(), []runner.Job{testJob(0), testJob(1), testJob(2)})
 	if err != ErrQueueFull {
 		t.Fatalf("over-bound SubmitMany = %v, want ErrQueueFull", err)
 	}
@@ -320,7 +320,7 @@ func TestCoordinatorTreatsBackendQueueFullAsBackpressure(t *testing.T) {
 	// client retries, gives up on the persistent 503, and must leave the
 	// remainder parked — not fail them, not open the circuit.
 	jobs := []runner.Job{testJob(0), testJob(1), testJob(2), testJob(3)}
-	if _, err := coord.SubmitMany(jobs); err != nil {
+	if _, err := coord.SubmitMany(context.Background(), jobs); err != nil {
 		t.Fatal(err)
 	}
 	if got := coord.Backends()[0].Circuit; got != "closed" {
@@ -359,7 +359,7 @@ func TestCoordinatorSubmitAfterClose(t *testing.T) {
 	coord := quickCoordinator(t, []string{b1.ts.URL})
 	coord.Close()
 	coord.Close() // idempotent
-	if _, _, err := coord.Submit(testJob(0)); err != ErrStationClosed {
+	if _, _, err := coord.Submit(context.Background(), testJob(0)); err != ErrStationClosed {
 		t.Fatalf("Submit after Close = %v, want ErrStationClosed", err)
 	}
 }
@@ -378,7 +378,7 @@ func TestCoordinatorNoBackendsIs503Shaped(t *testing.T) {
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
-	if _, _, err := coord.Submit(testJob(0)); err != ErrNoBackends {
+	if _, _, err := coord.Submit(context.Background(), testJob(0)); err != ErrNoBackends {
 		t.Fatalf("Submit = %v, want ErrNoBackends", err)
 	}
 	if errHTTPStatus(ErrNoBackends) != http.StatusServiceUnavailable {

@@ -1,0 +1,353 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gpulat/internal/metrics"
+	"gpulat/internal/runner"
+)
+
+func scrapeMetrics(t *testing.T, base string) *metrics.Scrape {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: HTTP %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	if err := metrics.Lint(body); err != nil {
+		t.Fatalf("exposition failed validation: %v\n%s", err, body)
+	}
+	s, err := metrics.Parse(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestMetricsEndpointStation: /metrics on a station server covers the
+// build-info, station, cache, and HTTP-latency families, with values
+// agreeing with the service's own counters.
+func TestMetricsEndpointStation(t *testing.T) {
+	ts, _, station := newTestServer(t, StationConfig{
+		Workers: 2,
+		Exec: func(ctx context.Context, job runner.Job) runner.Result {
+			return testResult(job)
+		},
+	})
+	client := NewClient(ts.URL)
+	ctx := context.Background()
+	if _, err := client.RunJobs(ctx, []runner.Job{testJob(0), testJob(1), testJob(0)}); err != nil {
+		t.Fatal(err)
+	}
+
+	s := scrapeMetrics(t, ts.URL)
+	if v, ok := s.Value("gpulat_build_info", map[string]string{"version": Version(), "scheme": SchemeTag()}); !ok || v != 1 {
+		t.Errorf("build info = %v, %v", v, ok)
+	}
+	if v, _ := s.Value("gpulat_uptime_seconds", nil); v < 0 {
+		t.Errorf("uptime = %v", v)
+	}
+	st := station.Stats()
+	if v, _ := s.Value("gpulat_station_submitted_total", nil); v != float64(st.Submitted) {
+		t.Errorf("submitted metric = %v, stats say %d", v, st.Submitted)
+	}
+	if v, _ := s.Value("gpulat_station_deduped_total", nil); v != 1 {
+		t.Errorf("deduped = %v, want 1", v)
+	}
+	if v, _ := s.Value("gpulat_station_jobs", map[string]string{"state": "done"}); v != 2 {
+		t.Errorf("done jobs = %v, want 2", v)
+	}
+	if v, ok := s.Value("gpulat_cache_puts_total", nil); !ok || v != 2 {
+		t.Errorf("cache puts = %v, %v; want 2", v, ok)
+	}
+	if v, ok := s.Value("gpulat_cache_bytes", nil); !ok || v <= 0 {
+		t.Errorf("cache bytes = %v, %v; want > 0", v, ok)
+	}
+	// The submit and poll calls above must have landed in the HTTP
+	// families under their route patterns.
+	if v, _ := s.Value("gpulat_http_requests_total", map[string]string{"route": "/v1/jobs", "code": "200"}); v < 1 {
+		t.Errorf("no /v1/jobs requests counted")
+	}
+	if v, _ := s.Value("gpulat_http_request_duration_seconds_count", map[string]string{"route": "/v1/jobs"}); v < 1 {
+		t.Errorf("no /v1/jobs latency observed")
+	}
+	// A second scrape must still lint (scrape-time collectors are
+	// re-entrant) and must have counted the first one.
+	s2 := scrapeMetrics(t, ts.URL)
+	if v, _ := s2.Value("gpulat_http_requests_total", map[string]string{"route": "/metrics", "code": "200"}); v < 1 {
+		t.Errorf("scrape itself not counted: %v", v)
+	}
+}
+
+// TestMetricsEndpointCoordinator: a coordinator's /metrics adds the
+// per-backend families, labeled by backend address.
+func TestMetricsEndpointCoordinator(t *testing.T) {
+	backend, _, _ := newTestServer(t, StationConfig{
+		Workers: 1,
+		Exec: func(ctx context.Context, job runner.Job) runner.Result {
+			return testResult(job)
+		},
+	})
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Backends:      []string{backend.URL},
+		ProbeInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(coord.Close)
+	front := httptest.NewServer(NewServer(coord, nil))
+	t.Cleanup(front.Close)
+
+	if _, err := NewClient(front.URL).RunJobs(context.Background(), []runner.Job{testJob(0)}); err != nil {
+		t.Fatal(err)
+	}
+	s := scrapeMetrics(t, front.URL)
+	want := map[string]string{"backend": backend.URL}
+	if v, ok := s.Value("gpulat_backend_up", want); !ok || v != 1 {
+		t.Errorf("backend_up = %v, %v; want 1", v, ok)
+	}
+	if v, ok := s.Value("gpulat_backend_submitted_total", want); !ok || v < 1 {
+		t.Errorf("backend_submitted = %v, %v; want >= 1", v, ok)
+	}
+	if _, ok := s.Value("gpulat_cache_hits_total", nil); ok {
+		t.Errorf("coordinator (no cache) must not expose cache families")
+	}
+}
+
+// TestTraceHeaderPropagation: a trace ID offered to the coordinator
+// front door must be echoed on its response AND arrive at the backend
+// on the forwarded submission; an absent ID is minted.
+func TestTraceHeaderPropagation(t *testing.T) {
+	var mu sync.Mutex
+	seen := map[string]int{}
+	backendStation := NewStation(nil, StationConfig{
+		Workers: 1,
+		Exec: func(ctx context.Context, job runner.Job) runner.Result {
+			return testResult(job)
+		},
+	})
+	t.Cleanup(backendStation.Close)
+	inner := NewServer(backendStation, nil)
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost {
+			mu.Lock()
+			seen[r.Header.Get(TraceHeader)]++
+			mu.Unlock()
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(backend.Close)
+
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Backends:      []string{backend.URL},
+		ProbeInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(coord.Close)
+	front := httptest.NewServer(NewServer(coord, nil))
+	t.Cleanup(front.Close)
+
+	body := strings.NewReader(`{"jobs":[{"kind":"dynamic","arch":"GF106","kernel":"vecadd","seed":9,"options":{"test_scale":true}}]}`)
+	req, err := http.NewRequest(http.MethodPost, front.URL+"/v1/jobs", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(TraceHeader, "trace-prop-test")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get(TraceHeader); got != "trace-prop-test" {
+		t.Errorf("response trace = %q, want the offered ID echoed", got)
+	}
+	mu.Lock()
+	forwarded := seen["trace-prop-test"]
+	mu.Unlock()
+	if forwarded == 0 {
+		t.Errorf("backend never saw the trace header; saw %v", seen)
+	}
+
+	// No inbound ID: the server mints one and echoes it.
+	resp2, err := http.Get(front.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.Header.Get(TraceHeader) == "" {
+		t.Errorf("no trace ID minted for an untraced request")
+	}
+}
+
+// TestStatszRaceHammer is the satellite audit for /v1/statsz: statsz,
+// /metrics scrapes, and Stats() snapshots run concurrently with a storm
+// of submits. Run under -race (the CI test target does), any unguarded
+// StationStats field access fails the build.
+func TestStatszRaceHammer(t *testing.T) {
+	release := make(chan struct{})
+	ts, _, station := newTestServer(t, StationConfig{
+		Workers:    4,
+		QueueBound: 100000,
+		Exec: func(ctx context.Context, job runner.Job) runner.Result {
+			<-release // keep jobs in flight while readers hammer
+			return testResult(job)
+		},
+	})
+	const (
+		submitters = 4
+		readers    = 3
+		perWorker  = 150
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < submitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if _, _, err := station.Submit(context.Background(), testJob(g*perWorker+i)); err != nil {
+					t.Errorf("submit: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				resp, err := http.Get(ts.URL + "/v1/statsz")
+				if err != nil {
+					t.Errorf("statsz: %v", err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				_ = station.Stats()
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			resp, err := http.Get(ts.URL + "/metrics")
+			if err != nil {
+				t.Errorf("metrics: %v", err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	wg.Wait()
+	close(release)
+	st := station.Stats()
+	if st.Submitted != submitters*perWorker {
+		t.Errorf("submitted = %d, want %d", st.Submitted, submitters*perWorker)
+	}
+}
+
+// TestHealthzUptime covers the satellite /v1/healthz additions.
+func TestHealthzUptime(t *testing.T) {
+	ts, _, _ := newTestServer(t, StationConfig{Workers: 1})
+	h, err := NewClient(ts.URL).Healthz(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	started, err := time.Parse(time.RFC3339, h.StartedAt)
+	if err != nil {
+		t.Fatalf("started_at %q: %v", h.StartedAt, err)
+	}
+	if since := time.Since(started); since < 0 || since > time.Hour {
+		t.Errorf("started_at %s implausible (%s ago)", h.StartedAt, since)
+	}
+	if h.UptimeSeconds < 0 {
+		t.Errorf("uptime = %v", h.UptimeSeconds)
+	}
+}
+
+// TestCacheBytesAccounting: the Bytes gauge follows puts, overwrites,
+// evictions, and reopen.
+func TestCacheBytesAccounting(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := c.Put(testJob(i), testResult(testJob(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Entries != 3 || st.Bytes <= 0 {
+		t.Fatalf("after 3 puts: %+v", st)
+	}
+	// Overwrite must not double count.
+	before := st.Bytes
+	if err := c.Put(testJob(0), testResult(testJob(0))); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats().Bytes; got != before {
+		t.Errorf("overwrite changed bytes: %d -> %d", before, got)
+	}
+	// The 4th distinct entry evicts one; bytes stays the sum of 3.
+	if err := c.Put(testJob(3), testResult(testJob(3))); err != nil {
+		t.Fatal(err)
+	}
+	st = c.Stats()
+	if st.Entries != 3 || st.Evictions != 1 {
+		t.Fatalf("after eviction: %+v", st)
+	}
+	// Reopen rebuilds the byte count from disk.
+	c2, err := OpenCache(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := c2.Stats().Bytes, st.Bytes; got != want {
+		t.Errorf("reopened bytes = %d, want %d", got, want)
+	}
+}
+
+// TestUnmatchedRouteLabel: requests for unknown paths fold into the
+// single "unmatched" label instead of exploding cardinality.
+func TestUnmatchedRouteLabel(t *testing.T) {
+	ts, _, _ := newTestServer(t, StationConfig{Workers: 1})
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(fmt.Sprintf("%s/no/such/path/%d", ts.URL, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	s := scrapeMetrics(t, ts.URL)
+	if v, ok := s.Value("gpulat_http_requests_total", map[string]string{"route": "unmatched", "code": "404"}); !ok || v != 3 {
+		t.Errorf("unmatched requests = %v, %v; want 3", v, ok)
+	}
+}

@@ -1,10 +1,14 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
+	"strconv"
+	"strings"
 	"time"
 
 	"gpulat/internal/runner"
@@ -52,6 +56,11 @@ type Health struct {
 	OK      bool   `json:"ok"`
 	Version string `json:"version"`
 	Scheme  string `json:"scheme"`
+	// StartedAt is the server's start time in RFC 3339 UTC.
+	StartedAt string `json:"started_at"`
+	// UptimeSeconds is wall clock since StartedAt, rounded to
+	// milliseconds.
+	UptimeSeconds float64 `json:"uptime_seconds"`
 }
 
 // Statsz answers GET /v1/statsz.
@@ -74,10 +83,12 @@ type Statsz struct {
 // of backend services). The server never cares which.
 type JobService interface {
 	// Submit admits one job; see Station.Submit for outcome semantics.
-	Submit(job runner.Job) (runner.JobKey, Status, error)
+	// ctx carries request metadata (the trace ID) — implementations must
+	// not let its cancellation abandon an admitted job.
+	Submit(ctx context.Context, job runner.Job) (runner.JobKey, Status, error)
 	// SubmitMany admits jobs in order; on refusal it returns the tickets
 	// accepted so far plus the error.
-	SubmitMany(jobs []runner.Job) ([]JobTicket, error)
+	SubmitMany(ctx context.Context, jobs []runner.Job) ([]JobTicket, error)
 	// Status reports a key's lifecycle position.
 	Status(key runner.JobKey) (Status, bool)
 	// Result returns the finished result once the key is terminal.
@@ -99,9 +110,14 @@ type Server struct {
 	cache   *Cache // may be nil
 	mux     *http.ServeMux
 	started time.Time
+	metrics *serverMetrics
 	// MaxJobsPerRequest bounds one POST body's expansion (anti-footgun
 	// for grids; the queue bound still applies on top).
 	MaxJobsPerRequest int
+	// Logger, when set, gets one line per finished request including its
+	// trace ID — the log stream the X-Gpulat-Trace header is greppable
+	// in across a sharded tier.
+	Logger *log.Logger
 }
 
 // NewServer wires the endpoints over a Station or a Coordinator. cache
@@ -115,6 +131,7 @@ func NewServer(svc JobService, cache *Cache) *Server {
 		started:           time.Now(),
 		MaxJobsPerRequest: 10000,
 	}
+	s.metrics = newServerMetrics(svc, cache, s.started)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{key}", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/results/{key}", s.handleResult)
@@ -122,11 +139,54 @@ func NewServer(svc JobService, cache *Cache) *Server {
 	s.mux.HandleFunc("GET /v1/statsz", s.handleStatsz)
 	s.mux.HandleFunc("GET /v1/backendsz", s.handleBackendsz)
 	s.mux.HandleFunc("GET /v1/catalog", s.handleCatalog)
+	s.mux.Handle("GET /metrics", s.metrics.reg.Handler())
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// statusWriter captures the response code for the request instruments.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// ServeHTTP implements http.Handler. Every request passes through the
+// observability middleware: a trace ID is adopted from the inbound
+// X-Gpulat-Trace header (or minted), echoed on the response, and
+// threaded through the request context so submissions forward it to
+// backends; the request is then timed into the per-route histogram
+// under its ServeMux pattern — bounded label cardinality no matter what
+// paths clients probe.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	trace := r.Header.Get(TraceHeader)
+	if trace == "" {
+		trace = NewTraceID()
+	}
+	w.Header().Set(TraceHeader, trace)
+	r = r.WithContext(WithTrace(r.Context(), trace))
+
+	route := "unmatched"
+	if _, pattern := s.mux.Handler(r); pattern != "" {
+		route = pattern
+		if _, p, ok := strings.Cut(pattern, " "); ok {
+			route = p
+		}
+	}
+	sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+	start := time.Now()
+	s.mux.ServeHTTP(sw, r)
+	elapsed := time.Since(start)
+	s.metrics.requests.With(route, strconv.Itoa(sw.code)).Inc()
+	s.metrics.latency.With(route).Observe(elapsed.Seconds())
+	if s.Logger != nil {
+		s.Logger.Printf("%s %s %d %s trace=%s", r.Method, r.URL.Path, sw.code,
+			elapsed.Round(time.Microsecond), trace)
+	}
+}
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -169,7 +229,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			"%d jobs exceeds the per-request bound of %d", len(jobs), s.MaxJobsPerRequest)
 		return
 	}
-	tickets, err := s.svc.SubmitMany(jobs)
+	tickets, err := s.svc.SubmitMany(r.Context(), jobs)
 	if err != nil {
 		// Admission refused part-way (queue full, station closed, no
 		// healthy backends): report how far we got so the client can
@@ -271,7 +331,13 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, Health{OK: true, Version: Version(), Scheme: SchemeTag()})
+	writeJSON(w, http.StatusOK, Health{
+		OK:            true,
+		Version:       Version(),
+		Scheme:        SchemeTag(),
+		StartedAt:     s.started.UTC().Format(time.RFC3339),
+		UptimeSeconds: float64(time.Since(s.started).Milliseconds()) / 1000,
+	})
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {

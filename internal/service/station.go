@@ -228,7 +228,11 @@ func execCapturing(exec runner.ExecFunc, job runner.Job) (res runner.Result) {
 //
 // After Close, Submit returns ErrStationClosed: the workers are gone, so
 // admitting the job would strand its waiters.
-func (s *Station) Submit(job runner.Job) (runner.JobKey, Status, error) {
+//
+// ctx carries cross-cutting request metadata (the trace ID); admission
+// itself is non-blocking and never waits on it.
+func (s *Station) Submit(ctx context.Context, job runner.Job) (runner.JobKey, Status, error) {
+	_ = ctx
 	key := job.Key()
 	s.mu.Lock()
 	if s.closed {
@@ -315,10 +319,10 @@ func (s *Station) Submit(job runner.Job) (runner.JobKey, Status, error) {
 // job. On the first refusal (queue full, station closed) it stops and
 // returns the tickets accepted so far together with the error, so the
 // HTTP layer can tell clients exactly how far the batch got.
-func (s *Station) SubmitMany(jobs []runner.Job) ([]JobTicket, error) {
+func (s *Station) SubmitMany(ctx context.Context, jobs []runner.Job) ([]JobTicket, error) {
 	tickets := make([]JobTicket, 0, len(jobs))
 	for _, job := range jobs {
-		key, status, err := s.Submit(job)
+		key, status, err := s.Submit(ctx, job)
 		if err != nil {
 			return tickets, err
 		}
@@ -359,7 +363,7 @@ func (s *Station) Result(key runner.JobKey) (runner.Result, bool) {
 // the synchronous convenience the dedup tests and in-process callers
 // use.
 func (s *Station) Do(ctx context.Context, job runner.Job) (runner.Result, error) {
-	key, _, err := s.Submit(job)
+	key, _, err := s.Submit(ctx, job)
 	if err != nil {
 		return runner.Result{}, err
 	}

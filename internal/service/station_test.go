@@ -85,7 +85,7 @@ func TestStationBoundedQueueRejects(t *testing.T) {
 	// in-between success.
 	var rejected bool
 	for i := 0; i < 4; i++ {
-		_, _, err := st.Submit(testJob(i))
+		_, _, err := st.Submit(context.Background(), testJob(i))
 		if err == ErrQueueFull {
 			rejected = true
 			break
@@ -120,7 +120,7 @@ func TestStationServesFromCache(t *testing.T) {
 	})
 	defer st.Close()
 
-	key, status, err := st.Submit(job)
+	key, status, err := st.Submit(context.Background(), job)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +219,7 @@ func TestStationCloseUnblocksQueuedWaiters(t *testing.T) {
 	})
 	var keys []runner.JobKey
 	for i := 0; i < 3; i++ {
-		key, _, err := st.Submit(testJob(i))
+		key, _, err := st.Submit(context.Background(), testJob(i))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -251,7 +251,7 @@ func TestStationSubmitAfterCloseReturnsError(t *testing.T) {
 
 	done := make(chan error, 1)
 	go func() {
-		_, _, err := st.Submit(testJob(0))
+		_, _, err := st.Submit(context.Background(), testJob(0))
 		done <- err
 	}()
 	select {
@@ -291,7 +291,7 @@ func TestStationSubmitCloseRace(t *testing.T) {
 			go func(g int) {
 				defer wg.Done()
 				for i := 0; i < 16; i++ {
-					key, _, err := st.Submit(testJob(g*100 + i))
+					key, _, err := st.Submit(context.Background(), testJob(g*100+i))
 					switch err {
 					case nil:
 						accepted[g] = append(accepted[g], key)
@@ -340,7 +340,7 @@ func TestStationDoUnblocksOnConcurrentClose(t *testing.T) {
 		},
 	})
 	// Job 0 occupies the worker; job 1 sits in the queue.
-	if _, _, err := st.Submit(testJob(0)); err != nil {
+	if _, _, err := st.Submit(context.Background(), testJob(0)); err != nil {
 		t.Fatal(err)
 	}
 	results := make(chan runner.Result, 1)

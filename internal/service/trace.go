@@ -1,0 +1,52 @@
+package service
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"net/http"
+)
+
+// TraceHeader is the request-ID header the service stamps and
+// propagates. The HTTP middleware assigns a fresh ID to any request
+// arriving without one, echoes it on the response, and threads it
+// through the request context; the Client attaches it to every outgoing
+// call, so a grid submitted to a coordinator carries one ID through the
+// coordinator's forwards to the backends — grep the request logs of the
+// whole sharded tier for trace=<id> and the submission's path falls out.
+const TraceHeader = "X-Gpulat-Trace"
+
+type traceKey struct{}
+
+// WithTrace returns a context carrying the trace ID.
+func WithTrace(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey{}, id)
+}
+
+// TraceID returns the context's trace ID ("" when absent).
+func TraceID(ctx context.Context) string {
+	id, _ := ctx.Value(traceKey{}).(string)
+	return id
+}
+
+// NewTraceID mints a 16-hex-digit request ID. Randomness here is
+// deliberately outside the simulation's determinism envelope: trace IDs
+// never touch job identity, results, or cache keys.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "trace-unavailable"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// setTraceHeader attaches the context's trace ID to an outgoing
+// request, if one is present.
+func setTraceHeader(ctx context.Context, req *http.Request) {
+	if id := TraceID(ctx); id != "" {
+		req.Header.Set(TraceHeader, id)
+	}
+}
