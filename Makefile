@@ -177,10 +177,19 @@ service-determinism:
 # completes byte-identically via circuit-breaking + re-route (the dead
 # backend's keys re-simulate on the survivor). SIGKILL, not SIGTERM: a
 # graceful drain would fail queued jobs politely, and the point is
-# surviving an impolite death.
-SHARD_COORD ?= 127.0.0.1:18764
-SHARD_B1    ?= 127.0.0.1:18765
-SHARD_B2    ?= 127.0.0.1:18766
+# surviving an impolite death. Phases 3-5 prove the elastic tier: a
+# backend joins mid-grid (epoch bump, live keys re-forward) and the
+# export stays byte-identical; a cold backend self-registers via
+# `serve -join` and is warmed by cache transfer, not recompute (nonzero
+# handoff/transfer counters in statsz and /metrics); a backend leaves
+# mid-grid and the survivors finish the grid byte-identically; and a
+# coordinator SIGKILLed mid-grid replays its write-ahead journal on
+# restart and the re-fetched grid is byte-identical.
+SHARD_COORD   ?= 127.0.0.1:18764
+SHARD_B1      ?= 127.0.0.1:18765
+SHARD_B2      ?= 127.0.0.1:18766
+SHARD_B3      ?= 127.0.0.1:18770
+SHARD_JOURNAL ?= /tmp/gpulat-shard-journal.jsonl
 shard-determinism:
 	$(GO) build -o /tmp/gpulat-ci ./cmd/gpulat
 	$(GO) test -race -count=1 -run 'TestStationSubmitAfterClose|TestStationSubmitCloseRace|TestStationDoUnblocksOnConcurrentClose|TestCoordinatorSubmitAfterClose|TestCoordinatorFailsOver' ./internal/service
@@ -215,7 +224,77 @@ shard-determinism:
 		sleep 0.25; \
 	done; \
 	grep -q '"circuit": "open"' /tmp/gpulat-shard-backendsz.json
-	@echo "shard-determinism: 2-backend coordinator byte-identical to direct, including across a mid-grid backend kill"
+	set -e; \
+	trap 'for f in /tmp/gpulat-b1.pid /tmp/gpulat-b2.pid /tmp/gpulat-b3.pid /tmp/gpulat-coord.pid; do \
+		test -f $$f && kill -9 $$(cat $$f) 2>/dev/null; done; true' EXIT; \
+	rm -rf /tmp/gpulat-shard-b1 /tmp/gpulat-shard-b2 /tmp/gpulat-shard-b3 \
+		/tmp/gpulat-b1.pid /tmp/gpulat-b2.pid /tmp/gpulat-b3.pid /tmp/gpulat-coord.pid; \
+	/tmp/gpulat-ci serve -addr $(SHARD_B1) -cache-dir /tmp/gpulat-shard-b1 -quiet & echo $$! > /tmp/gpulat-b1.pid; \
+	/tmp/gpulat-ci serve -addr $(SHARD_B2) -cache-dir /tmp/gpulat-shard-b2 -quiet & echo $$! > /tmp/gpulat-b2.pid; \
+	/tmp/gpulat-ci serve -addr $(SHARD_COORD) -backends $(SHARD_B1) -quiet & echo $$! > /tmp/gpulat-coord.pid; \
+	/tmp/gpulat-ci submit -addr http://$(SHARD_COORD) -quiet -suite -quick -csv > /tmp/gpulat-shard-join.csv & SUBMIT=$$!; \
+	sleep 0.05; \
+	/tmp/gpulat-ci backends -addr http://$(SHARD_COORD) join $(SHARD_B2) > /tmp/gpulat-shard-joinchange.json; \
+	wait $$SUBMIT; \
+	cmp /tmp/gpulat-direct.csv /tmp/gpulat-shard-join.csv; \
+	/tmp/gpulat-ci submit -addr http://$(SHARD_COORD) -quiet -suite -quick -json > /tmp/gpulat-shard-join.json; \
+	cmp /tmp/gpulat-direct.json /tmp/gpulat-shard-join.json; \
+	grep -q '"action": "join"' /tmp/gpulat-shard-joinchange.json; \
+	grep -q '"epoch": 2' /tmp/gpulat-shard-joinchange.json; \
+	/tmp/gpulat-ci serve -addr $(SHARD_B3) -cache-dir /tmp/gpulat-shard-b3 \
+		-join http://$(SHARD_COORD) -advertise $(SHARD_B3) -quiet & echo $$! > /tmp/gpulat-b3.pid; \
+	for i in $$(seq 1 40); do \
+		/tmp/gpulat-ci submit -addr http://$(SHARD_COORD) -backendsz > /tmp/gpulat-shard-backendsz.json 2>/dev/null || true; \
+		grep -q '"epoch": 3' /tmp/gpulat-shard-backendsz.json && break; \
+		sleep 0.25; \
+	done; \
+	grep -q '"epoch": 3' /tmp/gpulat-shard-backendsz.json; \
+	grep -q '"ring_share"' /tmp/gpulat-shard-backendsz.json; \
+	/tmp/gpulat-ci submit -addr http://$(SHARD_COORD) -statsz > /tmp/gpulat-shard-statsz.json; \
+	grep -q '"ring_epoch": 3' /tmp/gpulat-shard-statsz.json; \
+	grep -q '"handoff_transferred"' /tmp/gpulat-shard-statsz.json; \
+	curl -sf http://$(SHARD_B3)/metrics | grep -Eq 'gpulat_cache_transfer_in_total [1-9]'; \
+	curl -sf http://$(SHARD_COORD)/metrics | grep -Eq 'gpulat_station_handoff_transferred_total [1-9]'
+	set -e; \
+	trap 'for f in /tmp/gpulat-b1.pid /tmp/gpulat-b2.pid /tmp/gpulat-coord.pid; do \
+		test -f $$f && kill -9 $$(cat $$f) 2>/dev/null; done; true' EXIT; \
+	rm -rf /tmp/gpulat-shard-b1 /tmp/gpulat-shard-b2 \
+		/tmp/gpulat-b1.pid /tmp/gpulat-b2.pid /tmp/gpulat-coord.pid; \
+	/tmp/gpulat-ci serve -addr $(SHARD_B1) -cache-dir /tmp/gpulat-shard-b1 -quiet & echo $$! > /tmp/gpulat-b1.pid; \
+	/tmp/gpulat-ci serve -addr $(SHARD_B2) -cache-dir /tmp/gpulat-shard-b2 -quiet & echo $$! > /tmp/gpulat-b2.pid; \
+	/tmp/gpulat-ci serve -addr $(SHARD_COORD) -backends $(SHARD_B1),$(SHARD_B2) -quiet & echo $$! > /tmp/gpulat-coord.pid; \
+	/tmp/gpulat-ci submit -addr http://$(SHARD_COORD) -quiet -suite -quick -csv > /tmp/gpulat-shard-leave.csv & SUBMIT=$$!; \
+	sleep 0.05; \
+	/tmp/gpulat-ci backends -addr http://$(SHARD_COORD) leave $(SHARD_B2) > /tmp/gpulat-shard-leavechange.json; \
+	wait $$SUBMIT; \
+	cmp /tmp/gpulat-direct.csv /tmp/gpulat-shard-leave.csv; \
+	/tmp/gpulat-ci submit -addr http://$(SHARD_COORD) -quiet -suite -quick -json > /tmp/gpulat-shard-leave.json; \
+	cmp /tmp/gpulat-direct.json /tmp/gpulat-shard-leave.json; \
+	grep -q '"action": "leave"' /tmp/gpulat-shard-leavechange.json; \
+	grep -q '"members": 1' /tmp/gpulat-shard-leavechange.json
+	set -e; \
+	trap 'for f in /tmp/gpulat-b1.pid /tmp/gpulat-coord.pid; do \
+		test -f $$f && kill -9 $$(cat $$f) 2>/dev/null; done; true' EXIT; \
+	rm -rf /tmp/gpulat-shard-b1 $(SHARD_JOURNAL) \
+		/tmp/gpulat-b1.pid /tmp/gpulat-coord.pid; \
+	/tmp/gpulat-ci serve -addr $(SHARD_B1) -cache-dir /tmp/gpulat-shard-b1 -quiet & echo $$! > /tmp/gpulat-b1.pid; \
+	/tmp/gpulat-ci serve -addr $(SHARD_COORD) -backends $(SHARD_B1) -journal $(SHARD_JOURNAL) -quiet & echo $$! > /tmp/gpulat-coord.pid; \
+	/tmp/gpulat-ci submit -addr http://$(SHARD_COORD) -quiet -suite -quick -csv > /tmp/gpulat-shard-crash.csv & SUBMIT=$$!; \
+	sleep 0.1; \
+	kill -9 $$(cat /tmp/gpulat-coord.pid); rm -f /tmp/gpulat-coord.pid; \
+	wait $$SUBMIT || true; \
+	/tmp/gpulat-ci serve -addr $(SHARD_COORD) -backends $(SHARD_B1) -journal $(SHARD_JOURNAL) -quiet & echo $$! > /tmp/gpulat-coord.pid; \
+	for i in $$(seq 1 40); do \
+		/tmp/gpulat-ci submit -addr http://$(SHARD_COORD) -statsz > /tmp/gpulat-shard-statsz.json 2>/dev/null || true; \
+		grep -q '"replayed"' /tmp/gpulat-shard-statsz.json && break; \
+		sleep 0.25; \
+	done; \
+	grep -q '"replayed"' /tmp/gpulat-shard-statsz.json; \
+	/tmp/gpulat-ci submit -addr http://$(SHARD_COORD) -quiet -suite -quick -csv > /tmp/gpulat-shard-recovered.csv; \
+	cmp /tmp/gpulat-direct.csv /tmp/gpulat-shard-recovered.csv; \
+	/tmp/gpulat-ci submit -addr http://$(SHARD_COORD) -quiet -suite -quick -json > /tmp/gpulat-shard-recovered.json; \
+	cmp /tmp/gpulat-direct.json /tmp/gpulat-shard-recovered.json
+	@echo "shard-determinism: coordinator byte-identical to direct across a backend kill, join/leave mid-grid, a warm self-registered joiner, and a journal-replayed coordinator crash"
 
 # Proves the observability tier under load (CI): a short dedup-heavy
 # loadgen run against a 2-backend coordinator, every /metrics scrape

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"time"
+
+	"gpulat/internal/service"
+)
+
+// cmdBackends is the coordinator pool admin: inspect the ring and move
+// backends in and out of it at runtime.
+//
+//	gpulat backends -addr http://coord list
+//	gpulat backends -addr http://coord join  127.0.0.1:8092
+//	gpulat backends -addr http://coord leave 127.0.0.1:8092
+//
+// join/leave print the resulting MembershipChange: the new epoch and
+// how many keys the change moved, re-forwarded, and warm-transferred.
+func cmdBackends(args []string) error {
+	fs := newFlags("backends")
+	addr := fs.String("addr", "http://127.0.0.1:8091", "coordinator base URL")
+	wait := fs.Duration("wait", 15*time.Second, "how long to wait for the coordinator to come up")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	verb := "list"
+	rest := fs.Args()
+	if len(rest) > 0 {
+		verb = rest[0]
+	}
+	switch verb {
+	case "list":
+		if len(rest) > 1 {
+			return usagef("backends: list takes no arguments")
+		}
+	case "join", "leave":
+		if len(rest) != 2 {
+			return usagef("backends: %s needs exactly one backend address", verb)
+		}
+	default:
+		return usagef("backends: unknown action %q (want list, join, or leave)", verb)
+	}
+
+	client := service.NewClient(*addr)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := client.WaitHealthy(ctx, *wait); err != nil {
+		return err
+	}
+	switch verb {
+	case "join":
+		ch, err := client.JoinBackend(ctx, rest[1])
+		if err != nil {
+			return err
+		}
+		return printJSON(ch)
+	case "leave":
+		ch, err := client.LeaveBackend(ctx, rest[1])
+		if err != nil {
+			return err
+		}
+		return printJSON(ch)
+	default:
+		b, err := client.Backendsz(ctx)
+		if err != nil {
+			return err
+		}
+		return printJSON(b)
+	}
+}

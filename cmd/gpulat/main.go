@@ -117,6 +117,7 @@ func commands() map[string]func([]string) error {
 		"list":             cmdList,
 		"serve":            cmdServe,
 		"submit":           cmdSubmit,
+		"backends":         cmdBackends,
 		"loadgen":          cmdLoadgen,
 		"version":          cmdVersion,
 	}
@@ -144,9 +145,13 @@ commands:
   config        dump a preset as editable JSON (use with -arch file:<path>)
   list          available architectures and workloads (-json for machines)
   serve         run the simulation service (HTTP API + result cache);
-                -backends b1,b2 runs a sharding coordinator over them
+                -backends b1,b2 runs a sharding coordinator over them,
+                -join <coord> registers this backend with a coordinator,
+                -journal <path> makes grids survive coordinator restarts
   submit        submit jobs to a running service and collect results
                 (-shard i/n for key-hash fan-out, -backendsz for pool view)
+  backends      coordinator pool admin: list | join <addr> | leave <addr>
+                (elastic membership: joins warm-hand cached results over)
   loadgen       replay a Zipf-distributed dedup-heavy job mix against a
                 running service, scraping /metrics; writes BENCH_service.json
   version       report the build version and cache scheme tag

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"math/rand/v2"
 	"net"
 	"net/http"
 	"os"
@@ -23,16 +24,24 @@ import (
 // cache. Identical jobs submitted by any number of clients run at most
 // once per cache lifetime; warm grid re-runs answer in milliseconds.
 //
-// With -backends, the same process serves the same API as a sharding
-// coordinator instead: it runs no simulations itself, routing each job
-// to one of the listed backend `gpulat serve` processes by consistent
-// hashing on its content key (so backend caches stay hot), and failing
-// over to the survivors when a backend dies. Clients cannot tell the
+// With -backends (or -coordinator), the same process serves the same
+// API as a sharding coordinator instead: it runs no simulations itself,
+// routing each job to one of the backend `gpulat serve` processes by
+// consistent hashing on its content key (so backend caches stay hot),
+// and failing over to the survivors when a backend dies. Membership is
+// elastic — backends join and leave at runtime (POST /v1/backends/join,
+// `gpulat backends`, or a backend's own -join flag), with cached
+// results warm-handed to new owners — and -journal makes in-flight
+// grids survive a coordinator restart. Clients cannot tell the
 // difference — `gpulat submit` works unchanged against either mode.
 func cmdServe(args []string) error {
 	fs := newFlags("serve")
 	addr := fs.String("addr", "127.0.0.1:8091", "listen address")
 	backends := fs.String("backends", "", "comma-separated backend addresses (host:port); run as a sharding coordinator over them instead of simulating locally")
+	coordinator := fs.Bool("coordinator", false, "run as a sharding coordinator even with no -backends list (the pool fills via runtime joins)")
+	journal := fs.String("journal", "", "coordinator write-ahead journal (JSONL); accepted jobs and membership changes replay on restart")
+	joinURL := fs.String("join", "", "coordinator base URL to register this backend with; re-asserts periodically and deregisters on graceful shutdown")
+	advertise := fs.String("advertise", "", "address to register via -join (default: the listen address; required when listening on a wildcard address)")
 	cacheDir := fs.String("cache-dir", "", "result cache directory (default ~/.cache/gpulat)")
 	cacheEntries := fs.Int("cache-entries", 0, "LRU bound on cached results (0 = default)")
 	noCache := fs.Bool("no-cache", false, "serve without a persistent cache (in-flight dedup only)")
@@ -51,11 +60,21 @@ func cmdServe(args []string) error {
 	if *par < 1 {
 		return usagef("-par must be >= 1 (got %d)", *par)
 	}
+	coordMode := *backends != "" || *coordinator
+	if coordMode && *joinURL != "" {
+		return usagef("serve: -join is a backend-mode flag; a coordinator does not join itself")
+	}
+	if !coordMode && *journal != "" {
+		return usagef("serve: -journal requires coordinator mode (-backends or -coordinator)")
+	}
+	if *advertise != "" && *joinURL == "" {
+		return usagef("serve: -advertise requires -join")
+	}
 
 	var svc service.JobService
 	var cache *service.Cache
 	var banner string
-	if *backends != "" {
+	if coordMode {
 		// Coordinator mode: no local cache, no local workers — the
 		// backends own both. Refuse station-only flags instead of
 		// silently ignoring them (-queue stays meaningful: it bounds the
@@ -68,7 +87,7 @@ func cmdServe(args []string) error {
 			}
 		})
 		if len(incompatible) > 0 {
-			return usagef("serve: %s cannot be combined with -backends (caches, workers, and engines belong to the backends)",
+			return usagef("serve: %s cannot be combined with coordinator mode (caches, workers, and engines belong to the backends)",
 				strings.Join(incompatible, ", "))
 		}
 		var addrs []string
@@ -81,13 +100,20 @@ func cmdServe(args []string) error {
 			Backends:      addrs,
 			ProbeInterval: *probe,
 			QueueBound:    *queueBound,
+			JournalPath:   *journal,
 		})
 		if err != nil {
-			return usagef("serve: %v", err)
+			return fmt.Errorf("serve: %w", err)
 		}
 		defer coord.Close()
 		svc = coord
-		banner = fmt.Sprintf("coordinator over %d backends: %s", len(addrs), strings.Join(addrs, ", "))
+		banner = fmt.Sprintf("coordinator over %d backends", len(addrs))
+		if len(addrs) > 0 {
+			banner += ": " + strings.Join(addrs, ", ")
+		}
+		if *journal != "" {
+			banner += fmt.Sprintf(", journal %s", *journal)
+		}
 	} else {
 		if !*noCache {
 			var err error
@@ -119,9 +145,44 @@ func cmdServe(args []string) error {
 		return fmt.Errorf("serve: %w", err)
 	}
 	srv := &http.Server{Handler: service.NewServer(svc, cache)}
+
+	// Backend registration: with -join, announce this backend to the
+	// coordinator once the listener is up, then keep re-asserting —
+	// joins are idempotent, and the re-assert heals a coordinator that
+	// restarted without its journal (or that starts after us).
+	var coordClient *service.Client
+	adv := ""
+	if *joinURL != "" {
+		if adv, err = advertiseAddr(*advertise, ln.Addr()); err != nil {
+			return err
+		}
+		coordClient = service.NewClient(*joinURL)
+		banner += fmt.Sprintf(", joining %s as %s", *joinURL, adv)
+	}
 	if !*quiet {
 		fmt.Fprintf(os.Stderr, "gpulat serve: listening on http://%s (%s, %s)\n",
 			ln.Addr(), service.Version(), banner)
+	}
+	regCtx, regStop := context.WithCancel(context.Background())
+	defer regStop()
+	if coordClient != nil {
+		go func() {
+			for {
+				jctx, cancel := context.WithTimeout(regCtx, 5*time.Second)
+				_, err := coordClient.JoinBackend(jctx, adv)
+				cancel()
+				if err != nil && !*quiet && regCtx.Err() == nil {
+					fmt.Fprintf(os.Stderr, "gpulat serve: join %s: %v (will retry)\n", *joinURL, err)
+				}
+				select {
+				case <-regCtx.Done():
+					return
+				// Jittered so a fleet of backends doesn't re-register in
+				// lockstep.
+				case <-time.After(8*time.Second + rand.N(4*time.Second)):
+				}
+			}
+		}()
 	}
 
 	// SIGTERM is how process managers (and the service-determinism make
@@ -137,11 +198,37 @@ func cmdServe(args []string) error {
 		}
 		return err
 	case <-ctx.Done():
+		regStop()
+		if coordClient != nil {
+			// Best-effort deregistration: the coordinator drains our keys
+			// to the survivors instead of waiting out the failure detector.
+			lctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+			_, _ = coordClient.LeaveBackend(lctx, adv)
+			cancel()
+		}
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		_ = srv.Shutdown(shutdownCtx)
 		return nil
 	}
+}
+
+// advertiseAddr resolves the address a -join backend registers under:
+// the explicit -advertise value, or the concrete listen address. A
+// wildcard listen host (0.0.0.0, [::]) is not reachable from the
+// coordinator, so it must be overridden explicitly.
+func advertiseAddr(explicit string, listen net.Addr) (string, error) {
+	if explicit != "" {
+		return explicit, nil
+	}
+	host, _, err := net.SplitHostPort(listen.String())
+	if err != nil {
+		return "", fmt.Errorf("serve: cannot derive -advertise from listen address %q: %w", listen, err)
+	}
+	if ip := net.ParseIP(host); ip != nil && ip.IsUnspecified() {
+		return "", usagef("serve: listening on wildcard %s; -join needs an explicit -advertise host:port", listen)
+	}
+	return listen.String(), nil
 }
 
 // cmdVersion reports the build's identity and the cache scheme tag it

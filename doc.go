@@ -88,7 +88,12 @@
 // by consistent hashing on their JobKey, so each backend's persistent
 // cache keeps answering the keys it owns across restarts and pool
 // changes; a failed backend's circuit opens after consecutive probe or
-// call failures and its live keys re-route to the survivors. Figure 2's
+// call failures and its live keys re-route to the survivors. The pool
+// is elastic: backends join and leave at runtime under an
+// epoch-versioned ring (`gpulat backends`, `serve -join`), joiners are
+// warmed by cache transfer instead of recompute, queued keys steal to
+// idle backends, and `serve -journal` write-ahead journals in-flight
+// grids across coordinator crashes. Figure 2's
 // exposure report renders half-open latency buckets — [lo,hi), last
 // bucket inclusive — so a boundary load belongs to exactly one bucket.
 package gpulat

@@ -1,0 +1,190 @@
+package runner
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"testing"
+)
+
+// ringKeys synthesizes a large uniformly hashed key population without
+// running any simulations: JobKeys are hex SHA-256 digests, so hashing
+// an integer produces exactly the shape Job.Key would.
+func ringKeys(n int) []JobKey {
+	keys := make([]JobKey, n)
+	for i := range keys {
+		sum := sha256.Sum256([]byte(fmt.Sprintf("ring-key-%d", i)))
+		keys[i] = JobKey(hex.EncodeToString(sum[:]))
+	}
+	return keys
+}
+
+func ringMembers(n int) []string {
+	members := make([]string, n)
+	for i := range members {
+		members[i] = fmt.Sprintf("http://10.0.0.%d:9", i+1)
+	}
+	return members
+}
+
+// TestRingJoinMovesAboutOneOverN is the rebalance property the elastic
+// tier banks on: adding one member to a pool of N moves ≈1/(N+1) of a
+// large key population — never a wholesale reshuffle — and every moved
+// key moves TO the joiner.
+func TestRingJoinMovesAboutOneOverN(t *testing.T) {
+	keys := ringKeys(20000)
+	for _, n := range []int{2, 4, 8} {
+		members := ringMembers(n + 1)
+		before := NewRing(members[:n], 0)
+		after := before.WithMember(members[n])
+		moves := OwnershipDelta(before, after, keys)
+
+		expected := 1.0 / float64(n+1)
+		frac := float64(len(moves)) / float64(len(keys))
+		// 64 vnodes bound the arc-length variance; the ring is fully
+		// deterministic (SHA-256 placement), so this is a fixed fact
+		// about these member names, not a flaky sample.
+		if frac < 0.5*expected || frac > 2.0*expected {
+			t.Errorf("N=%d: join moved %.4f of keys, want ≈%.4f (accepted [%.4f, %.4f])",
+				n, frac, expected, 0.5*expected, 2.0*expected)
+		}
+		for _, mv := range moves {
+			if mv.To != members[n] {
+				t.Fatalf("N=%d: key %s moved to %s, not the joiner", n, mv.Key, mv.To)
+			}
+			if mv.From == members[n] || mv.From == "" {
+				t.Fatalf("N=%d: bogus move source %q", n, mv.From)
+			}
+		}
+	}
+}
+
+// TestRingLeaveMovesExactlyTheLeaversKeys: removing a member moves
+// exactly the keys it owned — every move originates at the leaver, and
+// the moved fraction matches the leaver's share of the hash space.
+func TestRingLeaveMovesExactlyTheLeaversKeys(t *testing.T) {
+	keys := ringKeys(20000)
+	members := ringMembers(8)
+	before := NewRing(members, 0)
+	leaver := members[3]
+	after := before.WithoutMember(leaver)
+
+	owned := 0
+	for _, k := range keys {
+		if o, _ := before.Owner(k); o == leaver {
+			owned++
+		}
+	}
+	moves := OwnershipDelta(before, after, keys)
+	if len(moves) != owned {
+		t.Fatalf("leave moved %d keys, leaver owned %d — not an exact set difference", len(moves), owned)
+	}
+	for _, mv := range moves {
+		if mv.From != leaver {
+			t.Fatalf("key %s moved from %s, not the leaver", mv.Key, mv.From)
+		}
+		if mv.To == leaver || mv.To == "" {
+			t.Fatalf("key %s moved to bogus destination %q", mv.Key, mv.To)
+		}
+	}
+	expected := 1.0 / 8
+	frac := float64(len(moves)) / float64(len(keys))
+	if frac < 0.5*expected || frac > 2.0*expected {
+		t.Errorf("leave moved %.4f of keys, want ≈%.4f", frac, expected)
+	}
+}
+
+// TestRingOwnershipDeltaIsExact pins the set-difference contract across
+// epochs: a key is in the delta iff its owner differs, the delta of a
+// ring against itself is empty, and keys outside the delta keep their
+// owner bit-for-bit.
+func TestRingOwnershipDeltaIsExact(t *testing.T) {
+	keys := ringKeys(5000)
+	members := ringMembers(5)
+	r1 := NewRing(members[:4], 0)
+	r2 := r1.WithMember(members[4])
+
+	if d := OwnershipDelta(r1, r1, keys); len(d) != 0 {
+		t.Fatalf("self-delta not empty: %d moves", len(d))
+	}
+	moved := map[JobKey]bool{}
+	for _, mv := range OwnershipDelta(r1, r2, keys) {
+		moved[mv.Key] = true
+		from, _ := r1.Owner(mv.Key)
+		to, _ := r2.Owner(mv.Key)
+		if from == to || from != mv.From || to != mv.To {
+			t.Fatalf("delta entry %+v does not match ring owners (%s → %s)", mv, from, to)
+		}
+	}
+	for _, k := range keys {
+		from, _ := r1.Owner(k)
+		to, _ := r2.Owner(k)
+		if (from != to) != moved[k] {
+			t.Fatalf("key %s: owner changed=%v but delta membership=%v", k, from != to, moved[k])
+		}
+	}
+
+	// Round trip: leaving the joiner again restores the original
+	// placement exactly.
+	r3 := r2.WithoutMember(members[4])
+	if d := OwnershipDelta(r1, r3, keys); len(d) != 0 {
+		t.Fatalf("join+leave did not restore placement: %d keys differ", len(d))
+	}
+}
+
+// TestRingSharesSumToOne: the advertised vnode-ownership fractions are
+// a probability distribution, and each member's share is within the
+// vnode-bounded deviation of 1/N.
+func TestRingSharesSumToOne(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 8} {
+		r := NewRing(ringMembers(n), 0)
+		shares := r.Shares()
+		if len(shares) != n {
+			t.Fatalf("N=%d: %d shares", n, len(shares))
+		}
+		sum := 0.0
+		for m, s := range shares {
+			sum += s
+			if s < 0.25/float64(n) || s > 3.0/float64(n) {
+				t.Errorf("N=%d: member %s share %.4f far from 1/N", n, m, s)
+			}
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("N=%d: shares sum to %.12f", n, sum)
+		}
+	}
+	if got := NewRing(nil, 0).Shares(); len(got) != 0 {
+		t.Fatalf("empty ring has shares: %v", got)
+	}
+}
+
+// TestRingEmptyAndWalk: an empty ring owns nothing; Walk enumerates
+// every member exactly once starting from the owner.
+func TestRingEmptyAndWalk(t *testing.T) {
+	empty := NewRing(nil, 0)
+	if _, ok := empty.Owner(ringKeys(1)[0]); ok {
+		t.Fatal("empty ring claimed an owner")
+	}
+	r := NewRing(ringMembers(4), 0)
+	key := ringKeys(1)[0]
+	var order []string
+	r.Walk(key, func(m string) bool {
+		order = append(order, m)
+		return true
+	})
+	if len(order) != 4 {
+		t.Fatalf("walk visited %d members, want 4", len(order))
+	}
+	owner, _ := r.Owner(key)
+	if order[0] != owner {
+		t.Fatalf("walk started at %s, owner is %s", order[0], owner)
+	}
+	seen := map[string]bool{}
+	for _, m := range order {
+		if seen[m] {
+			t.Fatalf("walk visited %s twice", m)
+		}
+		seen[m] = true
+	}
+}

@@ -1,11 +1,7 @@
 package service
 
 import (
-	"crypto/sha256"
-	"encoding/binary"
 	"errors"
-	"fmt"
-	"sort"
 	"strings"
 	"sync"
 
@@ -14,8 +10,18 @@ import (
 
 // ErrNoBackends is returned when a job cannot be placed because every
 // backend's circuit is open (or the pool is empty). HTTP maps it to 503
-// so clients back off and retry — the prober may close a circuit again.
+// so clients back off and retry — the prober may close a circuit again,
+// or a backend may join.
 var ErrNoBackends = errors.New("service: no healthy backends")
+
+// ErrUnknownBackend is returned by Leave for an address that is not a
+// pool member. HTTP maps it to 404.
+var ErrUnknownBackend = errors.New("service: unknown backend")
+
+// ErrLastBackend is returned by Coordinator.Leave when removing the
+// address would leave the pool empty — an elastic tier scales to one,
+// not to zero, while a coordinator is serving. HTTP maps it to 409.
+var ErrLastBackend = errors.New("service: cannot remove the last backend")
 
 // BackendStatus is one backend's routing and health view, reported by
 // GET /v1/backendsz on a coordinator.
@@ -37,6 +43,10 @@ type BackendStatus struct {
 	Assigned int `json:"assigned"`
 	// ReroutedAway counts keys moved off this backend after it failed.
 	ReroutedAway int64 `json:"rerouted_away,omitempty"`
+	// Share is the fraction of the consistent-hash ring this backend's
+	// vnodes own — the expected share of a uniform key population it
+	// serves at the current membership epoch.
+	Share float64 `json:"ring_share"`
 }
 
 // Backend is one routable `gpulat serve` endpoint plus its circuit
@@ -139,9 +149,9 @@ func (b *Backend) noteRerouted() {
 	b.mu.Unlock()
 }
 
-// status snapshots the backend (Assigned is filled by the coordinator,
-// which owns the key→backend map). ConsecutiveFailures reports the
-// worse of the two streaks.
+// status snapshots the backend (Assigned and Share are filled by the
+// pool/coordinator, which own the ring and the key→backend map).
+// ConsecutiveFailures reports the worse of the two streaks.
 func (b *Backend) status() BackendStatus {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -165,26 +175,9 @@ func (b *Backend) status() BackendStatus {
 	}
 }
 
-// BackendPool owns a fixed set of backends and the consistent-hash ring
-// that places JobKeys on them. Each backend contributes ringVnodes
-// virtual points, so (a) load spreads evenly even with two backends and
-// (b) a backend going down only remaps the keys it owned — every other
-// key keeps its placement, which is what preserves backend-local cache
-// affinity across pool membership changes.
-type BackendPool struct {
-	backends  []*Backend
-	ring      []ringPoint
-	threshold int
-}
-
-type ringPoint struct {
-	hash uint64
-	b    *Backend
-}
-
-// ringVnodes is the virtual-node count per backend. 64 keeps the
-// largest/smallest arc ratio low single-digit percent for small pools.
-const ringVnodes = 64
+// ringVnodes is the virtual-node count per backend; see
+// runner.RingVnodes for the arc-ratio rationale.
+const ringVnodes = runner.RingVnodes
 
 // normalizeBackendAddr turns "host:port" into a base URL and strips
 // trailing slashes; full URLs pass through.
@@ -196,76 +189,210 @@ func normalizeBackendAddr(addr string) string {
 	return strings.TrimRight(addr, "/")
 }
 
-// NewBackendPool builds the ring over addrs ("host:port" or base URLs).
-// failThreshold <= 0 selects 3 consecutive failures before a circuit
-// opens.
-func NewBackendPool(addrs []string, failThreshold int) (*BackendPool, error) {
+// BackendPool owns the mutable set of backends and the consistent-hash
+// ring that places JobKeys on them. Membership is a first-class runtime
+// concept: Join and Leave rebuild the ring under the pool lock and bump
+// a monotonic epoch, and each membership change hands the caller
+// immutable before/after ring snapshots so it can compute the exact
+// key-ownership delta (runner.OwnershipDelta) the change moved. Each
+// backend contributes ringVnodes virtual points, so (a) load spreads
+// evenly even with two backends and (b) one membership change only
+// remaps the keys whose arc it touched — every other key keeps its
+// placement, which is what preserves backend-local cache affinity
+// across pool changes.
+//
+// An empty pool is valid: it routes nothing (callers see ErrNoBackends)
+// until the first Join — the shape of a coordinator started with no
+// static -backends list, waiting for `gpulat serve -join` registrations.
+type BackendPool struct {
+	threshold int
+
+	mu       sync.RWMutex
+	epoch    uint64
+	backends []*Backend
+	byAddr   map[string]*Backend
+	ring     *runner.Ring
+}
+
+// NewBackendPool builds the ring over addrs ("host:port" or base URLs);
+// blanks and duplicates are dropped, and an empty list is a valid empty
+// pool. failThreshold <= 0 selects 3 consecutive failures before a
+// circuit opens. The initial membership is epoch 1.
+func NewBackendPool(addrs []string, failThreshold int) *BackendPool {
 	if failThreshold <= 0 {
 		failThreshold = 3
 	}
-	seen := map[string]bool{}
-	p := &BackendPool{threshold: failThreshold}
+	p := &BackendPool{threshold: failThreshold, byAddr: map[string]*Backend{}, epoch: 1}
 	for _, raw := range addrs {
 		addr := normalizeBackendAddr(raw)
-		if addr == "" || seen[addr] {
+		if addr == "" || p.byAddr[addr] != nil {
 			continue
 		}
-		seen[addr] = true
-		client := NewClient(addr)
-		// The coordinator handles rerouting itself; keep the forwarding
-		// client's own 503 retries short so a wedged backend fails over
-		// quickly instead of being politely waited on.
-		client.MaxAttempts = 3
-		b := &Backend{addr: addr, client: client}
+		b := newBackend(addr)
 		p.backends = append(p.backends, b)
-		for i := 0; i < ringVnodes; i++ {
-			p.ring = append(p.ring, ringPoint{hash: pointHash(fmt.Sprintf("%s#%d", addr, i)), b: b})
+		p.byAddr[addr] = b
+	}
+	p.ring = runner.NewRing(p.addrsLocked(), ringVnodes)
+	return p
+}
+
+func newBackend(addr string) *Backend {
+	client := NewClient(addr)
+	// The coordinator handles rerouting itself; keep the forwarding
+	// client's own 503 retries short so a wedged backend fails over
+	// quickly instead of being politely waited on.
+	client.MaxAttempts = 3
+	return &Backend{addr: addr, client: client}
+}
+
+func (p *BackendPool) addrsLocked() []string {
+	addrs := make([]string, len(p.backends))
+	for i, b := range p.backends {
+		addrs[i] = b.addr
+	}
+	return addrs
+}
+
+// Join adds addr to the pool, rebuilding the ring and bumping the
+// epoch. It is idempotent: joining a present member changes nothing and
+// reports joined=false. The returned before/after rings are immutable
+// snapshots for ownership-delta computation.
+func (p *BackendPool) Join(addr string) (b *Backend, epoch uint64, before, after *runner.Ring, joined bool) {
+	addr = normalizeBackendAddr(addr)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if addr == "" {
+		return nil, p.epoch, p.ring, p.ring, false
+	}
+	if have := p.byAddr[addr]; have != nil {
+		return have, p.epoch, p.ring, p.ring, false
+	}
+	b = newBackend(addr)
+	p.backends = append(p.backends, b)
+	p.byAddr[addr] = b
+	before = p.ring
+	p.ring = before.WithMember(addr)
+	p.epoch++
+	return b, p.epoch, before, p.ring, true
+}
+
+// Leave removes addr from the pool, rebuilding the ring and bumping the
+// epoch. Removing a non-member reports removed=false with the Backend
+// nil. The removed Backend object stays functional (its HTTP client
+// still works) so in-flight drains and cache handoffs can keep talking
+// to the departing process.
+func (p *BackendPool) Leave(addr string) (b *Backend, epoch uint64, before, after *runner.Ring, removed bool) {
+	addr = normalizeBackendAddr(addr)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	b = p.byAddr[addr]
+	if b == nil {
+		return nil, p.epoch, p.ring, p.ring, false
+	}
+	delete(p.byAddr, addr)
+	keep := p.backends[:0]
+	for _, have := range p.backends {
+		if have != b {
+			keep = append(keep, have)
 		}
 	}
-	if len(p.backends) == 0 {
-		return nil, errors.New("service: backend pool needs at least one backend address")
-	}
-	sort.Slice(p.ring, func(i, j int) bool { return p.ring[i].hash < p.ring[j].hash })
-	return p, nil
+	p.backends = keep
+	before = p.ring
+	p.ring = before.WithoutMember(addr)
+	p.epoch++
+	return b, p.epoch, before, p.ring, true
 }
 
-// pointHash places a virtual node on the ring: the same 8-byte SHA-256
-// prefix JobKey.Hash64 uses for keys, so placement is stable across
-// processes and restarts.
-func pointHash(s string) uint64 {
-	sum := sha256.Sum256([]byte(s))
-	return binary.BigEndian.Uint64(sum[:8])
+// Epoch returns the monotonic membership epoch: 1 for the initial
+// membership, bumped by every successful Join or Leave.
+func (p *BackendPool) Epoch() uint64 {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.epoch
 }
 
-// Route returns the backend owning key: the first routable backend at
-// or clockwise after the key's point on the ring. Backends with open
-// circuits are skipped, as is avoid (the backend a caller just watched
-// fail, which may not have tripped its circuit yet). When avoid is the
-// only routable backend left it is returned anyway — retrying the sole
-// survivor beats failing the job. Returns nil when nothing is routable.
+// Ring returns the current immutable ring snapshot.
+func (p *BackendPool) Ring() *runner.Ring {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.ring
+}
+
+// Len returns the member count.
+func (p *BackendPool) Len() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.backends)
+}
+
+// All snapshots the member list in configuration-then-join order.
+func (p *BackendPool) All() []*Backend {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return append([]*Backend{}, p.backends...)
+}
+
+// Route returns the backend owning key: the key's ring owner, or the
+// next member clockwise when the owner's circuit is open. avoid (the
+// backend a caller just watched fail, which may not have tripped its
+// circuit yet) is skipped too — unless it is the only routable backend
+// left, in which case it is returned anyway: retrying the sole survivor
+// beats failing the job. Returns nil when nothing is routable.
 func (p *BackendPool) Route(key runner.JobKey, avoid *Backend) *Backend {
-	if len(p.ring) == 0 {
-		return nil
-	}
-	h := key.Hash64()
-	start := sort.Search(len(p.ring), func(i int) bool { return p.ring[i].hash >= h })
-	for n := 0; n < len(p.ring); n++ {
-		b := p.ring[(start+n)%len(p.ring)].b
-		if b == avoid || !b.routable() {
-			continue
+	p.mu.RLock()
+	ring := p.ring
+	byAddr := p.byAddr
+	p.mu.RUnlock()
+
+	var chosen *Backend
+	ring.Walk(key, func(member string) bool {
+		b := byAddr[member]
+		if b == nil || b == avoid || !b.routable() {
+			return true
 		}
-		return b
+		chosen = b
+		return false
+	})
+	if chosen != nil {
+		return chosen
 	}
-	if avoid != nil && avoid.routable() {
+	if avoid != nil && avoid.routable() && p.has(avoid) {
 		return avoid
 	}
 	return nil
 }
 
+// Owner returns the key's pure ring owner at the current epoch,
+// ignoring circuit state — the placement identity membership deltas and
+// cache handoff reason about, as opposed to Route's failure-aware
+// answer.
+func (p *BackendPool) Owner(key runner.JobKey) *Backend {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	addr, ok := p.ring.Owner(key)
+	if !ok {
+		return nil
+	}
+	return p.byAddr[addr]
+}
+
+// ByAddr returns the member with the given (normalized) address.
+func (p *BackendPool) ByAddr(addr string) *Backend {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.byAddr[normalizeBackendAddr(addr)]
+}
+
+func (p *BackendPool) has(b *Backend) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.byAddr[b.addr] == b
+}
+
 // Healthy counts routable backends.
 func (p *BackendPool) Healthy() int {
 	n := 0
-	for _, b := range p.backends {
+	for _, b := range p.All() {
 		if b.routable() {
 			n++
 		}
@@ -273,11 +400,17 @@ func (p *BackendPool) Healthy() int {
 	return n
 }
 
-// Statuses snapshots every backend in configuration order.
+// Statuses snapshots every backend in configuration-then-join order,
+// including each member's ring-share fraction at the current epoch.
 func (p *BackendPool) Statuses() []BackendStatus {
-	out := make([]BackendStatus, len(p.backends))
-	for i, b := range p.backends {
+	p.mu.RLock()
+	backends := append([]*Backend{}, p.backends...)
+	shares := p.ring.Shares()
+	p.mu.RUnlock()
+	out := make([]BackendStatus, len(backends))
+	for i, b := range backends {
 		out[i] = b.status()
+		out[i].Share = shares[b.addr]
 	}
 	return out
 }

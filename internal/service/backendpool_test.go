@@ -16,20 +16,33 @@ func poolKeys(n int) []runner.JobKey {
 	return keys
 }
 
-func TestBackendPoolRejectsEmpty(t *testing.T) {
-	if _, err := NewBackendPool(nil, 0); err == nil {
-		t.Fatal("empty pool accepted")
+// TestBackendPoolEmptyIsValid: an empty pool (no static -backends,
+// waiting for runtime joins) routes nothing but is otherwise
+// functional, and the first Join makes it routable.
+func TestBackendPoolEmptyIsValid(t *testing.T) {
+	for _, addrs := range [][]string{nil, {" ", ""}} {
+		p := NewBackendPool(addrs, 0)
+		if p.Len() != 0 || p.Healthy() != 0 {
+			t.Fatalf("pool over %q not empty: len=%d", addrs, p.Len())
+		}
+		if b := p.Route(testJob(0).Key(), nil); b != nil {
+			t.Fatalf("empty pool routed to %s", b.Addr())
+		}
+		if p.Epoch() != 1 {
+			t.Fatalf("initial epoch = %d, want 1", p.Epoch())
+		}
 	}
-	if _, err := NewBackendPool([]string{" ", ""}, 0); err == nil {
-		t.Fatal("blank addresses accepted")
+	p := NewBackendPool(nil, 0)
+	if _, epoch, _, _, joined := p.Join("a:1"); !joined || epoch != 2 {
+		t.Fatalf("first join: joined=%v epoch=%d", joined, epoch)
+	}
+	if b := p.Route(testJob(0).Key(), nil); b == nil || b.Addr() != "http://a:1" {
+		t.Fatalf("pool not routable after first join: %v", b)
 	}
 }
 
 func TestBackendPoolNormalizesAndDedupes(t *testing.T) {
-	p, err := NewBackendPool([]string{"127.0.0.1:1", "http://127.0.0.1:1/", "127.0.0.1:2"}, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
+	p := NewBackendPool([]string{"127.0.0.1:1", "http://127.0.0.1:1/", "127.0.0.1:2"}, 0)
 	if len(p.backends) != 2 {
 		t.Fatalf("backends = %d, want 2 (dup collapsed)", len(p.backends))
 	}
@@ -43,8 +56,8 @@ func TestBackendPoolNormalizesAndDedupes(t *testing.T) {
 // key population spreads over all backends.
 func TestBackendPoolRoutingIsDeterministicAndSpread(t *testing.T) {
 	addrs := []string{"10.0.0.1:9", "10.0.0.2:9", "10.0.0.3:9"}
-	p1, _ := NewBackendPool(addrs, 0)
-	p2, _ := NewBackendPool(addrs, 0)
+	p1 := NewBackendPool(addrs, 0)
+	p2 := NewBackendPool(addrs, 0)
 	counts := map[string]int{}
 	for _, key := range poolKeys(300) {
 		a := p1.Route(key, nil)
@@ -69,7 +82,7 @@ func TestBackendPoolRoutingIsDeterministicAndSpread(t *testing.T) {
 // property consistent hashing buys: opening one backend's circuit
 // remaps exactly the keys it owned — every other key keeps its backend.
 func TestBackendPoolFailureOnlyRemapsOwnedKeys(t *testing.T) {
-	p, _ := NewBackendPool([]string{"a:1", "b:1", "c:1"}, 1)
+	p := NewBackendPool([]string{"a:1", "b:1", "c:1"}, 1)
 	keys := poolKeys(300)
 	before := map[runner.JobKey]string{}
 	for _, key := range keys {
@@ -107,7 +120,7 @@ func TestBackendPoolFailureOnlyRemapsOwnedKeys(t *testing.T) {
 }
 
 func TestBackendPoolRouteAvoidAndExhaustion(t *testing.T) {
-	p, _ := NewBackendPool([]string{"a:1", "b:1"}, 1)
+	p := NewBackendPool([]string{"a:1", "b:1"}, 1)
 	key := testJob(0).Key()
 	owner := p.Route(key, nil)
 	other := p.Route(key, owner)
@@ -135,7 +148,7 @@ func TestBackendPoolRouteAvoidAndExhaustion(t *testing.T) {
 // streak. And once the circuit is open, a good probe is the recovery
 // path that closes it.
 func TestBackendCircuitProbeAndCallStreaksAreIndependent(t *testing.T) {
-	p, _ := NewBackendPool([]string{"a:1"}, 3)
+	p := NewBackendPool([]string{"a:1"}, 3)
 	b := p.backends[0]
 	for i := 0; i < 2; i++ {
 		b.reportFailure(3, errors.New("jobs wedged"), false)
@@ -158,7 +171,7 @@ func TestBackendCircuitProbeAndCallStreaksAreIndependent(t *testing.T) {
 }
 
 func TestBackendStatusSnapshot(t *testing.T) {
-	p, _ := NewBackendPool([]string{"a:1"}, 2)
+	p := NewBackendPool([]string{"a:1"}, 2)
 	b := p.backends[0]
 	b.reportFailure(2, fmt.Errorf("boom"), false)
 	sts := p.Statuses()

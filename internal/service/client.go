@@ -69,6 +69,37 @@ func (c *Client) getJSON(ctx context.Context, path string, out any) error {
 	return json.Unmarshal(body, out)
 }
 
+// postJSON posts in as JSON and decodes a 200 answer into out (out may
+// be nil), mapping other statuses to *APIError.
+func (c *Client) postJSON(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url(path), bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	setTraceHeader(ctx, req)
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return httpError(path, resp.StatusCode, data)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
 // APIError is a non-2xx service answer decoded into Go: the HTTP status
 // plus the server's error message. Callers branch on Code — 503 means
 // back off and retry, 404 means the server doesn't know the key, 409
@@ -119,6 +150,41 @@ func (c *Client) Backendsz(ctx context.Context) (Backendsz, error) {
 	var b Backendsz
 	err := c.getJSON(ctx, "/v1/backendsz", &b)
 	return b, err
+}
+
+// CacheEntry fetches one cached result from a backend's store — the
+// read half of the cache-warm handoff. A 404 *APIError means the
+// backend never cached the key.
+func (c *Client) CacheEntry(ctx context.Context, key runner.JobKey) (Entry, error) {
+	var e Entry
+	err := c.getJSON(ctx, "/v1/cache/"+string(key), &e)
+	return e, err
+}
+
+// CachePull asks the server to pull the given keys' cached results from
+// the backend at from into its own cache — the write half of the
+// cache-warm handoff a membership change triggers.
+func (c *Client) CachePull(ctx context.Context, from string, keys []runner.JobKey) (CachePullResult, error) {
+	var res CachePullResult
+	err := c.postJSON(ctx, "/v1/cache/pull", CachePullRequest{From: from, Keys: keys}, &res)
+	return res, err
+}
+
+// JoinBackend registers addr as a backend with the coordinator this
+// client points at. Idempotent: re-joining reports Changed=false.
+func (c *Client) JoinBackend(ctx context.Context, addr string) (MembershipChange, error) {
+	var ch MembershipChange
+	err := c.postJSON(ctx, "/v1/backends/join", membershipRequest{Addr: addr}, &ch)
+	return ch, err
+}
+
+// LeaveBackend removes addr from the coordinator's pool, draining its
+// keys to the survivors. 404 means the address is not a member; 409
+// means it is the last one.
+func (c *Client) LeaveBackend(ctx context.Context, addr string) (MembershipChange, error) {
+	var ch MembershipChange
+	err := c.postJSON(ctx, "/v1/backends/leave", membershipRequest{Addr: addr}, &ch)
+	return ch, err
 }
 
 // CatalogInfo fetches the server's job-spec catalog.
@@ -178,7 +244,9 @@ func (c *Client) Submit(ctx context.Context, jobs []runner.Job) ([]JobTicket, er
 		select {
 		case <-ctx.Done():
 			return nil, ctx.Err()
-		case <-time.After(backoff):
+		// Jittered ±25%: a fleet of clients refused by the same full
+		// queue must not resubmit in lockstep.
+		case <-time.After(jitter(backoff)):
 		}
 		if backoff < 2*time.Second {
 			backoff *= 2

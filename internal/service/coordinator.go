@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"net/http"
+	"os"
 	"sync"
 	"time"
 
@@ -13,10 +15,14 @@ import (
 
 // CoordinatorConfig sizes the sharded service tier.
 type CoordinatorConfig struct {
-	// Backends are the worker endpoints ("host:port" or base URLs), each
-	// a stock `gpulat serve` process with its own cache and worker pool.
+	// Backends are the initial worker endpoints ("host:port" or base
+	// URLs), each a stock `gpulat serve` process with its own cache and
+	// worker pool. The list may be empty: backends can join at runtime
+	// via POST /v1/backends/join (`gpulat serve -join`).
 	Backends []string
-	// ProbeInterval is the health-probe period (default 250ms).
+	// ProbeInterval is the health-probe period (default 250ms). Actual
+	// sleeps are jittered ±25% so a large pool doesn't probe in
+	// lockstep.
 	ProbeInterval time.Duration
 	// FailThreshold opens a backend's circuit after that many
 	// consecutive failed calls or probes (default 3).
@@ -31,6 +37,15 @@ type CoordinatorConfig struct {
 	// coordinator still exerts 503 backpressure instead of growing its
 	// states map without limit (default 4096 per configured backend).
 	QueueBound int
+	// JournalPath, when set, enables the write-ahead coordinator
+	// journal: accepted jobs and membership changes append to this
+	// JSONL file and are replayed on start, so an in-flight grid
+	// survives a coordinator crash (see journal.go).
+	JournalPath string
+	// StealThreshold is the minimum queued-key backlog on one backend
+	// before the prober steals work to an idle backend (0 → default 8;
+	// negative disables stealing).
+	StealThreshold int
 }
 
 func (cfg *CoordinatorConfig) fill() {
@@ -49,6 +64,9 @@ func (cfg *CoordinatorConfig) fill() {
 	if cfg.QueueBound <= 0 {
 		cfg.QueueBound = 4096 * max(len(cfg.Backends), 1)
 	}
+	if cfg.StealThreshold == 0 {
+		cfg.StealThreshold = 8
+	}
 }
 
 // routedJob tracks one key through the sharded tier: where it was
@@ -56,7 +74,7 @@ func (cfg *CoordinatorConfig) fill() {
 type routedJob struct {
 	key     runner.JobKey
 	job     runner.Job
-	backend *Backend
+	backend *Backend // nil: replayed from the journal into an empty pool
 	status  Status
 	result  runner.Result
 	done    bool
@@ -67,60 +85,203 @@ type routedJob struct {
 	reroutes  int
 }
 
+// MembershipChange reports one Join or Leave: the epoch it produced and
+// how much key ownership it moved. It is the POST /v1/backends/join and
+// /v1/backends/leave response body.
+type MembershipChange struct {
+	Addr   string `json:"addr"`
+	Action string `json:"action"` // "join" or "leave"
+	// Epoch is the membership epoch after the change (unchanged when
+	// Changed is false — e.g. an idempotent re-join).
+	Epoch   uint64 `json:"epoch"`
+	Changed bool   `json:"changed"`
+	Members int    `json:"members"`
+	// MovedKeys counts known keys whose ring ownership the change moved
+	// — the exact delta, never the whole population.
+	MovedKeys int `json:"moved_keys"`
+	// Reassigned counts live (non-terminal) moved keys re-forwarded to
+	// their new owner.
+	Reassigned int `json:"reassigned"`
+	// Transferred counts cached results warm-copied to the new owner's
+	// cache via the /v1/cache transfer endpoints instead of recomputed.
+	Transferred int `json:"transferred"`
+}
+
 // Coordinator is the sharded JobService: it owns no simulation workers,
 // only a pool of backend `gpulat serve` endpoints. Each submitted job is
 // routed to a backend by consistent hashing on its runner.JobKey — the
 // same content identity the caches use — so a key lands on the same
 // backend across coordinator restarts and unrelated pool changes, and
-// that backend's persistent cache keeps answering it. Submissions are
-// batched per backend; a health prober plus per-backend circuit state
-// detect failures, and every live key on a failed backend is re-routed
-// to a survivor and re-submitted (backends dedupe by key, so duplicate
-// forwards are harmless). Results are proxied once and memoized, which
-// keeps the client-observable contract byte-identical to a
+// that backend's persistent cache keeps answering it.
+//
+// Membership is elastic: Join and Leave rebuild the ring under lock,
+// bump a monotonic epoch, and touch only the keys whose ownership the
+// change moved — live moved keys re-forward to the new owner (backends
+// dedupe by key, so duplicate forwards are harmless), and finished
+// moved keys warm-hand their cached results to the new owner via the
+// backend cache-transfer endpoints instead of recomputing. A health
+// prober plus per-backend circuit state detect failures; live keys on a
+// failed backend re-route to survivors. The prober also steals queued
+// keys from overloaded backends to idle ones to cut tail latency, and
+// with JournalPath set, every accepted job and membership change is
+// write-ahead journaled so an in-flight grid survives coordinator
+// crash, not just backend death. Results are proxied once and memoized,
+// which keeps the client-observable contract byte-identical to a
 // single-process run.
 type Coordinator struct {
-	cfg  CoordinatorConfig
-	pool *BackendPool
+	cfg     CoordinatorConfig
+	pool    *BackendPool
+	journal *Journal
 
 	stop chan struct{}
 	wg   sync.WaitGroup
+
+	// memberMu serializes membership changes (Join/Leave/replay) so two
+	// concurrent Leaves cannot race the pool down to zero and ownership
+	// deltas are computed against a quiescent ring.
+	memberMu sync.Mutex
 
 	mu     sync.Mutex
 	closed bool
 	states map[runner.JobKey]*routedJob
 	// live counts non-terminal states; admission refuses with
 	// ErrQueueFull once it reaches cfg.QueueBound.
-	live      int
-	submitted int64
-	deduped   int64
-	rejected  int64
-	rerouted  int64
+	live        int
+	submitted   int64
+	deduped     int64
+	rejected    int64
+	rerouted    int64
+	handoffKeys int64
+	handoffXfer int64
+	stolen      int64
+	replayed    int64
+
+	journalErrOnce sync.Once
 }
 
-// NewCoordinator builds the pool and starts the health prober. The
-// backends do not need to be up yet — the prober opens circuits for the
-// absent ones and closes them when they appear.
+// NewCoordinator builds the pool, replays the journal (when configured),
+// and starts the health prober. The backends do not need to be up yet —
+// the prober opens circuits for the absent ones and closes them when
+// they appear — and the pool may even start empty, filling via
+// registration joins.
 func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	cfg.fill()
-	pool, err := NewBackendPool(cfg.Backends, cfg.FailThreshold)
-	if err != nil {
-		return nil, err
-	}
 	c := &Coordinator{
 		cfg:    cfg,
-		pool:   pool,
+		pool:   NewBackendPool(cfg.Backends, cfg.FailThreshold),
 		stop:   make(chan struct{}),
 		states: map[runner.JobKey]*routedJob{},
+	}
+	if cfg.JournalPath != "" {
+		j, records, err := OpenJournal(cfg.JournalPath)
+		if err != nil {
+			return nil, err
+		}
+		c.journal = j
+		c.replay(records)
 	}
 	c.wg.Add(1)
 	go c.prober()
 	return c, nil
 }
 
+// replay applies journal records from a previous incarnation: joins and
+// leaves re-shape the pool in the order they happened (reconstructing
+// the epoch), and job records re-admit their keys as unforwarded live
+// states — the prober's first sweep re-forwards them, and the backends'
+// dedup + caches answer already-finished ones without recomputing.
+// Runs before the prober starts, so no locks are contended.
+func (c *Coordinator) replay(records []JournalRecord) {
+	for _, rec := range records {
+		switch rec.T {
+		case journalJoin:
+			c.pool.Join(rec.Addr)
+		case journalLeave:
+			c.pool.Leave(rec.Addr)
+		case journalJob:
+			if rec.Job == nil {
+				continue
+			}
+			job := *rec.Job
+			key := job.Key()
+			if _, ok := c.states[key]; ok {
+				continue
+			}
+			// Route may return nil on an empty or all-down pool; the
+			// sweep places the key once a backend is routable.
+			st := &routedJob{key: key, job: job, backend: c.pool.Route(key, nil), status: StatusQueued}
+			c.states[key] = st
+			c.live++
+			c.replayed++
+		}
+	}
+}
+
+func (c *Coordinator) journalAppend(rec JournalRecord) {
+	if c.journal == nil {
+		return
+	}
+	if err := c.journal.Append(rec); err != nil {
+		c.journalErrOnce.Do(func() {
+			fmt.Fprintf(os.Stderr, "gpulat: coordinator journal write failed (crash recovery degraded): %v\n", err)
+		})
+	}
+}
+
+// maybeRotateJournal compacts the log once it holds substantially more
+// records than the live state it would replay to: a snapshot of the
+// current membership delta (relative to the configured backend list)
+// plus every known job, written atomically over the old log.
+func (c *Coordinator) maybeRotateJournal() {
+	if c.journal == nil {
+		return
+	}
+	c.mu.Lock()
+	states := len(c.states)
+	c.mu.Unlock()
+	if n := c.journal.Records(); n < 4096 || n <= 2*(states+c.pool.Len()) {
+		return
+	}
+	c.memberMu.Lock()
+	defer c.memberMu.Unlock()
+	var snap []JournalRecord
+	// Membership first, so replayed jobs can route immediately.
+	cfgSet := map[string]bool{}
+	for _, a := range c.cfg.Backends {
+		if n := normalizeBackendAddr(a); n != "" {
+			cfgSet[n] = true
+		}
+	}
+	cur := map[string]bool{}
+	epoch := c.pool.Epoch()
+	for _, b := range c.pool.All() {
+		cur[b.Addr()] = true
+		if !cfgSet[b.Addr()] {
+			snap = append(snap, JournalRecord{T: journalJoin, Addr: b.Addr(), Epoch: epoch})
+		}
+	}
+	for a := range cfgSet {
+		if !cur[a] {
+			snap = append(snap, JournalRecord{T: journalLeave, Addr: a, Epoch: epoch})
+		}
+	}
+	c.mu.Lock()
+	for _, st := range c.states {
+		job := st.job
+		snap = append(snap, JournalRecord{T: journalJob, Key: st.key, Job: &job})
+	}
+	c.mu.Unlock()
+	if err := c.journal.Rotate(snap); err != nil {
+		c.journalErrOnce.Do(func() {
+			fmt.Fprintf(os.Stderr, "gpulat: coordinator journal rotation failed: %v\n", err)
+		})
+	}
+}
+
 // Close stops the prober and fails every non-terminal key so no local
 // waiter blocks; Close is idempotent, and Submit after Close returns
-// ErrStationClosed in bounded time.
+// ErrStationClosed in bounded time. The journal file survives Close —
+// it is the recovery state a successor replays.
 func (c *Coordinator) Close() {
 	c.mu.Lock()
 	if c.closed {
@@ -136,6 +297,9 @@ func (c *Coordinator) Close() {
 	c.mu.Unlock()
 	close(c.stop)
 	c.wg.Wait()
+	if c.journal != nil {
+		c.journal.Close()
+	}
 }
 
 // failLocked marks st terminal-failed. Caller holds c.mu.
@@ -163,9 +327,10 @@ func (c *Coordinator) Submit(ctx context.Context, job runner.Job) (runner.JobKey
 // server-side becomes a handful of bulk submissions, not one HTTP call
 // per job. Duplicate keys (in the batch or already known) dedup onto the
 // existing state exactly like Station.Submit; previously-failed keys are
-// replaced and re-run. Returns ErrStationClosed after Close and
-// ErrNoBackends (with the tickets accepted so far) when a job cannot be
-// placed.
+// replaced and re-run. Every newly-admitted job is write-ahead journaled
+// (when a journal is configured) before its ticket is returned. Returns
+// ErrStationClosed after Close and ErrNoBackends (with the tickets
+// accepted so far) when a job cannot be placed.
 //
 // ctx rides along on the forwarded POSTs for its values (the trace ID,
 // so a submission is greppable across the tier), but forwards detach
@@ -180,6 +345,7 @@ func (c *Coordinator) SubmitMany(ctx context.Context, jobs []runner.Job) ([]JobT
 	}
 	tickets := make([]JobTicket, 0, len(jobs))
 	groups := map[*Backend][]*routedJob{}
+	var admitted []*routedJob // newly-created states, in order, for the journal
 	for _, job := range jobs {
 		key := job.Key()
 		c.submitted++
@@ -191,10 +357,15 @@ func (c *Coordinator) SubmitMany(ctx context.Context, jobs []runner.Job) ([]JobT
 		refuse := func(err error) ([]JobTicket, error) {
 			c.rejected++
 			c.mu.Unlock()
-			// Forward what was already grouped before refusing the
-			// rest: an accepted ticket must correspond to a forwarded
-			// (or explicitly failing) job, never to one silently
-			// stranded in the states map.
+			// The accepted prefix is real: journal it, then forward what
+			// was already grouped before refusing the rest — an accepted
+			// ticket must correspond to a journaled and forwarded (or
+			// explicitly failing) job, never to one silently stranded in
+			// the states map.
+			for _, st := range admitted {
+				job := st.job
+				c.journalAppend(JournalRecord{T: journalJob, Key: st.key, Job: &job})
+			}
 			for gb, g := range groups {
 				c.forward(ctx, gb, g)
 			}
@@ -215,10 +386,19 @@ func (c *Coordinator) SubmitMany(ctx context.Context, jobs []runner.Job) ([]JobT
 		}
 		c.states[key] = st
 		c.live++
+		admitted = append(admitted, st)
 		groups[b] = append(groups[b], st)
 		tickets = append(tickets, JobTicket{Key: key, Status: StatusQueued})
 	}
 	c.mu.Unlock()
+
+	// Write-ahead: accepted jobs hit the journal before their tickets
+	// are returned (and before forwarding, whose acknowledgement the
+	// journal does not need).
+	for _, st := range admitted {
+		job := st.job
+		c.journalAppend(JournalRecord{T: journalJob, Key: st.key, Job: &job})
+	}
 
 	for b, group := range groups {
 		c.forward(ctx, b, group)
@@ -234,7 +414,209 @@ func (c *Coordinator) SubmitMany(ctx context.Context, jobs []runner.Job) ([]JobT
 		}
 	}
 	c.mu.Unlock()
+	c.maybeRotateJournal()
 	return tickets, nil
+}
+
+// Join adds addr to the pool at a new epoch and reacts to the exact
+// ownership delta the ring change produced: live moved keys re-forward
+// to the joiner, and finished moved keys warm-hand their cached results
+// to the joiner's cache — the joiner pulls them from the backend that
+// actually computed each key via GET /v1/cache/{key}, so a pool scale-up
+// costs cache transfers, not recomputation. Idempotent: re-joining a
+// present member reports Changed=false and bumps nothing.
+func (c *Coordinator) Join(ctx context.Context, addr string) (MembershipChange, error) {
+	addr = normalizeBackendAddr(addr)
+	if addr == "" {
+		return MembershipChange{}, errors.New("service: join needs a backend address")
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return MembershipChange{}, ErrStationClosed
+	}
+	c.mu.Unlock()
+
+	c.memberMu.Lock()
+	defer c.memberMu.Unlock()
+	b, epoch, before, after, joined := c.pool.Join(addr)
+	ch := MembershipChange{Addr: addr, Action: "join", Epoch: epoch, Changed: joined, Members: c.pool.Len()}
+	if !joined {
+		return ch, nil
+	}
+	c.journalAppend(JournalRecord{T: journalJoin, Addr: addr, Epoch: epoch})
+
+	moves := c.ownershipMoves(before, after)
+	ch.MovedKeys = len(moves)
+
+	// Split the delta: live keys re-forward to the joiner; finished
+	// keys warm-hand their cached results, pulled from wherever each
+	// was actually computed (which a reroute or steal may have made a
+	// different backend than the old ring owner).
+	var liveMoved []*routedJob
+	pulls := map[string][]runner.JobKey{}
+	c.mu.Lock()
+	for _, mv := range moves {
+		st := c.states[mv.Key]
+		if st == nil {
+			continue
+		}
+		if st.done {
+			if st.status == StatusDone {
+				from := mv.From
+				if st.backend != nil {
+					from = st.backend.Addr()
+				}
+				if from != "" && from != addr {
+					pulls[from] = append(pulls[from], mv.Key)
+				}
+			}
+			continue
+		}
+		st.backend = b
+		st.forwarded = false
+		st.status = StatusQueued
+		liveMoved = append(liveMoved, st)
+	}
+	c.handoffKeys += int64(len(moves))
+	c.mu.Unlock()
+	ch.Reassigned = len(liveMoved)
+
+	ch.Transferred = c.pullCaches(ctx, b, pulls)
+	c.mu.Lock()
+	c.handoffXfer += int64(ch.Transferred)
+	c.mu.Unlock()
+
+	c.forward(ctx, b, liveMoved)
+	return ch, nil
+}
+
+// Leave removes addr from the pool at a new epoch, draining it: every
+// live key placed on the leaver re-forwards to its new ring owner, and
+// the leaver's finished keys warm-hand their cached results to each new
+// owner (best effort — the leaver may already be gone). Removing the
+// last member is refused with ErrLastBackend; removing a non-member is
+// ErrUnknownBackend.
+func (c *Coordinator) Leave(ctx context.Context, addr string) (MembershipChange, error) {
+	addr = normalizeBackendAddr(addr)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return MembershipChange{}, ErrStationClosed
+	}
+	c.mu.Unlock()
+
+	c.memberMu.Lock()
+	defer c.memberMu.Unlock()
+	if c.pool.ByAddr(addr) == nil {
+		return MembershipChange{}, fmt.Errorf("%w: %s", ErrUnknownBackend, addr)
+	}
+	if c.pool.Len() == 1 {
+		return MembershipChange{}, ErrLastBackend
+	}
+	b, epoch, before, after, removed := c.pool.Leave(addr)
+	ch := MembershipChange{Addr: addr, Action: "leave", Epoch: epoch, Changed: removed, Members: c.pool.Len()}
+	if !removed {
+		return MembershipChange{}, fmt.Errorf("%w: %s", ErrUnknownBackend, addr)
+	}
+	c.journalAppend(JournalRecord{T: journalLeave, Addr: addr, Epoch: epoch})
+
+	moves := c.ownershipMoves(before, after)
+	ch.MovedKeys = len(moves)
+
+	// Finished moved keys: each new owner pulls the cached results. The
+	// pull source is where the key actually ran (usually the leaver).
+	pullsByOwner := map[*Backend]map[string][]runner.JobKey{}
+	c.mu.Lock()
+	for _, mv := range moves {
+		st := c.states[mv.Key]
+		if st == nil || !st.done || st.status != StatusDone {
+			continue
+		}
+		to := c.pool.ByAddr(mv.To)
+		if to == nil {
+			continue
+		}
+		from := mv.From
+		if st.backend != nil {
+			from = st.backend.Addr()
+		}
+		if from == "" || from == mv.To {
+			continue
+		}
+		if pullsByOwner[to] == nil {
+			pullsByOwner[to] = map[string][]runner.JobKey{}
+		}
+		pullsByOwner[to][from] = append(pullsByOwner[to][from], mv.Key)
+	}
+	// Every live key placed on the leaver drains to a survivor — not
+	// just ring-moved ones: steals and reroutes may have parked keys
+	// there that the ring never owned.
+	drain := map[*Backend][]*routedJob{}
+	for _, st := range c.states {
+		if st.done || st.backend != b {
+			continue
+		}
+		nb := c.pool.Route(st.key, nil)
+		if nb == nil {
+			c.failLocked(st, ErrNoBackends.Error())
+			continue
+		}
+		st.backend = nb
+		st.forwarded = false
+		st.status = StatusQueued
+		drain[nb] = append(drain[nb], st)
+		ch.Reassigned++
+	}
+	c.handoffKeys += int64(len(moves))
+	c.mu.Unlock()
+
+	for owner, pulls := range pullsByOwner {
+		ch.Transferred += c.pullCaches(ctx, owner, pulls)
+	}
+	c.mu.Lock()
+	c.handoffXfer += int64(ch.Transferred)
+	c.mu.Unlock()
+
+	for nb, group := range drain {
+		c.forward(ctx, nb, group)
+	}
+	return ch, nil
+}
+
+// ownershipMoves computes the exact key-ownership delta between two
+// ring snapshots over every key the coordinator knows.
+func (c *Coordinator) ownershipMoves(before, after *runner.Ring) []runner.KeyMove {
+	c.mu.Lock()
+	keys := make([]runner.JobKey, 0, len(c.states))
+	for key := range c.states {
+		keys = append(keys, key)
+	}
+	c.mu.Unlock()
+	return runner.OwnershipDelta(before, after, keys)
+}
+
+// pullCaches drives the cache-warm handoff: owner pulls the cached
+// results for keys from each source backend via POST /v1/cache/pull
+// (which fetches GET /v1/cache/{key} from the source), in bounded
+// chunks. Returns how many entries actually transferred; misses mean
+// the source never cached the key (e.g. it ran cacheless) and simply
+// stay cold.
+func (c *Coordinator) pullCaches(ctx context.Context, owner *Backend, pulls map[string][]runner.JobKey) int {
+	transferred := 0
+	for from, keys := range pulls {
+		for len(keys) > 0 {
+			n := min(len(keys), maxForwardBatch)
+			pctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), c.cfg.CallTimeout)
+			res, err := owner.client.CachePull(pctx, from, keys[:n])
+			cancel()
+			if err == nil {
+				transferred += res.Transferred
+			}
+			keys = keys[n:]
+		}
+	}
+	return transferred
 }
 
 // maxForwardBatch bounds one forwarded POST, safely under the backend
@@ -350,26 +732,41 @@ func (c *Coordinator) replaceGroup(ctx context.Context, group []*routedJob, from
 	}
 }
 
-// prober drives the failure detector: every ProbeInterval it probes each
-// backend's /v1/healthz (feeding the same circuit state the forwarding
-// path uses), then sweeps for live keys stranded on unroutable backends
-// and re-places them. Detection-to-reroute latency is therefore bounded
-// by ProbeInterval × FailThreshold even if no client is polling.
+// jitter returns d scaled by a uniform factor in [0.75, 1.25), so a
+// fleet of coordinators (or a pool of retrying clients) never settles
+// into lockstep — the thundering-herd guard on recovery.
+func jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	return 3*d/4 + rand.N(d/2)
+}
+
+// prober drives the failure detector: every ProbeInterval (jittered
+// ±25%) it probes each backend's /v1/healthz (feeding the same circuit
+// state the forwarding path uses), then sweeps for live keys stranded
+// on unroutable backends, re-places them, and steals queued work from
+// overloaded backends to idle ones. Detection-to-reroute latency is
+// therefore bounded by ProbeInterval × FailThreshold even if no client
+// is polling. The first round waits out one (jittered) interval — an
+// immediate round would race the caller's first SubmitMany on the same
+// connections, where a probe's context cancellation can poison a
+// just-pooled keep-alive conn under the forward's POST.
 func (c *Coordinator) prober() {
 	defer c.wg.Done()
 	probeTimeout := c.cfg.ProbeInterval
 	if probeTimeout > time.Second {
 		probeTimeout = time.Second
 	}
-	ticker := time.NewTicker(c.cfg.ProbeInterval)
-	defer ticker.Stop()
+	timer := time.NewTimer(jitter(c.cfg.ProbeInterval))
+	defer timer.Stop()
 	for {
 		select {
 		case <-c.stop:
 			return
-		case <-ticker.C:
+		case <-timer.C:
 		}
-		for _, b := range c.pool.backends {
+		for _, b := range c.pool.All() {
 			ctx, cancel := context.WithTimeout(context.Background(), probeTimeout)
 			_, err := b.client.Healthz(ctx)
 			cancel()
@@ -381,22 +778,32 @@ func (c *Coordinator) prober() {
 			}
 		}
 		c.sweepStranded()
+		c.stealWork()
+		c.maybeRotateJournal()
+		timer.Reset(jitter(c.cfg.ProbeInterval))
 	}
 }
 
 // sweepStranded is the prober's safety net: live keys whose backend is
-// unroutable are re-placed, and keys that were accepted but never
+// unroutable are re-placed, keys that were accepted but never
 // successfully forwarded (e.g. an admission batch that hit ErrNoBackends
 // part-way, or a forward raced by Close on the far end) are re-forwarded
-// to their assigned backend. Duplicate forwards are harmless — backends
-// dedupe by key.
+// to their assigned backend, and keys with no placement at all (journal
+// replay into an empty pool) are placed as soon as a backend is
+// routable. Duplicate forwards are harmless — backends dedupe by key.
 func (c *Coordinator) sweepStranded() {
 	replace := map[*Backend][]*routedJob{}
 	reforward := map[*Backend][]*routedJob{}
+	place := map[*Backend][]*routedJob{}
 	c.mu.Lock()
 	for _, st := range c.states {
 		switch {
-		case st.done || st.backend == nil:
+		case st.done:
+		case st.backend == nil:
+			if b := c.pool.Route(st.key, nil); b != nil {
+				st.backend = b
+				place[b] = append(place[b], st)
+			}
 		case !st.backend.routable():
 			replace[st.backend] = append(replace[st.backend], st)
 		case !st.forwarded:
@@ -409,6 +816,135 @@ func (c *Coordinator) sweepStranded() {
 	}
 	for b, group := range reforward {
 		c.forward(context.Background(), b, group)
+	}
+	for b, group := range place {
+		c.forward(context.Background(), b, group)
+	}
+}
+
+// stealBatch bounds one steal round: at most this many keys move (and
+// at most this many per-key status checks go out) per prober tick.
+const stealBatch = 128
+
+// stealWork cuts tail latency on an unbalanced pool: when a routable
+// backend reports itself idle (its own statsz shows nothing queued or
+// running) while another reports a queued backlog of at least
+// StealThreshold jobs, up to half of the donor's still-queued keys move
+// to the idle backends and re-forward there. The queue depths come from
+// the backends' OWN statsz — the coordinator's key statuses go stale
+// when no client is polling — and each forwarded candidate's status is
+// re-checked against the donor before it moves, so finished work is
+// never recomputed on the thief (the check also refreshes the
+// coordinator's view of keys that turn out to be running or done).
+func (c *Coordinator) stealWork() {
+	threshold := c.cfg.StealThreshold
+	if threshold <= 0 {
+		return
+	}
+	var routable []*Backend
+	for _, b := range c.pool.All() {
+		if b.routable() {
+			routable = append(routable, b)
+		}
+	}
+	if len(routable) < 2 {
+		return
+	}
+	viewTimeout := c.cfg.ProbeInterval
+	if viewTimeout > time.Second {
+		viewTimeout = time.Second
+	}
+	depth := make(map[*Backend]int, len(routable))
+	var idle []*Backend
+	var donor *Backend
+	for _, b := range routable {
+		ctx, cancel := context.WithTimeout(context.Background(), viewTimeout)
+		sz, err := b.client.Statsz(ctx)
+		cancel()
+		if err != nil {
+			continue // no view, no role this round
+		}
+		if sz.Station.Queued == 0 && sz.Station.Running == 0 {
+			idle = append(idle, b)
+			continue
+		}
+		depth[b] = sz.Station.Queued
+		if depth[b] >= threshold && (donor == nil || depth[b] > depth[donor]) {
+			donor = b
+		}
+	}
+	if donor == nil || len(idle) == 0 {
+		return
+	}
+	take := min(depth[donor]/2, stealBatch)
+	if take <= 0 {
+		return
+	}
+	// Candidates: keys placed on the donor that the coordinator last saw
+	// queued. Unforwarded ones (parked by backpressure) are definitely
+	// not running anywhere — steal them without a check.
+	var sure, check []*routedJob
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	for _, st := range c.states {
+		if st.done || st.backend != donor || st.status != StatusQueued {
+			continue
+		}
+		if st.forwarded {
+			check = append(check, st)
+		} else {
+			sure = append(sure, st)
+		}
+	}
+	c.mu.Unlock()
+
+	var stolen []*routedJob
+	for _, st := range sure {
+		if len(stolen) >= take {
+			break
+		}
+		stolen = append(stolen, st)
+	}
+	for _, st := range check {
+		if len(stolen) >= take {
+			break
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), viewTimeout)
+		js, err := donor.client.Status(ctx, st.key)
+		cancel()
+		if err != nil {
+			break // donor gone mid-round; the sweep handles that path
+		}
+		if js.Status == StatusQueued {
+			stolen = append(stolen, st)
+			continue
+		}
+		// Opportunistic refresh: the donor is further along than we knew.
+		c.mu.Lock()
+		if !st.done && st.backend == donor {
+			st.status = js.Status
+		}
+		c.mu.Unlock()
+	}
+
+	moved := map[*Backend][]*routedJob{}
+	c.mu.Lock()
+	for i, st := range stolen {
+		if st.done || st.backend != donor {
+			continue
+		}
+		thief := idle[i%len(idle)]
+		st.backend = thief
+		st.forwarded = false
+		moved[thief] = append(moved[thief], st)
+		c.stolen++
+	}
+	c.mu.Unlock()
+	for thief, group := range moved {
+		c.forward(context.Background(), thief, group)
 	}
 }
 
@@ -532,10 +1068,14 @@ func (c *Coordinator) Stats() StationStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	s := StationStats{
-		Submitted: c.submitted,
-		Deduped:   c.deduped,
-		Rejected:  c.rejected,
-		Rerouted:  c.rerouted,
+		Submitted:          c.submitted,
+		Deduped:            c.deduped,
+		Rejected:           c.rejected,
+		Rerouted:           c.rerouted,
+		HandoffKeys:        c.handoffKeys,
+		HandoffTransferred: c.handoffXfer,
+		Stolen:             c.stolen,
+		Replayed:           c.replayed,
 	}
 	for _, st := range c.states {
 		switch {
@@ -556,8 +1096,11 @@ func (c *Coordinator) Stats() StationStats {
 	return s
 }
 
+// RingEpoch returns the pool's monotonic membership epoch.
+func (c *Coordinator) RingEpoch() uint64 { return c.pool.Epoch() }
+
 // Backends reports the pool with per-backend live-key assignment counts
-// — the /v1/backendsz document.
+// and ring shares — the /v1/backendsz document.
 func (c *Coordinator) Backends() []BackendStatus {
 	assigned := map[string]int{}
 	c.mu.Lock()

@@ -32,13 +32,34 @@
 //     backend re-route to survivors and re-submit, which is safe
 //     because backends dedupe by key.
 //
+//     Membership is elastic and epoch-versioned: BackendPool.Join and
+//     Leave rebuild the ring under lock, bump a monotonic epoch, and
+//     report the exact set of keys whose ownership moved. The
+//     coordinator reacts to that delta only — moved live keys
+//     re-forward to their new owner (a leave drains every live key off
+//     the leaver), and moved finished keys warm-hand their cached
+//     results to the new owner, which pulls them from the backend that
+//     actually computed each key (POST /v1/cache/pull driving GET
+//     /v1/cache/{key}, entries validated against their content address)
+//     instead of recomputing. Joins arrive via POST /v1/backends/join
+//     (admin or the `gpulat backends` CLI) or a backend's own
+//     `serve -join` self-registration. An optional write-ahead journal
+//     (CoordinatorConfig.JournalPath, JSONL, torn-tail tolerant,
+//     rotated when it dwarfs the live state) records accepted jobs and
+//     membership changes before tickets return, so a coordinator
+//     killed mid-grid replays its in-flight keys on restart. A work
+//     stealer moves queued keys from a backend whose own statsz shows
+//     a backlog past CoordinatorConfig.StealThreshold to idle
+//     backends, re-verifying each key's status on the donor first.
+//
 // The whole layer preserves the repo's determinism discipline: cached
 // results are stored in the comparable encoding (wall-clock fields
 // stripped — see internal/stats), and a warm re-run of any grid through
 // the service must export byte-identical CSV/JSON to a cold direct run
-// — as must a sharded run, including one that loses a backend mid-grid.
-// `make service-determinism` and `make shard-determinism` enforce both
-// in CI.
+// — as must a sharded run, including one that loses a backend mid-grid,
+// grows or shrinks the pool mid-grid, or loses the coordinator itself
+// and replays its journal. `make service-determinism` and `make
+// shard-determinism` enforce all of it in CI.
 //
 // Lifecycle is bounded: once Station.Close (or Coordinator.Close)
 // begins, Submit returns ErrStationClosed instead of admitting a job no

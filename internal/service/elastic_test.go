@@ -1,0 +1,395 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"gpulat/internal/runner"
+)
+
+// newCachedBackend is newTestBackend with a real persistent cache — the
+// shape the cache-warm handoff needs on both ends.
+func newCachedBackend(t *testing.T, block chan struct{}) (*testBackend, *Cache) {
+	t.Helper()
+	cache, err := OpenCache(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ce := &countingExec{block: block}
+	station := NewStation(cache, StationConfig{Workers: 2, Exec: ce.exec})
+	ts := httptest.NewServer(NewServer(station, cache))
+	b := &testBackend{ts: ts, station: station, execs: ce}
+	t.Cleanup(func() { ts.Close(); station.Close() })
+	return b, cache
+}
+
+// releaser returns a close-once for a wedge channel and registers it as
+// a cleanup. Call it AFTER the backends using the channel are created:
+// cleanups run LIFO, so the channel is guaranteed closed before
+// station.Close() waits on wedged workers — even when the test Fatalfs
+// before reaching its own release point.
+func releaser(t *testing.T, ch chan struct{}) func() {
+	t.Helper()
+	var once sync.Once
+	release := func() { once.Do(func() { close(ch) }) }
+	t.Cleanup(release)
+	return release
+}
+
+func waitAllDone(t *testing.T, coord *Coordinator, jobs []runner.Job) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for _, job := range jobs {
+		for {
+			res, ok := coord.Result(job.Key())
+			if ok {
+				if res.Failed() {
+					t.Fatalf("job %s failed: %s", job.Key(), res.Err)
+				}
+				break
+			}
+			if time.Now().After(deadline) {
+				st, _ := coord.Status(job.Key())
+				t.Fatalf("job %s stuck in %q: %+v", job.Key(), st, coord.Stats())
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+}
+
+// TestCoordinatorJoinWarmHandsOffCache is the scale-up contract: a
+// backend joining mid-life bumps the epoch, takes ownership of ≈1/N of
+// the keys, and receives those keys' cached results via the cache
+// transfer endpoints — so re-running the grid recomputes nothing.
+func TestCoordinatorJoinWarmHandsOffCache(t *testing.T) {
+	b1, _ := newCachedBackend(t, nil)
+	b2, cache2 := newCachedBackend(t, nil)
+	coord := quickCoordinator(t, []string{b1.ts.URL})
+
+	jobs := make([]runner.Job, 24)
+	for i := range jobs {
+		jobs[i] = testJob(i)
+	}
+	if _, err := coord.SubmitMany(context.Background(), jobs); err != nil {
+		t.Fatal(err)
+	}
+	waitAllDone(t, coord, jobs)
+	if coord.RingEpoch() != 1 {
+		t.Fatalf("initial epoch = %d", coord.RingEpoch())
+	}
+
+	ch, err := coord.Join(context.Background(), b2.ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ch.Changed || ch.Epoch != 2 || ch.Members != 2 || ch.Action != "join" {
+		t.Fatalf("join change: %+v", ch)
+	}
+	if ch.MovedKeys == 0 || ch.MovedKeys >= len(jobs) {
+		t.Fatalf("join moved %d of %d keys — want a proper fraction", ch.MovedKeys, len(jobs))
+	}
+	// Every moved key was done and cached on b1, so every one must have
+	// transferred — zero recompute is the point of the warm handoff.
+	if ch.Transferred != ch.MovedKeys {
+		t.Fatalf("transferred %d of %d moved keys", ch.Transferred, ch.MovedKeys)
+	}
+	if ch.Reassigned != 0 {
+		t.Fatalf("join of a finished grid reassigned %d live keys", ch.Reassigned)
+	}
+	// The joiner's cache must now answer its newly-owned keys directly.
+	owned := 0
+	for _, job := range jobs {
+		if owner, _ := coord.pool.Ring().Owner(job.Key()); owner == normalizeBackendAddr(b2.ts.URL) {
+			owned++
+			if _, ok := cache2.Get(job.Key()); !ok {
+				t.Fatalf("moved key %s not in the joiner's cache", job.Key())
+			}
+		}
+	}
+	if owned != ch.MovedKeys {
+		t.Fatalf("joiner owns %d keys, change reported %d moved", owned, ch.MovedKeys)
+	}
+	if b2.execs.count() != 0 {
+		t.Fatalf("joiner executed %d jobs during handoff — handoff must transfer, not recompute", b2.execs.count())
+	}
+
+	// Re-joining is idempotent: no epoch bump, nothing moved.
+	again, err := coord.Join(context.Background(), b2.ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Changed || again.Epoch != 2 || again.MovedKeys != 0 {
+		t.Fatalf("re-join not idempotent: %+v", again)
+	}
+
+	s := coord.Stats()
+	if s.HandoffKeys != int64(ch.MovedKeys) || s.HandoffTransferred != int64(ch.Transferred) {
+		t.Fatalf("handoff counters drifted: %+v vs change %+v", s, ch)
+	}
+	// Ring shares at the new epoch are visible per backend and sum to 1.
+	sum := 0.0
+	for _, bs := range coord.Backends() {
+		if bs.Share <= 0 || bs.Share >= 1 {
+			t.Fatalf("backend %s share %.4f out of range", bs.Addr, bs.Share)
+		}
+		sum += bs.Share
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("shares sum to %.4f", sum)
+	}
+}
+
+// TestCoordinatorLeaveDrainsToSurvivors is the scale-down contract:
+// leaving hands the leaver's cached results to the new owners and
+// re-forwards its live keys, and the guard rails hold (unknown → 404
+// semantics, last backend → refused).
+func TestCoordinatorLeaveDrainsToSurvivors(t *testing.T) {
+	b1, cache1 := newCachedBackend(t, nil)
+	b2, _ := newCachedBackend(t, nil)
+	coord := quickCoordinator(t, []string{b1.ts.URL, b2.ts.URL})
+
+	jobs := make([]runner.Job, 24)
+	for i := range jobs {
+		jobs[i] = testJob(i)
+	}
+	if _, err := coord.SubmitMany(context.Background(), jobs); err != nil {
+		t.Fatal(err)
+	}
+	waitAllDone(t, coord, jobs)
+
+	ch, err := coord.Leave(context.Background(), b2.ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ch.Changed || ch.Epoch != 2 || ch.Members != 1 || ch.Action != "leave" {
+		t.Fatalf("leave change: %+v", ch)
+	}
+	if ch.MovedKeys == 0 || ch.Transferred != ch.MovedKeys {
+		t.Fatalf("leave transferred %d of %d moved keys", ch.Transferred, ch.MovedKeys)
+	}
+	// The survivor's cache now answers every key.
+	for _, job := range jobs {
+		if _, ok := cache1.Get(job.Key()); !ok {
+			t.Fatalf("key %s missing from the survivor's cache after drain", job.Key())
+		}
+	}
+
+	if _, err := coord.Leave(context.Background(), "127.0.0.1:59999"); !errors.Is(err, ErrUnknownBackend) {
+		t.Fatalf("leave of non-member = %v, want ErrUnknownBackend", err)
+	}
+	if _, err := coord.Leave(context.Background(), b1.ts.URL); !errors.Is(err, ErrLastBackend) {
+		t.Fatalf("leave of last backend = %v, want ErrLastBackend", err)
+	}
+}
+
+// TestCoordinatorLeaveReassignsLiveKeys: leaving while its keys are
+// still queued/running re-forwards them to survivors without charging
+// anyone's reroute budget, and the grid completes.
+func TestCoordinatorLeaveReassignsLiveKeys(t *testing.T) {
+	release := make(chan struct{})
+	b1, _ := newCachedBackend(t, nil)
+	b2, _ := newCachedBackend(t, release) // b2's executions wedge until released
+	unwedge := releaser(t, release)
+	coord := quickCoordinator(t, []string{b1.ts.URL, b2.ts.URL})
+
+	jobs := make([]runner.Job, 24)
+	for i := range jobs {
+		jobs[i] = testJob(i)
+	}
+	if _, err := coord.SubmitMany(context.Background(), jobs); err != nil {
+		t.Fatal(err)
+	}
+	ch, err := coord.Leave(context.Background(), b2.ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.Reassigned == 0 {
+		t.Fatalf("leave mid-grid reassigned nothing: %+v", ch)
+	}
+	// b2's wedged copies never release; the reassigned keys must finish
+	// on b1 regardless.
+	waitAllDone(t, coord, jobs)
+	unwedge()
+	if s := coord.Stats(); s.Rerouted != 0 {
+		t.Fatalf("drain charged the reroute budget: %+v", s)
+	}
+}
+
+// TestCoordinatorJournalRecovery is the crash contract: a coordinator
+// killed mid-grid is restarted against its journal and the grid
+// completes — no client resubmission, no lost keys.
+func TestCoordinatorJournalRecovery(t *testing.T) {
+	release := make(chan struct{})
+	b1, _ := newCachedBackend(t, release)
+	unwedge := releaser(t, release)
+	journal := filepath.Join(t.TempDir(), "wal", "coordinator.jsonl")
+
+	cfg := CoordinatorConfig{
+		Backends:      []string{b1.ts.URL},
+		ProbeInterval: 20 * time.Millisecond,
+		FailThreshold: 2,
+		JournalPath:   journal,
+	}
+	coord1, err := NewCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := make([]runner.Job, 10)
+	for i := range jobs {
+		jobs[i] = testJob(i)
+	}
+	if _, err := coord1.SubmitMany(context.Background(), jobs); err != nil {
+		t.Fatal(err)
+	}
+	// "Crash": Close stops the prober but leaves the journal on disk.
+	coord1.Close()
+	unwedge()
+
+	coord2, err := NewCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(coord2.Close)
+	if got := coord2.Stats().Replayed; got != int64(len(jobs)) {
+		t.Fatalf("replayed %d jobs, want %d", got, len(jobs))
+	}
+	// The successor drives the grid to done on its own — the replayed
+	// keys re-forward, the backend dedupes, nobody resubmits.
+	waitAllDone(t, coord2, jobs)
+	for _, job := range jobs {
+		res, _ := coord2.Result(job.Key())
+		want := testResult(job)
+		if len(res.Metrics) != len(want.Metrics) || res.Metrics[0] != want.Metrics[0] {
+			t.Fatalf("replayed result drifted for %s: %+v", job.Key(), res)
+		}
+	}
+}
+
+// TestCoordinatorStealsFromOverloadedBackend: with one backend wedged
+// behind a deep queue and the other idle, the prober moves queued keys
+// to the idle backend and they complete there.
+func TestCoordinatorStealsFromOverloadedBackend(t *testing.T) {
+	wedge := make(chan struct{})
+	b1, _ := newCachedBackend(t, wedge) // every execution blocks
+	unwedge := releaser(t, wedge)
+	b2, _ := newCachedBackend(t, nil)
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Backends:       []string{b1.ts.URL, b2.ts.URL},
+		ProbeInterval:  20 * time.Millisecond,
+		FailThreshold:  2,
+		StealThreshold: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(coord.Close)
+
+	jobs := make([]runner.Job, 60)
+	for i := range jobs {
+		jobs[i] = testJob(i)
+	}
+	if _, err := coord.SubmitMany(context.Background(), jobs); err != nil {
+		t.Fatal(err)
+	}
+	// b2 finishes its share and idles; b1's queue backs up past the
+	// threshold; the prober must start stealing.
+	deadline := time.Now().Add(15 * time.Second)
+	for coord.Stats().Stolen == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("nothing stolen: %+v", coord.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	unwedge()
+	waitAllDone(t, coord, jobs)
+}
+
+// TestMembershipAndCacheHTTPSurface drives join/leave and the cache
+// transfer endpoints over HTTP, including the error mapping (non-member
+// → 404, last backend → 409, station → 404 for all of them).
+func TestMembershipAndCacheHTTPSurface(t *testing.T) {
+	b1, _ := newCachedBackend(t, nil)
+	b2, _ := newCachedBackend(t, nil)
+	coord := quickCoordinator(t, []string{b1.ts.URL})
+	front := httptest.NewServer(NewServer(coord, nil))
+	defer front.Close()
+	client := NewClient(front.URL)
+	ctx := context.Background()
+
+	jobs := []runner.Job{testJob(0), testJob(1), testJob(2), testJob(3)}
+	if _, err := client.RunJobs(ctx, jobs); err != nil {
+		t.Fatal(err)
+	}
+	ch, err := client.JoinBackend(ctx, b2.ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ch.Changed || ch.Epoch != 2 {
+		t.Fatalf("HTTP join: %+v", ch)
+	}
+	bz, err := client.Backendsz(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bz.Epoch != 2 || len(bz.Backends) != 2 {
+		t.Fatalf("backendsz after join: %+v", bz)
+	}
+	stz, err := client.Statsz(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stz.RingEpoch != 2 || len(stz.Backends) != 2 {
+		t.Fatalf("statsz does not mirror the pool view: epoch=%d backends=%d", stz.RingEpoch, len(stz.Backends))
+	}
+
+	if _, err := client.LeaveBackend(ctx, "127.0.0.1:59999"); !apiCode(err, http.StatusNotFound) {
+		t.Fatalf("leave non-member over HTTP = %v, want 404", err)
+	}
+	if _, err := client.LeaveBackend(ctx, b2.ts.URL); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.LeaveBackend(ctx, b1.ts.URL); !apiCode(err, http.StatusConflict) {
+		t.Fatalf("leave last backend over HTTP = %v, want 409", err)
+	}
+
+	// A plain station refuses the whole membership/cache-pull surface.
+	stationClient := NewClient(b1.ts.URL)
+	if _, err := stationClient.JoinBackend(ctx, "x:1"); !apiCode(err, http.StatusNotFound) {
+		t.Fatalf("station join = %v, want 404", err)
+	}
+	// The coordinator front (no cache) refuses cache transfers.
+	if _, err := client.CacheEntry(ctx, jobs[0].Key()); !apiCode(err, http.StatusNotFound) {
+		t.Fatalf("cacheless cache fetch = %v, want 404", err)
+	}
+	// A backend serves its cached entries to peers.
+	e, err := stationClient.CacheEntry(ctx, ownedBy(t, coord, jobs, b1.ts.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Job.Key() != e.Key {
+		t.Fatalf("served entry not content-addressed: %+v", e)
+	}
+}
+
+// ownedBy returns a key from jobs that the ring places on addr.
+func ownedBy(t *testing.T, coord *Coordinator, jobs []runner.Job, addr string) runner.JobKey {
+	t.Helper()
+	for _, job := range jobs {
+		if owner, _ := coord.pool.Ring().Owner(job.Key()); owner == normalizeBackendAddr(addr) {
+			return job.Key()
+		}
+	}
+	t.Fatalf("no key owned by %s", addr)
+	return ""
+}
+
+func apiCode(err error, code int) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.Code == code
+}

@@ -1,0 +1,185 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"gpulat/internal/runner"
+)
+
+// The coordinator journal is a write-ahead log of everything a
+// coordinator must not forget across a crash: every accepted job and
+// every membership change, one JSON record per line (JSONL). Appends go
+// straight to the file descriptor — no userspace buffering — so a
+// record survives any process death the moment Append returns (only a
+// machine crash can lose it). On start the journal is replayed: job
+// records re-admit their keys (backends dedupe by key and answer
+// finished ones from their caches, so replayed forwards are cheap and
+// safe), and membership records re-apply joins/leaves on top of the
+// configured backend list in the order they happened, reconstructing
+// the ring epoch the crashed coordinator had reached.
+//
+// The log is compacted by atomic rotation: a snapshot of the live state
+// (every known job once, plus the current membership) is written to a
+// temp file in the same directory and renamed over the journal, so a
+// crash during rotation leaves either the old complete log or the new
+// complete one, never a mix. A torn final line — the signature of dying
+// mid-Append — is tolerated on replay and dropped.
+
+// Journal record types.
+const (
+	journalJob   = "job"   // one accepted job (Key derived from Job on replay)
+	journalJoin  = "join"  // backend joined the pool
+	journalLeave = "leave" // backend left the pool
+)
+
+// JournalRecord is one JSONL line of the coordinator's write-ahead log.
+type JournalRecord struct {
+	T    string        `json:"t"`
+	Key  runner.JobKey `json:"key,omitempty"`
+	Job  *runner.Job   `json:"job,omitempty"`
+	Addr string        `json:"addr,omitempty"`
+	// Epoch records the membership epoch a join/leave produced — for
+	// operators reading the log; replay recomputes epochs by reapplying
+	// the events.
+	Epoch uint64 `json:"epoch,omitempty"`
+}
+
+// Journal is the append-only JSONL coordinator log.
+type Journal struct {
+	mu      sync.Mutex
+	path    string
+	f       *os.File
+	records int
+}
+
+// OpenJournal opens (creating if needed) the journal at path and
+// returns the replayable records already in it. Unparsable lines are
+// skipped: a SIGKILL mid-append leaves a torn last line, and losing
+// that one record is exactly the write-ahead contract (it was never
+// acknowledged).
+func OpenJournal(path string) (*Journal, []JournalRecord, error) {
+	if dir := filepath.Dir(path); dir != "" && dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, nil, fmt.Errorf("service: journal dir: %w", err)
+		}
+	}
+	var records []JournalRecord
+	if data, err := os.Open(path); err == nil {
+		sc := bufio.NewScanner(data)
+		sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+		for sc.Scan() {
+			line := sc.Bytes()
+			if len(line) == 0 {
+				continue
+			}
+			var rec JournalRecord
+			if json.Unmarshal(line, &rec) != nil || rec.T == "" {
+				continue // torn or foreign line: drop it
+			}
+			records = append(records, rec)
+		}
+		data.Close()
+		if err := sc.Err(); err != nil {
+			return nil, nil, fmt.Errorf("service: journal read: %w", err)
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, nil, fmt.Errorf("service: journal open: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("service: journal open: %w", err)
+	}
+	return &Journal{path: path, f: f, records: len(records)}, records, nil
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Append writes one record durably (one write(2), no userspace
+// buffering) before returning.
+func (j *Journal) Append(rec JournalRecord) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("service: journal encode: %w", err)
+	}
+	data = append(data, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(data); err != nil {
+		return fmt.Errorf("service: journal append: %w", err)
+	}
+	j.records++
+	return nil
+}
+
+// Records returns how many records the log currently holds (replayed +
+// appended since open) — the coordinator's rotation trigger.
+func (j *Journal) Records() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.records
+}
+
+// Rotate atomically replaces the log with the given compacted snapshot:
+// temp file in the same directory, then rename over the live path. The
+// append handle switches to the new file before Rotate returns, so no
+// record written after a successful Rotate can land in the old inode.
+func (j *Journal) Rotate(snapshot []JournalRecord) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	tmp, err := os.CreateTemp(filepath.Dir(j.path), ".journal-*")
+	if err != nil {
+		return fmt.Errorf("service: journal rotate: %w", err)
+	}
+	w := bufio.NewWriter(tmp)
+	for _, rec := range snapshot {
+		data, err := json.Marshal(rec)
+		if err == nil {
+			_, err = w.Write(append(data, '\n'))
+		}
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+			return fmt.Errorf("service: journal rotate: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("service: journal rotate: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("service: journal rotate: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("service: journal rotate: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), j.path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("service: journal rotate: %w", err)
+	}
+	f, err := os.OpenFile(j.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("service: journal reopen after rotate: %w", err)
+	}
+	j.f.Close()
+	j.f = f
+	j.records = len(snapshot)
+	return nil
+}
+
+// Close releases the append handle. The file stays on disk — it IS the
+// crash-recovery state.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}

@@ -18,6 +18,12 @@ type serverMetrics struct {
 	requests *metrics.CounterVec
 	// latency observes request wall time by route pattern.
 	latency *metrics.HistogramVec
+	// transferIn/transferOut count cache entries received from / served
+	// to peers over the cache-warm-handoff endpoints. Only set when the
+	// server has a cache — exactly the condition under which the cache
+	// handlers run.
+	transferIn  *metrics.Counter
+	transferOut *metrics.Counter
 }
 
 // newServerMetrics builds the registry over a JobService, its optional
@@ -52,6 +58,14 @@ func newServerMetrics(svc JobService, cache *Cache, started time.Time) *serverMe
 			func(s StationStats) int64 { return s.Rejected }},
 		{"gpulat_station_rerouted_total", "Jobs re-placed on another backend after a failure (coordinator only).",
 			func(s StationStats) int64 { return s.Rerouted }},
+		{"gpulat_station_handoff_keys_total", "Keys whose ring ownership a membership change moved (coordinator only).",
+			func(s StationStats) int64 { return s.HandoffKeys }},
+		{"gpulat_station_handoff_transferred_total", "Cached results warm-copied to a key's new owner instead of recomputed (coordinator only).",
+			func(s StationStats) int64 { return s.HandoffTransferred }},
+		{"gpulat_station_stolen_total", "Queued keys moved from an overloaded backend to an idle one (coordinator only).",
+			func(s StationStats) int64 { return s.Stolen }},
+		{"gpulat_station_replayed_total", "Jobs re-admitted from the write-ahead journal at startup (coordinator only).",
+			func(s StationStats) int64 { return s.Replayed }},
 	}
 	for _, c := range counters {
 		field := c.field
@@ -94,6 +108,9 @@ func newServerMetrics(svc JobService, cache *Cache, started time.Time) *serverMe
 	}
 
 	if rep, ok := svc.(backendReporter); ok {
+		reg.GaugeFunc("gpulat_ring_epoch",
+			"Monotonic membership epoch of the backend pool's consistent-hash ring.",
+			func() float64 { return float64(rep.RingEpoch()) })
 		backendVec := func(kind metrics.Kind, name, help string, field func(BackendStatus) float64) {
 			reg.VecFunc(kind, name, help, []string{"backend"},
 				func(emit func([]string, float64)) {
@@ -125,13 +142,23 @@ func newServerMetrics(svc JobService, cache *Cache, started time.Time) *serverMe
 		backendVec(metrics.KindCounter, "gpulat_backend_rerouted_away_total",
 			"Keys moved off the backend after it failed.",
 			func(b BackendStatus) float64 { return float64(b.ReroutedAway) })
+		backendVec(metrics.KindGauge, "gpulat_backend_ring_share",
+			"Fraction of the consistent-hash ring the backend's vnodes own at the current epoch.",
+			func(b BackendStatus) float64 { return b.Share })
 	}
 
-	return &serverMetrics{
+	m := &serverMetrics{
 		reg: reg,
 		requests: reg.NewCounterVec("gpulat_http_requests_total",
 			"HTTP requests served, by route pattern and status code.", "route", "code"),
 		latency: reg.NewHistogramVec("gpulat_http_request_duration_seconds",
 			"HTTP request wall time by route pattern.", metrics.DefBuckets, "route"),
 	}
+	if cache != nil {
+		m.transferIn = reg.NewCounter("gpulat_cache_transfer_in_total",
+			"Cache entries pulled from a peer backend during membership handoff.")
+		m.transferOut = reg.NewCounter("gpulat_cache_transfer_out_total",
+			"Cache entries served to a peer backend during membership handoff.")
+	}
+	return m
 }

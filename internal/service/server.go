@@ -72,6 +72,10 @@ type Statsz struct {
 	// Backends is the sharded tier's per-backend view; absent for a
 	// single-node station (see also /v1/backendsz).
 	Backends []BackendStatus `json:"backends,omitempty"`
+	// RingEpoch is the sharded tier's monotonic membership epoch (1 for
+	// the initial membership, bumped per join/leave); absent for a
+	// single-node station.
+	RingEpoch uint64 `json:"ring_epoch,omitempty"`
 	// UptimeSeconds is wall clock and therefore volatile; the comparable
 	// encoding strips it, so statsz snapshots can still be diffed.
 	UptimeSeconds float64 `json:"uptime_seconds"`
@@ -101,6 +105,14 @@ type JobService interface {
 // adds; /v1/backendsz answers 404 when the service doesn't provide it.
 type backendReporter interface {
 	Backends() []BackendStatus
+	RingEpoch() uint64
+}
+
+// membershipManager is the optional elastic-membership surface;
+// POST /v1/backends/{join,leave} answer 404 without it.
+type membershipManager interface {
+	Join(ctx context.Context, addr string) (MembershipChange, error)
+	Leave(ctx context.Context, addr string) (MembershipChange, error)
 }
 
 // Server is the HTTP facade over a JobService: stateless handlers, JSON
@@ -138,6 +150,10 @@ func NewServer(svc JobService, cache *Cache) *Server {
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/statsz", s.handleStatsz)
 	s.mux.HandleFunc("GET /v1/backendsz", s.handleBackendsz)
+	s.mux.HandleFunc("GET /v1/cache/{key}", s.handleCacheGet)
+	s.mux.HandleFunc("POST /v1/cache/pull", s.handleCachePull)
+	s.mux.HandleFunc("POST /v1/backends/join", s.handleMembership)
+	s.mux.HandleFunc("POST /v1/backends/leave", s.handleMembership)
 	s.mux.HandleFunc("GET /v1/catalog", s.handleCatalog)
 	s.mux.Handle("GET /metrics", s.metrics.reg.Handler())
 	return s
@@ -352,13 +368,17 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	}
 	if rep, ok := s.svc.(backendReporter); ok {
 		st.Backends = rep.Backends()
+		st.RingEpoch = rep.RingEpoch()
 	}
 	writeJSON(w, http.StatusOK, st)
 }
 
 // Backendsz answers GET /v1/backendsz: the sharded tier's per-backend
-// routing and health view.
+// routing and health view at the current membership epoch.
 type Backendsz struct {
+	// Epoch is the monotonic membership epoch the listed ring shares
+	// were computed at.
+	Epoch    uint64          `json:"epoch"`
 	Backends []BackendStatus `json:"backends"`
 }
 
@@ -368,7 +388,152 @@ func (s *Server) handleBackendsz(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "not a coordinator: this service runs jobs locally")
 		return
 	}
-	writeJSON(w, http.StatusOK, Backendsz{Backends: rep.Backends()})
+	writeJSON(w, http.StatusOK, Backendsz{Epoch: rep.RingEpoch(), Backends: rep.Backends()})
+}
+
+// CachePullRequest is the POST /v1/cache/pull body: pull the cached
+// results for Keys from the backend at From into this server's cache.
+type CachePullRequest struct {
+	From string          `json:"from"`
+	Keys []runner.JobKey `json:"keys"`
+}
+
+// CachePullResult answers POST /v1/cache/pull.
+type CachePullResult struct {
+	// Transferred entries were fetched from the source and written to
+	// this server's cache; Skipped were already present locally; Missing
+	// were not in the source's cache either (they stay cold and will be
+	// recomputed on demand).
+	Transferred int `json:"transferred"`
+	Skipped     int `json:"skipped"`
+	Missing     int `json:"missing"`
+}
+
+// handleCacheGet serves one cache entry to a peer — the read half of
+// the cache-warm handoff. Only servers with a cache answer.
+func (s *Server) handleCacheGet(w http.ResponseWriter, r *http.Request) {
+	if s.cache == nil {
+		writeError(w, http.StatusNotFound, "this server has no result cache")
+		return
+	}
+	key, ok := s.pathKey(w, r)
+	if !ok {
+		return
+	}
+	e, ok := s.cache.Get(key)
+	if !ok {
+		writeError(w, http.StatusNotFound, "key %s not cached", key)
+		return
+	}
+	s.metrics.transferOut.Inc()
+	writeJSON(w, http.StatusOK, e)
+}
+
+// handleCachePull makes this server fetch cached results from a peer
+// into its own cache — the write half of the cache-warm handoff. The
+// coordinator drives it at membership changes so a joining backend
+// inherits its newly-owned keys' results instead of recomputing them.
+// Entries are validated content-addressed: an entry whose job does not
+// hash to the requested key is discarded.
+func (s *Server) handleCachePull(w http.ResponseWriter, r *http.Request) {
+	if s.cache == nil {
+		writeError(w, http.StatusNotFound, "this server has no result cache")
+		return
+	}
+	var req CachePullRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad cache-pull body: %v", err)
+		return
+	}
+	from := normalizeBackendAddr(req.From)
+	if from == "" {
+		writeError(w, http.StatusBadRequest, "cache-pull body names no source backend")
+		return
+	}
+	if len(req.Keys) == 0 {
+		writeError(w, http.StatusBadRequest, "cache-pull body names no keys")
+		return
+	}
+	if len(req.Keys) > s.MaxJobsPerRequest {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			"%d keys exceeds the per-request bound of %d", len(req.Keys), s.MaxJobsPerRequest)
+		return
+	}
+	src := NewClient(from)
+	var res CachePullResult
+	for _, key := range req.Keys {
+		if !key.Valid() {
+			res.Missing++
+			continue
+		}
+		if _, ok := s.cache.Get(key); ok {
+			res.Skipped++
+			continue
+		}
+		e, err := src.CacheEntry(r.Context(), key)
+		if err != nil || e.Key != key || e.Job.Key() != key {
+			res.Missing++
+			continue
+		}
+		if s.cache.Put(e.Job, runner.Result{Job: e.Job, Metrics: e.Metrics}) != nil {
+			res.Missing++
+			continue
+		}
+		s.metrics.transferIn.Inc()
+		res.Transferred++
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// handleMembership serves POST /v1/backends/join and /v1/backends/leave
+// on a coordinator: body {"addr": "host:port"}, answer the resulting
+// MembershipChange. Leave of a non-member is 404; removing the last
+// backend is 409.
+func (s *Server) handleMembership(w http.ResponseWriter, r *http.Request) {
+	mm, ok := s.svc.(membershipManager)
+	if !ok {
+		writeError(w, http.StatusNotFound, "not a coordinator: this service has no backend pool")
+		return
+	}
+	var req membershipRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad membership body: %v", err)
+		return
+	}
+	if strings.TrimSpace(req.Addr) == "" {
+		writeError(w, http.StatusBadRequest, "membership body names no backend address")
+		return
+	}
+	var ch MembershipChange
+	var err error
+	if strings.HasSuffix(r.URL.Path, "/join") {
+		ch, err = mm.Join(r.Context(), req.Addr)
+	} else {
+		ch, err = mm.Leave(r.Context(), req.Addr)
+	}
+	if err != nil {
+		code := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, ErrUnknownBackend):
+			code = http.StatusNotFound
+		case errors.Is(err, ErrLastBackend):
+			code = http.StatusConflict
+		case errors.Is(err, ErrStationClosed):
+			code = http.StatusServiceUnavailable
+		}
+		writeError(w, code, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ch)
+}
+
+// membershipRequest is the POST /v1/backends/{join,leave} body.
+type membershipRequest struct {
+	Addr string `json:"addr"`
 }
 
 func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {

@@ -41,6 +41,18 @@ type StationStats struct {
 	// Rerouted counts jobs re-forwarded to a different backend after a
 	// failure; always zero for a single-node station (coordinator only).
 	Rerouted int64 `json:"rerouted,omitempty"`
+	// HandoffKeys counts keys whose ring ownership a membership change
+	// (join/leave) moved; HandoffTransferred counts the cached results
+	// warm-copied to the new owner instead of recomputed (coordinator
+	// only).
+	HandoffKeys        int64 `json:"handoff_keys,omitempty"`
+	HandoffTransferred int64 `json:"handoff_transferred,omitempty"`
+	// Stolen counts queued keys moved from an overloaded backend to an
+	// idle one by the work stealer (coordinator only).
+	Stolen int64 `json:"stolen,omitempty"`
+	// Replayed counts jobs re-admitted from the write-ahead journal at
+	// startup (coordinator only).
+	Replayed int64 `json:"replayed,omitempty"`
 	Queued   int   `json:"queued"`
 	Running  int   `json:"running"`
 	Done     int   `json:"done"`
